@@ -1,0 +1,135 @@
+// Command ir-run executes one evaluated application — or a textual TIR
+// assembly file — under a chosen runtime configuration and reports wall time
+// plus runtime statistics. It is the quick way to poke at a single Table 3
+// cell, or to run hand-written programs under the recorder:
+//
+//	ir-run -app fluidanimate -sys iReplayer
+//	ir-run -app x264 -sys CLAP -scale 0.5
+//	ir-run -asm prog.tir -replay
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/tir"
+	"repro/internal/workloads"
+)
+
+var systems = map[string]bench.System{
+	"baseline":  bench.SysBaseline,
+	"IR-Alloc":  bench.SysIRAlloc,
+	"iReplayer": bench.SysIReplayer,
+	"CLAP":      bench.SysCLAP,
+	"RR":        bench.SysRR,
+	"detect":    bench.SysIRDetect,
+	"ASan":      bench.SysASan,
+}
+
+func main() {
+	app := flag.String("app", "sqlite", "application name (see internal/workloads)")
+	asmFile := flag.String("asm", "", "run a .tir assembly file instead of a named app")
+	replay := flag.Bool("replay", false, "with -asm: replay the final epoch and verify identity")
+	sys := flag.String("sys", "iReplayer", "baseline | IR-Alloc | iReplayer | CLAP | RR | detect | ASan")
+	scale := flag.Float64("scale", 1.0, "iteration scale")
+	norm := flag.Bool("normalized", false, "also report runtime normalized to baseline")
+	flag.Parse()
+
+	if *asmFile != "" {
+		if err := runAsm(*asmFile, *replay); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	spec, ok := workloads.ByName(*app)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown app %q; known apps:\n", *app)
+		for _, s := range workloads.Apps() {
+			fmt.Fprintf(os.Stderr, "  %s\n", s.Name)
+		}
+		os.Exit(2)
+	}
+	system, ok := systems[*sys]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", *sys)
+		os.Exit(2)
+	}
+	if *scale != 1.0 {
+		spec.Iters = int(float64(spec.Iters) * *scale)
+		if spec.Iters < 3 {
+			spec.Iters = 3
+		}
+	}
+	start := time.Now()
+	d, err := bench.RunOnce(spec, system, 42)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "run failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s under %s: %v (wall %v)\n", spec.Name, *sys, d, time.Since(start))
+	if *norm {
+		r, err := bench.Normalized(spec, system, 3)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "normalize failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("normalized runtime: %.3f\n", r)
+	}
+}
+
+// runAsm assembles and executes a textual TIR program under full recording;
+// with replay set it also re-executes the final epoch in-situ and verifies
+// that the heap image is identical.
+func runAsm(path string, replay bool) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	mod, err := tir.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+	var img1, img2 []byte
+	opts := core.Options{}
+	if replay {
+		opts.OnEpochEnd = func(rt *core.Runtime, info core.EpochEndInfo) core.Decision {
+			if info.Reason == core.StopProgramEnd && img1 == nil {
+				img1 = rt.Mem().HeapImage()
+				return core.Replay
+			}
+			return core.Proceed
+		}
+		opts.OnReplayMatched = func(rt *core.Runtime, attempts int) core.Decision {
+			img2 = rt.Mem().HeapImage()
+			fmt.Printf("replay matched on attempt %d\n", attempts)
+			return core.Proceed
+		}
+	}
+	rt, err := core.New(mod, opts)
+	if err != nil {
+		return err
+	}
+	rep, err := rt.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("exit=%d epochs=%d replays=%d\n", rep.Exit, rep.Stats.Epochs, rep.Stats.Replays)
+	if out := rep.Output; out != "" {
+		fmt.Printf("output:\n%s", out)
+	}
+	if replay {
+		if d := mem.DiffBytes(img1, img2); d == 0 {
+			fmt.Println("replayed heap image is byte-identical")
+		} else {
+			return fmt.Errorf("replay differed in %d heap bytes", d)
+		}
+	}
+	return nil
+}

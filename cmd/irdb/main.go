@@ -1,0 +1,66 @@
+// Command irdb runs a program under iReplayer with the interactive debugger
+// attached (§4.3): on a segmentation fault or abort the session opens, and
+// the user can inspect threads, arm watchpoints, and roll the program back
+// to the last epoch boundary for in-situ re-execution.
+//
+//	irdb -app crasher          # debug the racy Crasher program
+//	irdb -app sqlite -implant  # any evaluated app, with an implanted overflow
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/debug"
+	"repro/internal/workloads"
+)
+
+func main() {
+	app := flag.String("app", "crasher", "program to debug: crasher or an evaluated app name")
+	implant := flag.Bool("implant", false, "implant a buffer overflow at the end of main")
+	breakEnd := flag.Bool("break-at-end", false, "open a session at normal program end too")
+	flag.Parse()
+
+	var mod *core.Runtime
+	d := debug.New(os.Stdin, os.Stdout)
+	d.BreakOnEnd = *breakEnd
+
+	build := func() (*core.Runtime, error) {
+		if *app == "crasher" {
+			return core.New(workloads.DefaultCrasher().Build(), d.Options())
+		}
+		spec, ok := workloads.ByName(*app)
+		if !ok {
+			return nil, fmt.Errorf("unknown app %q", *app)
+		}
+		m, err := spec.Build()
+		if err != nil {
+			return nil, err
+		}
+		if *implant {
+			m = workloads.ImplantOverflow(m)
+		}
+		rt, err := core.New(m, d.Options())
+		if err != nil {
+			return nil, err
+		}
+		spec.SetupOS(rt.OS())
+		return rt, nil
+	}
+
+	rt, err := build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	mod = rt
+	rep, err := mod.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "program failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("program finished: exit=%d epochs=%d replays=%d\n",
+		rep.Exit, rep.Stats.Epochs, rep.Stats.Replays)
+}

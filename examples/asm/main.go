@@ -1,0 +1,90 @@
+// Asm: write a multithreaded program in textual TIR assembly, run it under
+// the recorder, and verify an identical in-situ replay — the complete
+// toolchain (assembler → validator → interpreter → record/replay) in one
+// file.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+
+	"repro/internal/mem"
+	"repro/internal/tir"
+)
+
+const program = `
+; two workers lock-step a shared counter; main prints and returns it
+global mutex 8
+global counter 8
+
+func worker/1 regs=7 {
+  consti r1, 0        ; i
+  consti r2, 250      ; iterations
+  consti r3, 1
+  globaladdr r4, mutex
+  globaladdr r5, counter
+loop:
+  lts r6, r1, r2
+  brz r6, @done
+  intrin _, mutex_lock(r4+1)
+  load64 r6, [r5+0]
+  add r6, r6, r3
+  store64 [r5+0], r6
+  intrin _, mutex_unlock(r4+1)
+  add r1, r1, r3
+  jmp @loop
+done:
+  ret r1
+}
+
+func main/0 regs=6 {
+  consti r0, 0        ; function index of worker
+  consti r1, 0
+  intrin r2, thread_create(r0+2)
+  intrin r3, thread_create(r0+2)
+  intrin _, thread_join(r2+1)
+  intrin _, thread_join(r3+1)
+  globaladdr r4, counter
+  load64 r5, [r4+0]
+  intrin _, print(r5+1)
+  ret r5
+}
+
+entry main
+`
+
+func main() {
+	mod, err := tir.Assemble(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var img1, img2 []byte
+	opts := ireplayer.Options{
+		OnEpochEnd: func(rt *ireplayer.Runtime, info ireplayer.EpochEndInfo) ireplayer.Decision {
+			if info.Reason == ireplayer.StopProgramEnd && img1 == nil {
+				img1 = rt.Mem().HeapImage()
+				return ireplayer.Replay
+			}
+			return ireplayer.Proceed
+		},
+		OnReplayMatched: func(rt *ireplayer.Runtime, attempts int) ireplayer.Decision {
+			img2 = rt.Mem().HeapImage()
+			return ireplayer.Proceed
+		},
+	}
+	rt, err := ireplayer.New(mod, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := rt.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("counter = %d (want 500)\n", rep.Exit)
+	if d := mem.DiffBytes(img1, img2); d != 0 {
+		log.Fatalf("replay differed in %d bytes", d)
+	}
+	fmt.Println("assembled program replayed identically")
+}

@@ -1,0 +1,69 @@
+// UAF: detect a use-after-free with the quarantine detector (§4.2). A
+// cache-like workload frees an entry and later writes through the stale
+// pointer; freed objects sit canary-filled in per-thread quarantine lists,
+// the corruption is discovered at the epoch boundary, and a watchpoint
+// replay pinpoints the dangling write.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+
+	"repro/internal/detect"
+	"repro/internal/tir"
+)
+
+// buildCache models an object cache with an eviction bug: the evicted
+// entry's buffer is freed, but a stale reference is written afterwards from
+// function "refresh_stale_entry".
+func buildCache() *ireplayer.Module {
+	mb := ireplayer.NewModuleBuilder()
+
+	refresh := mb.Func("refresh_stale_entry", 1)
+	v := refresh.NewReg()
+	refresh.ConstI(v, 0x5151)
+	refresh.Store64(v, refresh.Param(0), 16)
+	refresh.Ret(-1)
+	refresh.Seal()
+
+	m := mb.Func("main", 0)
+	sz, entry, tmp := m.NewReg(), m.NewReg(), m.NewReg()
+	// Fill the cache with a few entries.
+	m.ConstI(sz, 96)
+	m.Intrin(entry, tir.IntrinMalloc, sz)
+	for i := 0; i < 3; i++ {
+		m.Intrin(tmp, tir.IntrinMalloc, sz)
+	}
+	// Evict: free the first entry…
+	m.Intrin(-1, tir.IntrinFree, entry)
+	// …and then "refresh" it through the stale pointer.
+	m.Call(-1, refresh.Index(), entry)
+	m.Ret(-1)
+	m.Seal()
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+func main() {
+	d := detect.New(detect.Config{UseAfterFree: true, QuarantineBudget: 64 << 10})
+	rt, err := ireplayer.New(buildCache(), d.Options())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.Attach(rt); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		log.Fatal(err)
+	}
+	rep := d.Report()
+	if len(rep.Violations) == 0 {
+		log.Fatal("use-after-free not detected")
+	}
+	fmt.Printf("detected %d use-after-free violation(s)\n", len(rep.Violations))
+	for _, rc := range rep.RootCauses {
+		fmt.Print(rc)
+	}
+}

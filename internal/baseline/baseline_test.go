@@ -1,0 +1,380 @@
+// Package baseline_test exercises the three evaluation comparators together
+// against the host runtime on shared programs.
+package baseline_test
+
+import (
+	"testing"
+
+	"repro/internal/baseline/asan"
+	"repro/internal/baseline/clap"
+	"repro/internal/baseline/rr"
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/mem"
+	"repro/internal/tir"
+)
+
+// buildLoopSum builds a branchy compute program: sum of i for odd i in
+// [0, n), with a function call per iteration.
+func buildLoopSum(n int64) *tir.Module {
+	mb := tir.NewModuleBuilder()
+	odd := mb.Func("is_odd", 1)
+	{
+		r, one := odd.NewReg(), odd.NewReg()
+		odd.ConstI(one, 1)
+		odd.Bin(tir.And, r, odd.Param(0), one)
+		odd.Ret(r)
+		odd.Seal()
+	}
+	m := mb.Func("main", 0)
+	i, lim, cond, sum, o := m.NewReg(), m.NewReg(), m.NewReg(), m.NewReg(), m.NewReg()
+	m.ConstI(i, 0)
+	m.ConstI(lim, n)
+	m.ConstI(sum, 0)
+	loop, done, skip := m.NewLabel(), m.NewLabel(), m.NewLabel()
+	m.Bind(loop)
+	m.Bin(tir.LtS, cond, i, lim)
+	m.Brz(cond, done)
+	m.Call(o, odd.Index(), i)
+	m.Brz(o, skip)
+	m.Bin(tir.Add, sum, sum, i)
+	m.Bind(skip)
+	m.AddI(i, i, 1)
+	m.Jmp(loop)
+	m.Bind(done)
+	m.Ret(sum)
+	m.Seal()
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+func oddSum(n int64) uint64 {
+	var s uint64
+	for i := int64(0); i < n; i++ {
+		if i%2 == 1 {
+			s += uint64(i)
+		}
+	}
+	return s
+}
+
+func TestClapInstrumentationPreservesSemantics(t *testing.T) {
+	mod := buildLoopSum(500)
+	inst, err := clap.Instrument(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := clap.NewRecorder(8)
+	rt, err := core.New(inst, core.Options{DisableRecording: true, OnProbe: rec.OnProbe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Exit != oddSum(500) {
+		t.Fatalf("instrumented result = %d, want %d", rep.Exit, oddSum(500))
+	}
+	// 500 loop back edges plus function exits must have produced events.
+	if rec.Events() < 500 {
+		t.Fatalf("path events = %d, want >= 500", rec.Events())
+	}
+}
+
+func TestClapInstrumentedThreadsStillCorrect(t *testing.T) {
+	// A threaded program survives instrumentation (thread entry functions
+	// are instrumented too).
+	mod := buildThreadedSum(4, 100)
+	inst, err := clap.Instrument(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := clap.NewRecorder(8)
+	rt, err := core.New(inst, core.Options{DisableRecording: true, OnProbe: rec.OnProbe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Exit != 400 {
+		t.Fatalf("result = %d, want 400", rep.Exit)
+	}
+	if rec.Events() == 0 {
+		t.Fatal("no path events from worker threads")
+	}
+}
+
+func buildThreadedSum(nThreads, iters int) *tir.Module {
+	mb := tir.NewModuleBuilder()
+	gM := mb.Global("m", 8)
+	gC := mb.Global("c", 8)
+	w := mb.Func("worker", 1)
+	{
+		i, lim, cond, ma, ca, v, one := w.NewReg(), w.NewReg(), w.NewReg(), w.NewReg(), w.NewReg(), w.NewReg(), w.NewReg()
+		w.GlobalAddr(ma, gM)
+		w.GlobalAddr(ca, gC)
+		w.ConstI(i, 0)
+		w.ConstI(lim, int64(iters))
+		w.ConstI(one, 1)
+		loop, done := w.NewLabel(), w.NewLabel()
+		w.Bind(loop)
+		w.Bin(tir.LtS, cond, i, lim)
+		w.Brz(cond, done)
+		w.Intrin(-1, tir.IntrinMutexLock, ma)
+		w.Load64(v, ca, 0)
+		w.Bin(tir.Add, v, v, one)
+		w.Store64(v, ca, 0)
+		w.Intrin(-1, tir.IntrinMutexUnlock, ma)
+		w.Bin(tir.Add, i, i, one)
+		w.Jmp(loop)
+		w.Bind(done)
+		w.Ret(-1)
+		w.Seal()
+	}
+	m := mb.Func("main", 0)
+	{
+		fnr, argr := m.NewReg(), m.NewReg()
+		m.ConstI(fnr, int64(w.Index()))
+		tids := make([]tir.Reg, nThreads)
+		for i := 0; i < nThreads; i++ {
+			tids[i] = m.NewReg()
+			m.ConstI(argr, int64(i))
+			m.Intrin(tids[i], tir.IntrinThreadCreate, fnr, argr)
+		}
+		for i := 0; i < nThreads; i++ {
+			m.Intrin(-1, tir.IntrinThreadJoin, tids[i])
+		}
+		ca, v := m.NewReg(), m.NewReg()
+		m.GlobalAddr(ca, gC)
+		m.Load64(v, ca, 0)
+		m.Ret(v)
+		m.Seal()
+	}
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+func TestAsanInstrumentationPreservesSemantics(t *testing.T) {
+	mod := buildLoopSum(300)
+	inst, err := asan.Instrument(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sh *asan.Shadow
+	opts := core.Options{
+		DisableRecording: true,
+		WrapAllocator: func(d *heap.Deterministic) heap.Allocator {
+			return asan.NewAllocator(d, sh, 64<<10)
+		},
+	}
+	// Shadow needs the runtime's memory; create in two phases.
+	rtMem := mem.New(mem.DefaultConfig())
+	sh = asan.NewShadow(rtMem) // same geometry as the runtime's arena
+	opts.OnProbe = sh.OnProbe
+	rt, err := core.New(inst, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Exit != oddSum(300) {
+		t.Fatalf("result = %d, want %d", rep.Exit, oddSum(300))
+	}
+	if len(sh.Errors()) != 0 {
+		t.Fatalf("false positives: %v", sh.Errors())
+	}
+}
+
+func buildHeapOverflowWrite() *tir.Module {
+	mb := tir.NewModuleBuilder()
+	m := mb.Func("main", 0)
+	sz, p, v := m.NewReg(), m.NewReg(), m.NewReg()
+	m.ConstI(sz, 24)
+	m.Intrin(p, tir.IntrinMalloc, sz)
+	m.ConstI(v, 1)
+	m.Store64(v, p, 0)  // fine
+	m.Store64(v, p, 24) // one word past the end: redzone
+	m.Ret(-1)
+	m.Seal()
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+func TestAsanDetectsOverflowWrite(t *testing.T) {
+	inst, err := asan.Instrument(buildHeapOverflowWrite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := asan.NewShadow(mem.New(mem.DefaultConfig()))
+	opts := core.Options{
+		DisableRecording: true,
+		OnProbe:          sh.OnProbe,
+		WrapAllocator: func(d *heap.Deterministic) heap.Allocator {
+			return asan.NewAllocator(d, sh, 64<<10)
+		},
+	}
+	rt, err := core.New(inst, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	errs := sh.Errors()
+	if len(errs) != 1 {
+		t.Fatalf("errors = %v, want exactly the redzone write", errs)
+	}
+	if errs[0].Size != 8 {
+		t.Fatalf("error = %+v", errs[0])
+	}
+}
+
+func TestAsanDetectsUseAfterFreeWrite(t *testing.T) {
+	mb := tir.NewModuleBuilder()
+	m := mb.Func("main", 0)
+	sz, p, v := m.NewReg(), m.NewReg(), m.NewReg()
+	m.ConstI(sz, 64)
+	m.Intrin(p, tir.IntrinMalloc, sz)
+	m.Intrin(-1, tir.IntrinFree, p)
+	m.ConstI(v, 9)
+	m.Store64(v, p, 0) // write-after-free
+	m.Ret(-1)
+	m.Seal()
+	mb.SetEntry("main")
+	inst, err := asan.Instrument(mb.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := asan.NewShadow(mem.New(mem.DefaultConfig()))
+	opts := core.Options{
+		DisableRecording: true,
+		OnProbe:          sh.OnProbe,
+		WrapAllocator: func(d *heap.Deterministic) heap.Allocator {
+			return asan.NewAllocator(d, sh, 64<<10)
+		},
+	}
+	rt, err := core.New(inst, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sh.Errors()) != 1 {
+		t.Fatalf("errors = %v", sh.Errors())
+	}
+}
+
+func TestRRSingleCoreCorrectness(t *testing.T) {
+	rt, err := rr.New(buildThreadedSum(4, 100), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exit, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exit != 400 {
+		t.Fatalf("rr result = %d, want 400", exit)
+	}
+	if len(rt.Schedule()) == 0 {
+		t.Fatal("no schedule recorded")
+	}
+}
+
+func TestRRIdenticalReplay(t *testing.T) {
+	// Record once, then replay under the recorded schedule: heap images must
+	// be byte-identical — the Table 1 RR row.
+	rec, err := rr.New(buildThreadedSum(3, 80), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exit1, err := rec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img1 := rec.Mem().HeapImage()
+
+	rep, err := rr.New(buildThreadedSum(3, 80), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.SetReplay(rec.Schedule())
+	exit2, err := rep.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img2 := rep.Mem().HeapImage()
+	if exit1 != exit2 {
+		t.Fatalf("exit %d vs %d", exit1, exit2)
+	}
+	if d := mem.DiffBytes(img1, img2); d != 0 {
+		t.Fatalf("rr replay heap differs in %d bytes", d)
+	}
+}
+
+func TestRRCondVarAndBarrier(t *testing.T) {
+	mb := tir.NewModuleBuilder()
+	gBar := mb.Global("bar", 8)
+	gCnt := mb.Global("cnt", 8)
+	gM := mb.Global("m", 8)
+	w := mb.Func("worker", 1)
+	{
+		ba, ser, ma, ca, v, one := w.NewReg(), w.NewReg(), w.NewReg(), w.NewReg(), w.NewReg(), w.NewReg()
+		w.GlobalAddr(ba, gBar)
+		w.GlobalAddr(ma, gM)
+		w.GlobalAddr(ca, gCnt)
+		w.ConstI(one, 1)
+		w.Intrin(ser, tir.IntrinBarrierWait, ba)
+		skip := w.NewLabel()
+		w.Brz(ser, skip)
+		w.Intrin(-1, tir.IntrinMutexLock, ma)
+		w.Load64(v, ca, 0)
+		w.Bin(tir.Add, v, v, one)
+		w.Store64(v, ca, 0)
+		w.Intrin(-1, tir.IntrinMutexUnlock, ma)
+		w.Bind(skip)
+		w.Ret(-1)
+		w.Seal()
+	}
+	m := mb.Func("main", 0)
+	{
+		ba, n := m.NewReg(), m.NewReg()
+		m.GlobalAddr(ba, gBar)
+		m.ConstI(n, 3)
+		m.Intrin(-1, tir.IntrinBarrierInit, ba, n)
+		fnr, argr := m.NewReg(), m.NewReg()
+		m.ConstI(fnr, int64(w.Index()))
+		tids := make([]tir.Reg, 3)
+		for i := 0; i < 3; i++ {
+			tids[i] = m.NewReg()
+			m.ConstI(argr, int64(i))
+			m.Intrin(tids[i], tir.IntrinThreadCreate, fnr, argr)
+		}
+		for i := 0; i < 3; i++ {
+			m.Intrin(-1, tir.IntrinThreadJoin, tids[i])
+		}
+		ca, v := m.NewReg(), m.NewReg()
+		m.GlobalAddr(ca, gCnt)
+		m.Load64(v, ca, 0)
+		m.Ret(v)
+		m.Seal()
+	}
+	mb.SetEntry("main")
+	rt, err := rr.New(mb.MustBuild(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exit, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exit != 1 {
+		t.Fatalf("serial count = %d, want 1", exit)
+	}
+}

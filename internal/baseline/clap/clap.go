@@ -1,0 +1,206 @@
+// Package clap re-implements the recording side of CLAP [Huang, Zhang &
+// Dolby, PLDI 2013] as the evaluation's software-only comparator (§5.3).
+//
+// CLAP records thread-local execution paths at runtime and reconstructs
+// shared-memory dependencies offline. Its recording is Ball–Larus path
+// profiling: every function gets a path-sum register, every acyclic CFG edge
+// an increment, and every back edge / function exit emits the accumulated
+// path identifier into a per-thread log. The paper's authors re-implemented
+// this over LLVM path profiling; this package performs the equivalent
+// source-to-source transformation over TIR.
+//
+// Only recording is reproduced — offline constraint solving is out of scope,
+// exactly as in the paper's overhead comparison. The cost profile matches
+// CLAP's: branch- and loop-dense CPU code pays heavily, IO-bound code pays
+// almost nothing.
+package clap
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/cfg"
+	"repro/internal/tir"
+)
+
+// ProbeBase offsets CLAP probe IDs; probe id = ProbeBase + function index.
+const ProbeBase int64 = 1 << 20
+
+// Instrument returns a path-profiled copy of mod. Functions whose CFG cannot
+// be numbered (irreducible after back-edge removal) are left uninstrumented,
+// mirroring the paper's experience of LLVM path-profiling failures on some
+// applications.
+func Instrument(mod *tir.Module) (*tir.Module, error) {
+	out := &tir.Module{
+		Funcs:   make([]*tir.Function, len(mod.Funcs)),
+		Globals: append([]tir.Global(nil), mod.Globals...),
+		Entry:   mod.Entry,
+	}
+	for i, f := range mod.Funcs {
+		nf, err := instrumentFunc(f, ProbeBase+int64(i))
+		if err != nil {
+			// Leave the function untouched (copy).
+			cp := *f
+			cp.Code = append([]tir.Instr(nil), f.Code...)
+			out.Funcs[i] = &cp
+			continue
+		}
+		out.Funcs[i] = nf
+	}
+	if err := tir.Validate(out); err != nil {
+		return nil, fmt.Errorf("clap: instrumented module invalid: %w", err)
+	}
+	return out, nil
+}
+
+// instrumentFunc rewrites f with Ball–Larus edge increments. The rewrite
+// lays out every basic block, materializes edge instrumentation either
+// inline (fallthrough edges) or in appended stub blocks (branch-taken
+// edges), and patches all control transfers.
+func instrumentFunc(f *tir.Function, probeID int64) (*tir.Function, error) {
+	g := cfg.Build(f)
+	pn, err := cfg.NumberPaths(g)
+	if err != nil {
+		return nil, err
+	}
+	nf := &tir.Function{
+		Name:      f.Name,
+		NumParams: f.NumParams,
+		NumRegs:   f.NumRegs + 1,
+		FrameSize: f.FrameSize,
+	}
+	ps := int32(f.NumRegs) // the path-sum register
+
+	type patchRef struct {
+		pc    int // instruction in nf.Code whose Imm needs the block start
+		block int // target block
+	}
+	var patches []patchRef
+	blockStart := make([]int, len(g.Blocks))
+	for i := range blockStart {
+		blockStart[i] = -1
+	}
+	emit := func(in tir.Instr) int {
+		nf.Code = append(nf.Code, in)
+		return len(nf.Code) - 1
+	}
+	// emitEdge materializes the instrumentation for edge u→v followed by a
+	// jump to v (patched later).
+	emitEdge := func(u, v int) {
+		if inc := pn.Inc[[2]int{u, v}]; inc != 0 {
+			emit(tir.Instr{Op: tir.AddI, A: ps, B: ps, Imm: inc})
+		}
+		if g.IsBackEdge(u, v) {
+			emit(tir.Instr{Op: tir.Probe, A: ps, Imm: probeID})
+			emit(tir.Instr{Op: tir.ConstI, A: ps, Imm: 0})
+		}
+		pc := emit(tir.Instr{Op: tir.Jmp})
+		patches = append(patches, patchRef{pc: pc, block: v})
+	}
+
+	type stub struct{ u, v int }
+	var stubs []stub
+
+	for _, b := range g.Blocks {
+		blockStart[b.ID] = len(nf.Code)
+		if b.ID == 0 {
+			emit(tir.Instr{Op: tir.ConstI, A: ps, Imm: 0})
+		}
+		end := b.End
+		last := f.Code[end-1]
+		bodyEnd := end
+		switch last.Op {
+		case tir.Jmp, tir.Br, tir.Brz, tir.Ret:
+			bodyEnd = end - 1
+		}
+		for pc := b.Start; pc < bodyEnd; pc++ {
+			emit(f.Code[pc])
+		}
+		switch last.Op {
+		case tir.Ret:
+			emit(tir.Instr{Op: tir.Probe, A: ps, Imm: probeID})
+			emit(last)
+		case tir.Jmp:
+			emitEdge(b.ID, g.BlockOf(int(last.Imm)))
+		case tir.Br, tir.Brz:
+			taken := g.BlockOf(int(last.Imm))
+			fall := g.BlockOf(end)
+			// Branch to a stub carrying the taken edge's instrumentation.
+			pc := emit(tir.Instr{Op: last.Op, A: last.A})
+			stubs = append(stubs, stub{b.ID, taken})
+			stubIdx := len(stubs) - 1
+			// Remember to patch with the stub's start; encode via negative
+			// block id offset by stub index later. Simplest: record patch
+			// into a parallel list after stubs are laid out.
+			patches = append(patches, patchRef{pc: pc, block: -(stubIdx + 1)})
+			emitEdge(b.ID, fall)
+		default:
+			if end == len(f.Code) {
+				// Terminal intrinsic tail (thread_exit/abort): no edge.
+				break
+			}
+			// Implicit fallthrough.
+			emitEdge(b.ID, g.BlockOf(end))
+		}
+	}
+	// Lay out the taken-edge stubs.
+	stubStart := make([]int, len(stubs))
+	for i, s := range stubs {
+		stubStart[i] = len(nf.Code)
+		emitEdge(s.u, s.v)
+	}
+	// Patch control transfers.
+	for _, p := range patches {
+		if p.block < 0 {
+			nf.Code[p.pc].Imm = int64(stubStart[-p.block-1])
+		} else {
+			nf.Code[p.pc].Imm = int64(blockStart[p.block])
+		}
+	}
+	return nf, nil
+}
+
+// Recorder accumulates per-thread path logs; it is the runtime half of
+// CLAP recording. Logs are preallocated per thread to keep the hot path
+// allocation-free, like the per-thread lists of the host system.
+type Recorder struct {
+	logs  [][]uint64
+	count atomic.Int64
+}
+
+// NewRecorder sizes the recorder for maxThreads threads.
+func NewRecorder(maxThreads int) *Recorder {
+	r := &Recorder{logs: make([][]uint64, maxThreads)}
+	for i := range r.logs {
+		r.logs[i] = make([]uint64, 0, 1<<14)
+	}
+	return r
+}
+
+// OnProbe is wired into core.Options.OnProbe.
+func (r *Recorder) OnProbe(tid int32, id int64, v uint64) {
+	if id < ProbeBase {
+		return
+	}
+	if int(tid) < len(r.logs) {
+		// Encode function and path in one word, as CLAP's compact logs do.
+		r.logs[tid] = append(r.logs[tid], uint64(id-ProbeBase)<<48|v&(1<<48-1))
+		if len(r.logs[tid]) == cap(r.logs[tid]) {
+			// Wrap: CLAP flushes to disk; the overhead model keeps the
+			// amortized append cost without unbounded memory.
+			r.logs[tid] = r.logs[tid][:0]
+		}
+	}
+	r.count.Add(1)
+}
+
+// Events returns the total number of recorded path events.
+func (r *Recorder) Events() int64 { return r.count.Load() }
+
+// Log returns thread tid's current log window.
+func (r *Recorder) Log(tid int32) []uint64 {
+	if int(tid) >= len(r.logs) {
+		return nil
+	}
+	return r.logs[tid]
+}

@@ -1,0 +1,512 @@
+// Package rr models Mozilla RR [O'Callahan et al., USENIX ATC 2017] for the
+// evaluation's comparisons: record-and-replay that multiplexes every thread
+// of the program onto a single core with time-slice scheduling.
+//
+// RR's defining trade-offs, both reproduced here:
+//
+//   - identical replay is easy, because serializing all threads removes
+//     concurrency entirely (Table 1's RR row is 0%): re-running under the
+//     recorded schedule is exactly the original execution;
+//   - recording is slow on CPU-parallel programs, because only one thread
+//     makes progress at a time (Table 3's 5×–52× RR column at 16 hardware
+//     threads), while IO-bound programs are barely affected.
+//
+// The implementation is a deterministic green-thread scheduler over the
+// same substrates (interp/mem/vsys/heap): threads run one at a time and
+// yield at every synchronization point, system call, and instruction-budget
+// poll; the scheduler records each dispatch decision.
+package rr
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/heap"
+	"repro/internal/interp"
+	"repro/internal/mem"
+	"repro/internal/tir"
+	"repro/internal/vsys"
+)
+
+type threadState int32
+
+const (
+	stRunnable threadState = iota
+	stMutex                // waiting for a mutex
+	stCond                 // waiting on a condition variable
+	stBarrier              // waiting at a barrier
+	stJoin                 // waiting for a thread exit
+	stExited
+)
+
+type thread struct {
+	id    int32
+	cpu   *interp.CPU
+	state threadState
+
+	resume chan struct{}
+	parked chan struct{}
+
+	waitAddr uint64 // mutex/cond/barrier address when blocked
+	waitTID  int32  // join target
+	exitVal  uint64
+	joined   bool
+
+	// pendingErr carries a scheduler-side verdict back into the thread.
+	err error
+}
+
+type mutexState struct {
+	locked bool
+	holder int32
+}
+
+type condState struct {
+	waiters []int32
+}
+
+type barrierState struct {
+	parties int64
+	arrived []int32
+}
+
+// Runtime executes one TIR program under RR-style single-core scheduling.
+type Runtime struct {
+	mod   *tir.Module
+	mem   *mem.Memory
+	os    *vsys.OS
+	alloc *heap.Deterministic
+
+	threads  []*thread
+	mutexes  map[uint64]*mutexState
+	conds    map[uint64]*condState
+	barriers map[uint64]*barrierState
+
+	// schedule is the recorded dispatch log (thread id per slice); replay
+	// follows it, though with deterministic round-robin it is also the
+	// schedule a fresh run would produce.
+	schedule []int32
+	replayIn []int32
+
+	next    int // round-robin cursor
+	exitVal uint64
+	failure error
+}
+
+// New builds an RR runtime for mod.
+func New(mod *tir.Module, seed int64) (*Runtime, error) {
+	if err := tir.Validate(mod); err != nil {
+		return nil, err
+	}
+	cfg := mem.DefaultConfig()
+	m := mem.New(cfg)
+	rt := &Runtime{
+		mod:      mod,
+		mem:      m,
+		os:       vsys.New(4321, seed),
+		alloc:    heap.NewDeterministic(m),
+		mutexes:  make(map[uint64]*mutexState),
+		conds:    make(map[uint64]*condState),
+		barriers: make(map[uint64]*barrierState),
+		schedule: make([]int32, 0, 1<<16),
+	}
+	rt.os.RaiseFDLimit(4096)
+	for i, g := range mod.Globals {
+		if len(g.Init) > 0 {
+			rt.mem.WriteBytes(interp.GlobalAddr(mod, i), g.Init)
+		}
+	}
+	return rt, nil
+}
+
+// OS exposes the virtual OS for workload setup.
+func (rt *Runtime) OS() *vsys.OS { return rt.os }
+
+// Mem exposes the address space (heap-image diffing for Table 1).
+func (rt *Runtime) Mem() *mem.Memory { return rt.mem }
+
+// Schedule returns the recorded dispatch log.
+func (rt *Runtime) Schedule() []int32 { return rt.schedule }
+
+// SetReplay makes the next Run follow a previously recorded schedule.
+func (rt *Runtime) SetReplay(sched []int32) { rt.replayIn = sched }
+
+var errDone = errors.New("rr: thread finished")
+
+func (rt *Runtime) newThread(fn int, arg uint64, hasArg bool) (*thread, error) {
+	id := int32(len(rt.threads))
+	if int(id) >= rt.mem.Config().MaxThreads {
+		return nil, fmt.Errorf("rr: thread limit reached")
+	}
+	t := &thread{
+		id:     id,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	base, size := rt.mem.StackRange(int(id))
+	t.cpu = interp.New(rt.mod, rt.mem, &hooks{rt: rt, t: t}, base, size)
+	rt.alloc.AssignHeap(id)
+	rt.threads = append(rt.threads, t)
+	var args []uint64
+	if hasArg {
+		args = []uint64{arg}
+	}
+	t.cpu.Start(fn, args)
+	go func() {
+		<-t.resume
+		err := t.cpu.Run()
+		switch {
+		case err == nil:
+			t.exitVal = t.cpu.Result()
+		case errors.Is(err, errDone):
+			// thread_exit: exitVal already set
+		default:
+			if rt.failure == nil {
+				rt.failure = err
+			}
+		}
+		rt.exitThread(t)
+		t.parked <- struct{}{}
+	}()
+	return t, nil
+}
+
+func (rt *Runtime) exitThread(t *thread) {
+	t.state = stExited
+	for _, w := range rt.threads {
+		if w.state == stJoin && w.waitTID == t.id {
+			w.state = stRunnable
+		}
+	}
+}
+
+// Run executes the program to completion and returns main's exit value.
+func (rt *Runtime) Run() (uint64, error) {
+	main, err := rt.newThread(rt.mod.Entry, 0, false)
+	if err != nil {
+		return 0, err
+	}
+	_ = main
+	step := 0
+	for {
+		t := rt.pick(step)
+		step++
+		if t == nil {
+			break
+		}
+		rt.schedule = append(rt.schedule, t.id)
+		t.resume <- struct{}{}
+		<-t.parked
+		if rt.failure != nil {
+			return 0, rt.failure
+		}
+		if rt.threads[0].state == stExited {
+			break
+		}
+	}
+	if rt.failure != nil {
+		return 0, rt.failure
+	}
+	rt.exitVal = rt.threads[0].exitVal
+	return rt.exitVal, nil
+}
+
+// pick selects the next runnable thread. Under replay it follows the
+// recorded schedule; otherwise deterministic round-robin (RR's time slices).
+func (rt *Runtime) pick(step int) *thread {
+	if rt.replayIn != nil {
+		if step >= len(rt.replayIn) {
+			return nil
+		}
+		t := rt.threads[rt.replayIn[step]]
+		if t.state != stRunnable {
+			// Deterministic execution means this cannot happen unless the
+			// schedule is foreign; surface it as a failure.
+			rt.failure = fmt.Errorf("rr: replay schedule dispatches blocked thread %d", t.id)
+			return nil
+		}
+		return t
+	}
+	n := len(rt.threads)
+	for i := 0; i < n; i++ {
+		t := rt.threads[(rt.next+i)%n]
+		if t.state == stRunnable {
+			rt.next = (rt.next + i + 1) % n
+			return t
+		}
+	}
+	return nil // deadlock or all exited
+}
+
+// hooks adapts scheduler semantics to the interpreter. Every callback runs
+// on the thread's goroutine while it holds the (single) execution token;
+// yielding hands the token back to the scheduler loop.
+type hooks struct {
+	rt *Runtime
+	t  *thread
+}
+
+// yield returns control to the scheduler until this thread is dispatched
+// again.
+func (h *hooks) yield() {
+	h.t.parked <- struct{}{}
+	<-h.t.resume
+}
+
+// block parks the thread in a non-runnable state and yields until the
+// scheduler makes it runnable and dispatches it again.
+func (h *hooks) block(s threadState, addr uint64) {
+	h.t.state = s
+	h.t.waitAddr = addr
+	h.yield()
+}
+
+func (h *hooks) Poll() error {
+	// Time-slice boundary: hand the core to the next thread.
+	h.yield()
+	return nil
+}
+
+func (h *hooks) Probe(id int64, v uint64) {}
+
+func (h *hooks) Syscall(num int64, args []uint64) (uint64, error) {
+	h.yield() // syscalls are scheduling points
+	rt := h.rt
+	arg := func(i int) uint64 {
+		if i < len(args) {
+			return args[i]
+		}
+		return 0
+	}
+	switch num {
+	case vsys.SysGetpid:
+		return uint64(rt.os.Pid()), nil
+	case vsys.SysGettimeofday:
+		return uint64(rt.os.Gettimeofday()), nil
+	case vsys.SysRand:
+		return rt.os.Rand(), nil
+	case vsys.SysOpen:
+		b, err := rt.mem.ReadBytes(arg(0), int(arg(1)))
+		if err != nil {
+			return 0, err
+		}
+		fd, err := rt.os.Open(string(b))
+		if err != nil {
+			return 0, err
+		}
+		return uint64(fd), nil
+	case vsys.SysClose:
+		return 0, rt.os.Close(int64(arg(0)))
+	case vsys.SysRead:
+		b, err := rt.os.Read(int64(arg(0)), int(arg(2)))
+		if err != nil {
+			return 0, err
+		}
+		if len(b) > 0 {
+			if err := rt.mem.WriteBytes(arg(1), b); err != nil {
+				return 0, err
+			}
+		}
+		return uint64(len(b)), nil
+	case vsys.SysWrite:
+		b, err := rt.mem.ReadBytes(arg(1), int(arg(2)))
+		if err != nil {
+			return 0, err
+		}
+		n, err := rt.os.Write(int64(arg(0)), b)
+		if err != nil {
+			return 0, err
+		}
+		return uint64(n), nil
+	case vsys.SysLseek:
+		p, err := rt.os.Lseek(int64(arg(0)), int64(arg(1)), int64(arg(2)))
+		if err != nil {
+			return 0, err
+		}
+		return uint64(p), nil
+	case vsys.SysSocket:
+		fd, err := rt.os.Socket()
+		if err != nil {
+			return 0, err
+		}
+		return uint64(fd), nil
+	case vsys.SysMmap:
+		a := rt.alloc.Malloc(h.t.id, int64(arg(0)))
+		if a == 0 {
+			return 0, errors.New("rr: mmap exhausted")
+		}
+		return a, nil
+	case vsys.SysMunmap:
+		return 0, rt.alloc.Free(h.t.id, arg(0))
+	case vsys.SysFork:
+		return uint64(rt.os.Fork()), nil
+	case vsys.SysFcntl:
+		if int64(arg(1)) == vsys.FGetOwn {
+			return uint64(rt.os.Pid()), nil
+		}
+		fd, err := rt.os.DupFD(int64(arg(0)))
+		if err != nil {
+			return 0, err
+		}
+		return uint64(fd), nil
+	}
+	return 0, fmt.Errorf("rr: unknown syscall %d", num)
+}
+
+func (h *hooks) Intrinsic(id int64, args []uint64) (uint64, error) {
+	rt := h.rt
+	t := h.t
+	arg := func(i int) uint64 {
+		if i < len(args) {
+			return args[i]
+		}
+		return 0
+	}
+	switch id {
+	case tir.IntrinMutexLock:
+		for {
+			m := rt.mutex(arg(0))
+			if !m.locked {
+				m.locked, m.holder = true, t.id
+				return 0, nil
+			}
+			h.block(stMutex, arg(0))
+		}
+	case tir.IntrinMutexUnlock:
+		m := rt.mutex(arg(0))
+		if !m.locked || m.holder != t.id {
+			return 0, fmt.Errorf("rr: unlock of unowned mutex %#x", arg(0))
+		}
+		m.locked, m.holder = false, -1
+		for _, w := range rt.threads {
+			if w.state == stMutex && w.waitAddr == arg(0) {
+				w.state = stRunnable
+			}
+		}
+		h.yield()
+		return 0, nil
+	case tir.IntrinMutexTryLock:
+		m := rt.mutex(arg(0))
+		if !m.locked {
+			m.locked, m.holder = true, t.id
+			return 1, nil
+		}
+		return 0, nil
+	case tir.IntrinCondWait:
+		c := rt.cond(arg(0))
+		mu := rt.mutex(arg(1))
+		if !mu.locked || mu.holder != t.id {
+			return 0, fmt.Errorf("rr: cond_wait without mutex held")
+		}
+		mu.locked, mu.holder = false, -1
+		for _, w := range rt.threads {
+			if w.state == stMutex && w.waitAddr == arg(1) {
+				w.state = stRunnable
+			}
+		}
+		c.waiters = append(c.waiters, t.id)
+		h.block(stCond, arg(0))
+		// Reacquire the mutex.
+		for {
+			if !mu.locked {
+				mu.locked, mu.holder = true, t.id
+				return 0, nil
+			}
+			h.block(stMutex, arg(1))
+		}
+	case tir.IntrinCondSignal, tir.IntrinCondBroadcast:
+		c := rt.cond(arg(0))
+		nwake := 1
+		if id == tir.IntrinCondBroadcast {
+			nwake = len(c.waiters)
+		}
+		for i := 0; i < nwake && len(c.waiters) > 0; i++ {
+			w := rt.threads[c.waiters[0]]
+			c.waiters = c.waiters[1:]
+			w.state = stRunnable
+		}
+		return 0, nil
+	case tir.IntrinBarrierInit:
+		rt.barriers[arg(0)] = &barrierState{parties: int64(arg(1))}
+		return 0, nil
+	case tir.IntrinBarrierWait:
+		b := rt.barriers[arg(0)]
+		if b == nil {
+			return 0, fmt.Errorf("rr: wait on uninitialized barrier")
+		}
+		if int64(len(b.arrived))+1 == b.parties {
+			for _, id := range b.arrived {
+				rt.threads[id].state = stRunnable
+			}
+			b.arrived = b.arrived[:0]
+			return 1, nil
+		}
+		b.arrived = append(b.arrived, t.id)
+		h.block(stBarrier, arg(0))
+		return 0, nil
+	case tir.IntrinThreadCreate:
+		child, err := rt.newThread(int(arg(0)), arg(1), true)
+		if err != nil {
+			return 0, err
+		}
+		return uint64(child.id), nil
+	case tir.IntrinThreadJoin:
+		cid := int32(arg(0))
+		if int(cid) >= len(rt.threads) {
+			return 0, fmt.Errorf("rr: join of invalid thread %d", cid)
+		}
+		child := rt.threads[cid]
+		for child.state != stExited {
+			t.waitTID = cid
+			h.block(stJoin, 0)
+		}
+		child.joined = true
+		return child.exitVal, nil
+	case tir.IntrinThreadExit:
+		t.exitVal = arg(0)
+		return 0, errDone
+	case tir.IntrinMalloc:
+		a := rt.alloc.Malloc(t.id, int64(arg(0)))
+		if a == 0 {
+			return 0, errors.New("rr: out of memory")
+		}
+		return a, nil
+	case tir.IntrinCalloc:
+		a := rt.alloc.Calloc(t.id, int64(arg(0)), int64(arg(1)))
+		if a == 0 {
+			return 0, errors.New("rr: out of memory")
+		}
+		return a, nil
+	case tir.IntrinFree:
+		return 0, rt.alloc.Free(t.id, arg(0))
+	case tir.IntrinSelfTID:
+		return uint64(t.id), nil
+	case tir.IntrinYield, tir.IntrinUsleep:
+		// Single-core: a sleep is just a slice boundary (virtual time).
+		h.yield()
+		return 0, nil
+	case tir.IntrinPrint:
+		return 0, nil
+	case tir.IntrinAbort:
+		return 0, errors.New("rr: abort() called")
+	}
+	return 0, fmt.Errorf("rr: unknown intrinsic %d", id)
+}
+
+func (rt *Runtime) mutex(addr uint64) *mutexState {
+	m, ok := rt.mutexes[addr]
+	if !ok {
+		m = &mutexState{holder: -1}
+		rt.mutexes[addr] = m
+	}
+	return m
+}
+
+func (rt *Runtime) cond(addr uint64) *condState {
+	c, ok := rt.conds[addr]
+	if !ok {
+		c = &condState{}
+		rt.conds[addr] = c
+	}
+	return c
+}

@@ -1,0 +1,265 @@
+// Package cfg builds control-flow graphs for TIR functions and implements
+// Ball–Larus efficient path profiling [Ball & Larus, MICRO 1996].
+//
+// The CLAP baseline of the evaluation (§5.3) records thread-local execution
+// paths at runtime and reconstructs memory dependencies offline; the paper's
+// authors re-implemented CLAP's recording with Ball–Larus path numbering in
+// LLVM. This package provides the same machinery over TIR: block
+// construction, back-edge detection, edge-increment assignment such that the
+// sum of increments along any acyclic path is a unique path identifier, and
+// the instrumentation points CLAP needs (function entry/exit and loop back
+// edges).
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tir"
+)
+
+// Block is a basic block: a maximal straight-line instruction sequence.
+type Block struct {
+	ID    int
+	Start int // first instruction pc
+	End   int // one past the last instruction pc
+	Succs []int
+	Preds []int
+}
+
+// Graph is one function's CFG.
+type Graph struct {
+	Fn     *tir.Function
+	Blocks []*Block
+	// blockAt maps an instruction pc to its block ID.
+	blockAt []int
+	// BackEdges lists (from, to) block pairs whose traversal re-enters an
+	// earlier block (loop edges in reverse-post-order terms).
+	BackEdges [][2]int
+}
+
+// Build constructs the CFG of f.
+func Build(f *tir.Function) *Graph {
+	n := len(f.Code)
+	leader := make([]bool, n+1)
+	leader[0] = true
+	for pc, in := range f.Code {
+		switch in.Op {
+		case tir.Jmp:
+			leader[in.Imm] = true
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		case tir.Br, tir.Brz:
+			leader[in.Imm] = true
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		case tir.Ret:
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		}
+	}
+	g := &Graph{Fn: f, blockAt: make([]int, n)}
+	start := -1
+	flush := func(end int) {
+		if start < 0 {
+			return
+		}
+		b := &Block{ID: len(g.Blocks), Start: start, End: end}
+		g.Blocks = append(g.Blocks, b)
+		for pc := start; pc < end; pc++ {
+			g.blockAt[pc] = b.ID
+		}
+		start = -1
+	}
+	for pc := 0; pc <= n; pc++ {
+		if pc == n {
+			flush(pc)
+			break
+		}
+		if leader[pc] {
+			flush(pc)
+			start = pc
+		}
+	}
+	// Successor edges.
+	for _, b := range g.Blocks {
+		last := f.Code[b.End-1]
+		addEdge := func(to int) {
+			tb := g.blockAt[to]
+			b.Succs = append(b.Succs, tb)
+			g.Blocks[tb].Preds = append(g.Blocks[tb].Preds, b.ID)
+		}
+		switch last.Op {
+		case tir.Jmp:
+			addEdge(int(last.Imm))
+		case tir.Br, tir.Brz:
+			addEdge(int(last.Imm))
+			if b.End < n {
+				addEdge(b.End)
+			}
+		case tir.Ret:
+			// no successors
+		default:
+			if b.End < n {
+				addEdge(b.End)
+			}
+		}
+	}
+	g.findBackEdges()
+	return g
+}
+
+// BlockOf returns the block containing pc.
+func (g *Graph) BlockOf(pc int) int { return g.blockAt[pc] }
+
+// findBackEdges marks edges (u,v) where v is an ancestor of u in the DFS
+// tree — the loop edges that Ball–Larus instruments to break cycles.
+func (g *Graph) findBackEdges() {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(g.Blocks))
+	var dfs func(int)
+	dfs = func(u int) {
+		color[u] = gray
+		for _, v := range g.Blocks[u].Succs {
+			switch color[v] {
+			case white:
+				dfs(v)
+			case gray:
+				g.BackEdges = append(g.BackEdges, [2]int{u, v})
+			}
+		}
+		color[u] = black
+	}
+	if len(g.Blocks) > 0 {
+		dfs(0)
+	}
+}
+
+// IsBackEdge reports whether (u,v) is a recorded back edge.
+func (g *Graph) IsBackEdge(u, v int) bool {
+	for _, e := range g.BackEdges {
+		if e[0] == u && e[1] == v {
+			return true
+		}
+	}
+	return false
+}
+
+// PathNumbering is a Ball–Larus edge-increment assignment for the acyclic
+// graph obtained by removing back edges: NumPaths counts distinct acyclic
+// paths from entry to any exit, and the sum of Inc over a path's edges is a
+// unique identifier in [0, NumPaths).
+type PathNumbering struct {
+	G        *Graph
+	NumPaths int64
+	// Inc[from][to] is the increment on edge from→to (back edges excluded).
+	Inc map[[2]int]int64
+	// numPathsFrom[v] = number of acyclic paths from v to an exit.
+	numPathsFrom []int64
+}
+
+// NumberPaths computes the Ball–Larus numbering of g.
+func NumberPaths(g *Graph) (*PathNumbering, error) {
+	n := len(g.Blocks)
+	pn := &PathNumbering{G: g, Inc: make(map[[2]int]int64), numPathsFrom: make([]int64, n)}
+	order, err := topoOrder(g)
+	if err != nil {
+		return nil, err
+	}
+	// Process in reverse topological order (Ball–Larus figure 5):
+	//   numPaths(v) = 1 if v is an exit
+	//   else sum over successors w: Inc(v,w) = running sum; numPaths(v) += numPaths(w)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		b := g.Blocks[v]
+		isExit := true
+		for _, w := range b.Succs {
+			if !g.IsBackEdge(v, w) {
+				isExit = false
+			}
+		}
+		if isExit {
+			pn.numPathsFrom[v] = 1
+			continue
+		}
+		var sum int64
+		for _, w := range b.Succs {
+			if g.IsBackEdge(v, w) {
+				continue
+			}
+			pn.Inc[[2]int{v, w}] = sum
+			sum += pn.numPathsFrom[w]
+		}
+		pn.numPathsFrom[v] = sum
+	}
+	if n > 0 {
+		pn.NumPaths = pn.numPathsFrom[0]
+	}
+	return pn, nil
+}
+
+// topoOrder returns a topological order of g ignoring back edges.
+func topoOrder(g *Graph) ([]int, error) {
+	n := len(g.Blocks)
+	indeg := make([]int, n)
+	for _, b := range g.Blocks {
+		for _, w := range b.Succs {
+			if !g.IsBackEdge(b.ID, w) {
+				indeg[w]++
+			}
+		}
+	}
+	var queue []int
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	sort.Ints(queue)
+	var order []int
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, w := range g.Blocks[v].Succs {
+			if g.IsBackEdge(v, w) {
+				continue
+			}
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("cfg: graph is cyclic after back-edge removal")
+	}
+	return order, nil
+}
+
+// PathID walks a block trace (as produced by an execution) and folds it into
+// the per-entry path identifiers, emitting one ID per completed acyclic path
+// (at back edges and at function exit). Used by tests to validate the
+// numbering against concrete traces.
+func (pn *PathNumbering) PathID(trace []int) []int64 {
+	var ids []int64
+	var cur int64
+	for i := 0; i+1 < len(trace); i++ {
+		u, v := trace[i], trace[i+1]
+		if pn.G.IsBackEdge(u, v) {
+			ids = append(ids, cur)
+			cur = 0
+			continue
+		}
+		cur += pn.Inc[[2]int{u, v}]
+	}
+	ids = append(ids, cur)
+	return ids
+}

@@ -1,0 +1,44 @@
+// Package core assembles the iReplayer runtime: the vthread layer
+// (goroutine-backed threads with recorded synchronization), the epoch
+// coordinator (checkpoint / stop-the-world / rollback), and the replay
+// controller (per-variable turn gating with divergence search).
+//
+// It wires together the substrates — interp (checkpointable CPUs), mem
+// (snapshottable address space), heap (deterministic allocator), vsys
+// (classified virtual syscalls), and record (per-thread/per-variable event
+// lists) — into the system described in §2 and §3 of the paper.
+package core
+
+import "sync"
+
+// bcast is a broadcastable edge signal: waiters grab the current channel via
+// C and block on it; Broadcast closes that channel, waking every waiter, and
+// installs a fresh one. It is the building block for interruptible blocking:
+// every blocking loop in the runtime selects on both its condition's bcast
+// and the runtime's phase bcast, so stop-the-world and rollback can always
+// reach a blocked thread (§3.3's challenge 2 — waking threads blocked on
+// synchronization).
+type bcast struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+// C returns the channel that the next Broadcast will close.
+func (b *bcast) C() <-chan struct{} {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.ch == nil {
+		b.ch = make(chan struct{})
+	}
+	return b.ch
+}
+
+// Broadcast wakes every goroutine blocked on a channel returned by C.
+func (b *bcast) Broadcast() {
+	b.mu.Lock()
+	if b.ch != nil {
+		close(b.ch)
+		b.ch = nil
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/record"
+	"repro/internal/vsys"
+)
+
+// deferredOp is a deferrable system call postponed to the next epoch
+// boundary (§2.2.3: close and munmap irrevocably change state but can be
+// safely delayed until re-execution is no longer possible).
+type deferredOp struct {
+	num  int64
+	args [2]uint64
+}
+
+// syscall is the single entry point for the Syscall instruction: it
+// classifies the call (§2.2.3) and routes it through the recording or replay
+// path.
+func (t *Thread) syscall(num int64, args []uint64) (uint64, error) {
+	if err := t.intercept(); err != nil {
+		return 0, err
+	}
+	rt := t.rt
+	class := rt.os.Classify(num, args)
+
+	// Irrevocable calls close the epoch first; the thread then re-executes
+	// the syscall at the beginning of the next epoch, carrying a one-shot
+	// pass so it does not close that epoch too (§2.2.3).
+	if class == vsys.Irrevocable && !rt.phaseIs(phReplay) {
+		if t.irrevocablePass {
+			t.irrevocablePass = false
+		} else {
+			t.irrevocablePass = true
+			rt.requestStop(StopIrrevocable, t.id)
+			if err := t.intercept(); err != nil { // parks until the epoch closes
+				t.irrevocablePass = false
+				return 0, err
+			}
+			// New epoch begun; fall through and perform the call.
+			t.irrevocablePass = false
+		}
+	}
+
+	if rt.phaseIs(phReplay) {
+		return t.syscallReplay(num, args, class)
+	}
+
+	switch class {
+	case vsys.Repeatable:
+		return t.performSyscall(num, args, nil)
+	case vsys.Recordable:
+		var data []byte
+		ret, err := t.performSyscall(num, args, &data)
+		if err != nil {
+			return 0, err
+		}
+		t.appendEvent(record.Event{Kind: record.KSyscall, Aux: num, Ret: ret,
+			Pos: -1, Class: uint8(class), Data: data})
+		return ret, nil
+	case vsys.Revocable, vsys.Irrevocable:
+		// Revocable calls are performed and re-issued during replay after
+		// position recovery; irrevocable calls reach here only at the start
+		// of a fresh epoch and behave like revocable ones for its replay
+		// (their effect is reproduced by re-execution, e.g. lseek).
+		ret, err := t.performSyscall(num, args, nil)
+		if err != nil {
+			return 0, err
+		}
+		cl := vsys.Revocable
+		if num == vsys.SysFork || num == vsys.SysExecve {
+			// Forking twice would be wrong; replay returns the recorded pid.
+			cl = vsys.Recordable
+		}
+		t.appendEvent(record.Event{Kind: record.KSyscall, Aux: num, Ret: ret,
+			Pos: -1, Class: uint8(cl)})
+		return ret, nil
+	case vsys.Deferrable:
+		// Not performed now: queued for the next epoch boundary.
+		rt.deferOp(num, args)
+		t.appendEvent(record.Event{Kind: record.KSyscall, Aux: num, Ret: 0,
+			Pos: -1, Class: uint8(class)})
+		return 0, nil
+	}
+	return 0, fmt.Errorf("core: unclassified syscall %s", vsys.SyscallName(num))
+}
+
+// syscallReplay replays a system call according to its recorded class
+// (§3.5.1): recordable results are returned without invocation, revocable
+// calls are re-issued, deferrable calls are re-queued.
+func (t *Thread) syscallReplay(num int64, args []uint64, class vsys.Class) (uint64, error) {
+	rt := t.rt
+	ev, err := t.nextReplayEvent()
+	if err != nil {
+		return 0, err
+	}
+	if ev == nil {
+		// Back in recording mode (replay of this thread's list finished and
+		// the world proceeded): re-enter the recording path.
+		return t.syscall(num, args)
+	}
+	if class == vsys.Repeatable {
+		// Repeatable calls are not events; perform directly (§2.2.3).
+		return t.performSyscall(num, args, nil)
+	}
+	if !record.Matches(ev, record.KSyscall, 0, num) {
+		return 0, t.diverge(record.KSyscall, 0, ev)
+	}
+	defer t.list.Advance()
+	switch vsys.Class(ev.Class) {
+	case vsys.Recordable:
+		// Return the recorded result; deliver any recorded payload (socket
+		// reads) into the caller's buffer.
+		if num == vsys.SysRead && len(ev.Data) > 0 && len(args) >= 2 {
+			if err := rt.mem.WriteBytes(args[1], ev.Data); err != nil {
+				return 0, t.trapf("replayed read into bad buffer %#x", args[1])
+			}
+		}
+		if num == vsys.SysOpen {
+			// The file is still open in-situ from the original execution;
+			// the replayed open returns the recorded descriptor, reset to
+			// the position a fresh open would have. Descriptors already open
+			// at epoch begin are covered by the checkpointed position table
+			// instead (§3.4).
+			rt.os.Lseek(int64(ev.Ret), 0, vsys.SeekSet)
+		}
+		return ev.Ret, nil
+	case vsys.Revocable:
+		ret, err := t.performSyscall(num, args, nil)
+		if err != nil {
+			return 0, err
+		}
+		if ret != ev.Ret {
+			return 0, t.diverge(record.KSyscall, 0, ev)
+		}
+		return ret, nil
+	case vsys.Deferrable:
+		rt.deferOp(num, args)
+		return ev.Ret, nil
+	}
+	return 0, t.diverge(record.KSyscall, 0, ev)
+}
+
+func (t *Thread) trapf(format string, args ...interface{}) error {
+	return fmt.Errorf("core: "+format, args...)
+}
+
+// performSyscall actually invokes the virtual OS (or the deterministic
+// mapper for mmap). recData, when non-nil, receives payloads that must be
+// recorded (socket reads).
+func (t *Thread) performSyscall(num int64, args []uint64, recData *[]byte) (uint64, error) {
+	rt := t.rt
+	o := rt.os
+	arg := func(i int) uint64 {
+		if i < len(args) {
+			return args[i]
+		}
+		return 0
+	}
+	switch num {
+	case vsys.SysGetpid:
+		return uint64(o.Pid()), nil
+	case vsys.SysGettimeofday:
+		return uint64(o.Gettimeofday()), nil
+	case vsys.SysRand:
+		return o.Rand(), nil
+	case vsys.SysOpen:
+		path, err := rt.readString(arg(0), int(arg(1)))
+		if err != nil {
+			return 0, err
+		}
+		fd, err := o.Open(path)
+		if err != nil {
+			return 0, t.trapf("open %q: %v", path, err)
+		}
+		return uint64(fd), nil
+	case vsys.SysClose:
+		if err := o.Close(int64(arg(0))); err != nil {
+			return 0, t.trapf("close: %v", err)
+		}
+		return 0, nil
+	case vsys.SysRead:
+		b, err := o.Read(int64(arg(0)), int(arg(2)))
+		if err != nil {
+			return 0, t.trapf("read: %v", err)
+		}
+		if len(b) > 0 {
+			if err := rt.mem.WriteBytes(arg(1), b); err != nil {
+				return 0, t.trapf("read into bad buffer %#x", arg(1))
+			}
+		}
+		if recData != nil {
+			*recData = b
+		}
+		return uint64(len(b)), nil
+	case vsys.SysWrite:
+		b, err := rt.mem.ReadBytes(arg(1), int(arg(2)))
+		if err != nil {
+			return 0, t.trapf("write from bad buffer %#x", arg(1))
+		}
+		n, err := o.Write(int64(arg(0)), b)
+		if err != nil {
+			return 0, t.trapf("write: %v", err)
+		}
+		return uint64(n), nil
+	case vsys.SysLseek:
+		p, err := o.Lseek(int64(arg(0)), int64(arg(1)), int64(arg(2)))
+		if err != nil {
+			return 0, t.trapf("lseek: %v", err)
+		}
+		return uint64(p), nil
+	case vsys.SysSocket:
+		fd, err := o.Socket()
+		if err != nil {
+			return 0, t.trapf("socket: %v", err)
+		}
+		return uint64(fd), nil
+	case vsys.SysMmap:
+		// Deterministic mapping through the allocator (§2.2.4): replaying
+		// the allocation sequence reproduces the address, so nothing needs
+		// recording.
+		addr := rt.alloc.Malloc(t.id, int64(arg(0)))
+		if addr == 0 {
+			return 0, t.trapf("mmap: arena exhausted")
+		}
+		return addr, nil
+	case vsys.SysMunmap:
+		if err := rt.alloc.Free(t.id, arg(0)); err != nil {
+			return 0, t.trapf("munmap: %v", err)
+		}
+		return 0, nil
+	case vsys.SysFork:
+		return uint64(o.Fork()), nil
+	case vsys.SysExecve:
+		return 0, t.trapf("execve reached the virtual OS (not supported beyond epoch semantics)")
+	case vsys.SysFcntl:
+		switch int64(arg(1)) {
+		case vsys.FGetOwn:
+			return uint64(o.Pid()), nil
+		case vsys.FDupFD:
+			fd, err := o.DupFD(int64(arg(0)))
+			if err != nil {
+				return 0, t.trapf("fcntl dupfd: %v", err)
+			}
+			return uint64(fd), nil
+		}
+		return 0, t.trapf("fcntl: unknown command %d", arg(1))
+	}
+	return 0, t.trapf("unknown syscall %d", num)
+}
+
+// deferOp queues a deferrable syscall for the next epoch boundary. The queue
+// is cleared on rollback (it is rebuilt by the replay) and drained during
+// epoch-begin housekeeping (§3.1).
+func (rt *Runtime) deferOp(num int64, args []uint64) {
+	op := deferredOp{num: num}
+	for i := 0; i < len(op.args) && i < len(args); i++ {
+		op.args[i] = args[i]
+	}
+	rt.deferredMu.Lock()
+	rt.deferred = append(rt.deferred, op)
+	rt.deferredMu.Unlock()
+}
+
+// drainDeferred issues every postponed operation (epoch-begin housekeeping).
+func (rt *Runtime) drainDeferred() {
+	rt.deferredMu.Lock()
+	ops := rt.deferred
+	rt.deferred = nil
+	rt.deferredMu.Unlock()
+	for _, op := range ops {
+		switch op.num {
+		case vsys.SysClose:
+			// A close queued twice (recorded, then re-queued by its replay)
+			// must only execute once; ignore the second failure.
+			_ = rt.os.Close(int64(op.args[0]))
+		case vsys.SysMunmap:
+			_ = rt.alloc.Free(0, op.args[0])
+		}
+	}
+}
+
+// clearDeferred discards queued operations during rollback: the aborted
+// execution's deferrals are re-created by the replay.
+func (rt *Runtime) clearDeferred() {
+	rt.deferredMu.Lock()
+	rt.deferred = nil
+	rt.deferredMu.Unlock()
+}
+
+// readString copies a NUL-free string of length n from VM memory.
+func (rt *Runtime) readString(addr uint64, n int) (string, error) {
+	if n < 0 || n > 4096 {
+		return "", fmt.Errorf("core: unreasonable string length %d", n)
+	}
+	b, err := rt.mem.ReadBytes(addr, n)
+	if err != nil {
+		return "", fmt.Errorf("core: string at unmapped address %#x", addr)
+	}
+	return string(b), nil
+}

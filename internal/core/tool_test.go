@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mem"
+)
+
+// TestToolRequestedEpochEnd: an external caller closes the epoch mid-run
+// (the §2.1 user-defined criterion) and the tool replays it; execution then
+// completes correctly.
+func TestToolRequestedEpochEnd(t *testing.T) {
+	var sawTool bool
+	var img1, img2 []byte
+	opts := Options{
+		MaxReplays:        200,
+		DelayOnDivergence: true,
+		OnEpochEnd: func(rt *Runtime, info EpochEndInfo) Decision {
+			if info.Reason == StopTool && img1 == nil {
+				sawTool = true
+				img1 = rt.Mem().HeapImage()
+				return Replay
+			}
+			return Proceed
+		},
+		OnReplayMatched: func(rt *Runtime, attempts int) Decision {
+			if img2 == nil {
+				img2 = rt.Mem().HeapImage()
+			}
+			return Proceed
+		},
+	}
+	rt, err := New(buildCounter(3, 3000), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Poke until one request lands mid-execution.
+		for !rt.RequestEpochEnd() {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	rep, err := rt.Run()
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Exit != 9000 {
+		t.Fatalf("counter = %d, want 9000", rep.Exit)
+	}
+	if !sawTool {
+		t.Skip("request landed only at program end on this run")
+	}
+	if img1 == nil || img2 == nil {
+		t.Fatal("tool-triggered replay did not complete")
+	}
+	if d := mem.DiffBytes(img1, img2); d != 0 {
+		t.Fatalf("tool-triggered replay not identical: %d bytes", d)
+	}
+}

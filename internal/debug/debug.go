@@ -1,0 +1,206 @@
+// Package debug implements the paper's interactive debugging tool (§4.3):
+// when the program exits abnormally (segmentation fault, abort, assertion),
+// the runtime stops inside the fault handler and hands control to a
+// GDB-style command session. The user can inspect threads and memory, set
+// watchpoints on faulting addresses, issue `rollback` to re-execute the
+// epoch in-situ, and receive watchpoint reports that identify the root
+// cause — without restarting the buggy application.
+//
+// Commands:
+//
+//	threads            list every thread with its top frame
+//	bt <tid>           full backtrace of one thread
+//	mem <addr> <n>     hex dump of n bytes of virtual memory
+//	watch <addr> <n>   arm a watchpoint (max 4, hardware-style)
+//	rollback           roll back and re-execute the epoch
+//	continue           resume (or finish, at program end)
+//	quit               abort the program
+package debug
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Debugger is an interactive session bound to a runtime via core.Options.
+type Debugger struct {
+	in  *bufio.Scanner
+	out io.Writer
+
+	// BreakOnEnd opens a session at normal program end too (default: only
+	// on faults, like the paper's abnormal-exit interception).
+	BreakOnEnd bool
+
+	sessions int
+}
+
+// New builds a debugger reading commands from in and reporting to out.
+func New(in io.Reader, out io.Writer) *Debugger {
+	return &Debugger{in: bufio.NewScanner(in), out: out}
+}
+
+// Options returns core options that route epoch boundaries through the
+// debugger.
+func (d *Debugger) Options() core.Options {
+	return core.Options{
+		OnEpochEnd:      d.OnEpochEnd,
+		OnReplayMatched: d.OnReplayMatched,
+		MaxReplays:      1000,
+	}
+}
+
+// OnEpochEnd opens an interactive session on faults (and optionally at
+// program end).
+func (d *Debugger) OnEpochEnd(rt *core.Runtime, info core.EpochEndInfo) core.Decision {
+	if info.Reason == core.StopFault {
+		tid, ferr := rt.FaultedThread()
+		fmt.Fprintf(d.out, "\n*** abnormal exit: thread %d: %v\n", tid, ferr)
+		return d.session(rt)
+	}
+	if info.Reason == core.StopProgramEnd && d.BreakOnEnd {
+		fmt.Fprintf(d.out, "\n*** program end (epoch %d)\n", info.Epoch)
+		return d.session(rt)
+	}
+	return core.Proceed
+}
+
+// OnReplayMatched reports watchpoint hits after a rollback and reopens the
+// session.
+func (d *Debugger) OnReplayMatched(rt *core.Runtime, attempts int) core.Decision {
+	hits := rt.WatchHits()
+	fmt.Fprintf(d.out, "replay matched after %d attempt(s); %d watchpoint hit(s)\n", attempts, len(hits))
+	for i, h := range hits {
+		fmt.Fprintf(d.out, "hit %d: write of %d bytes at %#x\n", i, h.Size, h.Addr)
+		for _, e := range h.Stack {
+			fmt.Fprintf(d.out, "  at %s+%d\n", e.Func, e.PC)
+		}
+	}
+	return d.session(rt)
+}
+
+// Sessions reports how many interactive sessions ran.
+func (d *Debugger) Sessions() int { return d.sessions }
+
+func (d *Debugger) session(rt *core.Runtime) core.Decision {
+	d.sessions++
+	fmt.Fprintf(d.out, "(irdb) ")
+	for d.in.Scan() {
+		line := strings.TrimSpace(d.in.Text())
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			fmt.Fprintf(d.out, "(irdb) ")
+			continue
+		}
+		switch fields[0] {
+		case "threads":
+			d.cmdThreads(rt)
+		case "bt":
+			d.cmdBacktrace(rt, fields[1:])
+		case "mem":
+			d.cmdMem(rt, fields[1:])
+		case "watch":
+			d.cmdWatch(rt, fields[1:])
+		case "rollback":
+			fmt.Fprintf(d.out, "rolling back to the last epoch boundary...\n")
+			return core.Replay
+		case "continue", "c":
+			return core.Proceed
+		case "quit", "q":
+			return core.Abort
+		case "help":
+			fmt.Fprintf(d.out, "commands: threads, bt <tid>, mem <addr> <n>, watch <addr> <n>, rollback, continue, quit\n")
+		default:
+			fmt.Fprintf(d.out, "unknown command %q (try help)\n", fields[0])
+		}
+		fmt.Fprintf(d.out, "(irdb) ")
+	}
+	// Input exhausted: abort, like a closed GDB session.
+	return core.Abort
+}
+
+func (d *Debugger) cmdThreads(rt *core.Runtime) {
+	stacks := rt.ThreadStacks()
+	ids := make([]int32, 0, len(stacks))
+	for id := range stacks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		top := "?"
+		if s := stacks[id]; len(s) > 0 {
+			top = fmt.Sprintf("%s+%d", s[0].Func, s[0].PC)
+		}
+		fmt.Fprintf(d.out, "thread %d: %s\n", id, top)
+	}
+}
+
+func (d *Debugger) cmdBacktrace(rt *core.Runtime, args []string) {
+	if len(args) != 1 {
+		fmt.Fprintf(d.out, "usage: bt <tid>\n")
+		return
+	}
+	tid, err := strconv.Atoi(args[0])
+	if err != nil {
+		fmt.Fprintf(d.out, "bad tid %q\n", args[0])
+		return
+	}
+	stacks := rt.ThreadStacks()
+	s, ok := stacks[int32(tid)]
+	if !ok {
+		fmt.Fprintf(d.out, "no such thread %d\n", tid)
+		return
+	}
+	for i, e := range s {
+		fmt.Fprintf(d.out, "#%d %s+%d\n", i, e.Func, e.PC)
+	}
+}
+
+func (d *Debugger) cmdMem(rt *core.Runtime, args []string) {
+	if len(args) != 2 {
+		fmt.Fprintf(d.out, "usage: mem <addr> <n>\n")
+		return
+	}
+	addr, err1 := strconv.ParseUint(strings.TrimPrefix(args[0], "0x"), 16, 64)
+	n, err2 := strconv.Atoi(args[1])
+	if err1 != nil || err2 != nil || n <= 0 || n > 4096 {
+		fmt.Fprintf(d.out, "bad arguments\n")
+		return
+	}
+	b, err := rt.Mem().ReadBytes(addr, n)
+	if err != nil {
+		fmt.Fprintf(d.out, "unmapped: %v\n", err)
+		return
+	}
+	for i := 0; i < len(b); i += 16 {
+		end := i + 16
+		if end > len(b) {
+			end = len(b)
+		}
+		fmt.Fprintf(d.out, "%#x: % x\n", addr+uint64(i), b[i:end])
+	}
+}
+
+func (d *Debugger) cmdWatch(rt *core.Runtime, args []string) {
+	if len(args) != 2 {
+		fmt.Fprintf(d.out, "usage: watch <addr> <n>\n")
+		return
+	}
+	addr, err1 := strconv.ParseUint(strings.TrimPrefix(args[0], "0x"), 16, 64)
+	n, err2 := strconv.Atoi(args[1])
+	if err1 != nil || err2 != nil || n <= 0 {
+		fmt.Fprintf(d.out, "bad arguments\n")
+		return
+	}
+	if err := rt.Mem().ArmWatchpoint(addr, n); err != nil {
+		fmt.Fprintf(d.out, "%v\n", err)
+		return
+	}
+	fmt.Fprintf(d.out, "watchpoint %d armed at %#x (%d bytes)\n",
+		len(rt.Mem().Watchpoints()), addr, n)
+}

@@ -1,0 +1,229 @@
+// Package detect implements the two automatic error-detection tools of §4:
+// a heap buffer-overflow detector based on trailing canaries (§4.1,
+// StackGuard-style) and a use-after-free detector based on canary-filled
+// quarantine lists (§4.2, AddressSanitizer-style quarantine).
+//
+// Both tools follow the same evidence-based protocol: corruption found at an
+// epoch boundary is incontrovertible evidence of the error; the tool then
+// triggers an in-situ re-execution with watchpoints armed on the corrupted
+// addresses and reports the complete call stack of the writing instruction —
+// the root cause — without human involvement. With only four hardware
+// watchpoints available, more than four corrupted addresses are handled by
+// additional replays.
+package detect
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/interp"
+	"repro/internal/mem"
+)
+
+// Config selects which detectors run.
+type Config struct {
+	// Overflow enables trailing-canary buffer-overflow detection.
+	Overflow bool
+	// UseAfterFree enables quarantine-based use-after-free detection.
+	UseAfterFree bool
+	// QuarantineBudget is the per-thread quarantine size in bytes before
+	// freed objects are released (the user-defined setting of §4.2).
+	QuarantineBudget int64
+	// OnProgramEndOnly restricts scans to the final epoch (cheaper); by
+	// default every epoch boundary is checked.
+	OnProgramEndOnly bool
+}
+
+// RootCause couples a violation with the call stacks that wrote the
+// corrupted addresses during re-execution.
+type RootCause struct {
+	Violation heap.Violation
+	Hits      []interp.WatchHit
+}
+
+func (rc RootCause) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", rc.Violation)
+	if len(rc.Hits) == 0 {
+		sb.WriteString("  (no write observed during re-execution)\n")
+		return sb.String()
+	}
+	h := rc.Hits[0]
+	fmt.Fprintf(&sb, "  first corrupting write: %d bytes at %#x\n", h.Size, h.Addr)
+	for _, e := range h.Stack {
+		fmt.Fprintf(&sb, "    at %s+%d\n", e.Func, e.PC)
+	}
+	return sb.String()
+}
+
+// Detector plugs into core.Options and drives evidence scanning plus
+// watchpoint re-execution.
+type Detector struct {
+	cfg Config
+
+	mu         sync.Mutex
+	violations []heap.Violation
+	pending    []heap.Violation // awaiting a watchpoint replay
+	armed      []heap.Violation // watched during the current replay
+	causes     []RootCause
+	scans      int64
+}
+
+// New builds a detector.
+func New(cfg Config) *Detector {
+	if cfg.QuarantineBudget == 0 {
+		cfg.QuarantineBudget = 256 << 10
+	}
+	return &Detector{cfg: cfg}
+}
+
+// Attach enables the detection substrate on rt's allocator. Call after
+// core.New and before Run.
+func (d *Detector) Attach(rt *core.Runtime) error {
+	alloc := rt.DetAllocator()
+	if alloc == nil {
+		return fmt.Errorf("detect: detectors require the deterministic allocator")
+	}
+	if d.cfg.Overflow {
+		alloc.EnableCanaries()
+	}
+	if d.cfg.UseAfterFree {
+		alloc.EnableQuarantine(d.cfg.QuarantineBudget)
+		alloc.SetViolationHandler(func(v heap.Violation) {
+			d.mu.Lock()
+			d.violations = append(d.violations, v)
+			d.pending = append(d.pending, v)
+			d.mu.Unlock()
+		})
+	}
+	return nil
+}
+
+// Options returns core options wired to this detector; callers may further
+// customize the result before core.New.
+func (d *Detector) Options() core.Options {
+	return core.Options{
+		OnEpochEnd:      d.OnEpochEnd,
+		OnReplayMatched: d.OnReplayMatched,
+	}
+}
+
+// OnEpochEnd scans for corrupted canaries at the epoch boundary and, on
+// evidence, asks for an in-situ re-execution with watchpoints armed.
+func (d *Detector) OnEpochEnd(rt *core.Runtime, info core.EpochEndInfo) core.Decision {
+	if d.cfg.OnProgramEndOnly && info.Reason != core.StopProgramEnd && info.Reason != core.StopFault {
+		return core.Proceed
+	}
+	d.mu.Lock()
+	d.scans++
+	d.mu.Unlock()
+	alloc := rt.DetAllocator()
+	if alloc == nil {
+		return core.Proceed
+	}
+	found := alloc.ScanCanaries()
+	if len(found) == 0 {
+		d.mu.Lock()
+		havePending := len(d.pending) > 0
+		d.mu.Unlock()
+		if !havePending {
+			return core.Proceed
+		}
+	}
+	d.mu.Lock()
+	d.violations = append(d.violations, found...)
+	d.pending = append(d.pending, found...)
+	d.mu.Unlock()
+	d.armNextBatch(rt)
+	return core.Replay
+}
+
+// armNextBatch installs watchpoints for up to mem.MaxWatchpoints corrupted
+// addresses (§4.1: four watchpoints per re-execution; more bugs need more
+// replays).
+func (d *Detector) armNextBatch(rt *core.Runtime) {
+	m := rt.Mem()
+	m.ClearWatchpoints()
+	rt.WatchHits() // drain stale hits
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.armed = d.armed[:0]
+	slots := 0
+	for len(d.pending) > 0 && slots < mem.MaxWatchpoints {
+		v := d.pending[0]
+		need := len(v.Addrs)
+		if slots+need > mem.MaxWatchpoints && slots > 0 {
+			break // next replay takes it
+		}
+		d.pending = d.pending[1:]
+		for _, a := range v.Addrs {
+			if slots >= mem.MaxWatchpoints {
+				break
+			}
+			if err := m.ArmWatchpoint(a, 1); err == nil {
+				slots++
+			}
+		}
+		d.armed = append(d.armed, v)
+	}
+}
+
+// OnReplayMatched collects the watchpoint hits from the finished
+// re-execution, attributes them to violations, and requests further replays
+// while corrupted addresses remain unwatched.
+func (d *Detector) OnReplayMatched(rt *core.Runtime, attempts int) core.Decision {
+	hits := rt.WatchHits()
+	d.mu.Lock()
+	for _, v := range d.armed {
+		rc := RootCause{Violation: v}
+		for _, h := range hits {
+			for _, a := range v.Addrs {
+				if h.Addr <= a && a < h.Addr+uint64(h.Size) {
+					rc.Hits = append(rc.Hits, h)
+					break
+				}
+			}
+		}
+		d.causes = append(d.causes, rc)
+	}
+	d.armed = d.armed[:0]
+	more := len(d.pending) > 0
+	d.mu.Unlock()
+	rt.Mem().ClearWatchpoints()
+	if more {
+		d.armNextBatch(rt)
+		return core.Replay
+	}
+	return core.Proceed
+}
+
+// Report summarizes detection results.
+type Report struct {
+	Violations []heap.Violation
+	RootCauses []RootCause
+	Scans      int64
+}
+
+// Report returns the accumulated findings.
+func (d *Detector) Report() Report {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Report{
+		Violations: append([]heap.Violation(nil), d.violations...),
+		RootCauses: append([]RootCause(nil), d.causes...),
+		Scans:      d.scans,
+	}
+}
+
+func (r Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "detect: %d violation(s), %d root cause(s), %d scan(s)\n",
+		len(r.Violations), len(r.RootCauses), r.Scans)
+	for _, rc := range r.RootCauses {
+		sb.WriteString(rc.String())
+	}
+	return sb.String()
+}

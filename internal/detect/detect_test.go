@@ -1,0 +1,249 @@
+package detect
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tir"
+)
+
+// buildOverflowProgram allocates an object and writes `over` bytes past the
+// requested size inside function "buggy_write".
+func buildOverflowProgram(size, over int64) *tir.Module {
+	mb := tir.NewModuleBuilder()
+
+	buggy := mb.Func("buggy_write", 1)
+	{
+		p := buggy.Param(0)
+		v, i, lim, cond, a := buggy.NewReg(), buggy.NewReg(), buggy.NewReg(), buggy.NewReg(), buggy.NewReg()
+		buggy.ConstI(v, 0x41)
+		buggy.ConstI(i, 0)
+		buggy.ConstI(lim, size+over)
+		loop, done := buggy.NewLabel(), buggy.NewLabel()
+		buggy.Bind(loop)
+		buggy.Bin(tir.LtS, cond, i, lim)
+		buggy.Brz(cond, done)
+		buggy.Bin(tir.Add, a, p, i)
+		buggy.Store8(v, a, 0)
+		buggy.AddI(i, i, 1)
+		buggy.Jmp(loop)
+		buggy.Bind(done)
+		buggy.Ret(-1)
+		buggy.Seal()
+	}
+
+	m := mb.Func("main", 0)
+	{
+		sz, p := m.NewReg(), m.NewReg()
+		m.ConstI(sz, size)
+		m.Intrin(p, tir.IntrinMalloc, sz)
+		m.Call(-1, buggy.Index(), p)
+		m.Ret(-1)
+		m.Seal()
+	}
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+func TestOverflowDetectedWithRootCause(t *testing.T) {
+	d := New(Config{Overflow: true})
+	rt, err := core.New(buildOverflowProgram(20, 3), d.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Attach(rt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := d.Report()
+	if len(rep.Violations) != 1 {
+		t.Fatalf("violations = %v", rep.Violations)
+	}
+	v := rep.Violations[0]
+	if v.UseFree || v.Object.Size != 20 || len(v.Addrs) != 3 {
+		t.Fatalf("violation = %+v", v)
+	}
+	if len(rep.RootCauses) != 1 {
+		t.Fatalf("root causes = %v", rep.RootCauses)
+	}
+	rc := rep.RootCauses[0]
+	if len(rc.Hits) == 0 {
+		t.Fatal("watchpoint replay produced no hits")
+	}
+	if got := rc.Hits[0].Stack[0].Func; got != "buggy_write" {
+		t.Fatalf("root cause function = %q, want buggy_write", got)
+	}
+	if !strings.Contains(rep.String(), "buggy_write") {
+		t.Fatalf("report missing symbol:\n%s", rep)
+	}
+}
+
+func TestCleanProgramReportsNothing(t *testing.T) {
+	d := New(Config{Overflow: true, UseAfterFree: true})
+	rt, err := core.New(buildOverflowProgram(20, 0), d.Options()) // over = 0: in-bounds
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Attach(rt); err != nil {
+		t.Fatal(err)
+	}
+	rep0, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := d.Report()
+	if len(rep.Violations) != 0 {
+		t.Fatalf("false positives: %v", rep.Violations)
+	}
+	if rep0.Stats.Replays != 0 {
+		t.Fatalf("clean program must not replay: %+v", rep0.Stats)
+	}
+}
+
+// buildUAFProgram frees an object and then writes through the dangling
+// pointer inside "dangling_write".
+func buildUAFProgram() *tir.Module {
+	mb := tir.NewModuleBuilder()
+
+	dang := mb.Func("dangling_write", 1)
+	{
+		v := dang.NewReg()
+		dang.ConstI(v, 0xBAD)
+		dang.Store64(v, dang.Param(0), 8)
+		dang.Ret(-1)
+		dang.Seal()
+	}
+
+	m := mb.Func("main", 0)
+	{
+		sz, p := m.NewReg(), m.NewReg()
+		m.ConstI(sz, 64)
+		m.Intrin(p, tir.IntrinMalloc, sz)
+		m.Intrin(-1, tir.IntrinFree, p)
+		m.Call(-1, dang.Index(), p)
+		m.Ret(-1)
+		m.Seal()
+	}
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+func TestUseAfterFreeDetectedWithRootCause(t *testing.T) {
+	d := New(Config{UseAfterFree: true})
+	rt, err := core.New(buildUAFProgram(), d.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Attach(rt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := d.Report()
+	if len(rep.Violations) != 1 || !rep.Violations[0].UseFree {
+		t.Fatalf("violations = %v", rep.Violations)
+	}
+	if len(rep.RootCauses) != 1 || len(rep.RootCauses[0].Hits) == 0 {
+		t.Fatalf("root causes = %v", rep.RootCauses)
+	}
+	if got := rep.RootCauses[0].Hits[0].Stack[0].Func; got != "dangling_write" {
+		t.Fatalf("root cause = %q, want dangling_write", got)
+	}
+}
+
+// buildMultiOverflowProgram implants `bugs` separate one-byte overflows; the
+// detector must find them all, batching watchpoints across replays when more
+// than four addresses are corrupted.
+func buildMultiOverflowProgram(bugs int) *tir.Module {
+	mb := tir.NewModuleBuilder()
+	m := mb.Func("main", 0)
+	sz, p, v := m.NewReg(), m.NewReg(), m.NewReg()
+	m.ConstI(v, 0x5A)
+	for i := 0; i < bugs; i++ {
+		m.ConstI(sz, 24)
+		m.Intrin(p, tir.IntrinMalloc, sz)
+		m.Store8(v, p, 24) // one byte past the end
+	}
+	m.Ret(-1)
+	m.Seal()
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+func TestMoreThanFourOverflowsNeedMultipleReplays(t *testing.T) {
+	d := New(Config{Overflow: true})
+	rt, err := core.New(buildMultiOverflowProgram(6), d.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Attach(rt); err != nil {
+		t.Fatal(err)
+	}
+	rep0, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := d.Report()
+	if len(rep.Violations) != 6 {
+		t.Fatalf("violations = %d, want 6", len(rep.Violations))
+	}
+	if len(rep.RootCauses) != 6 {
+		t.Fatalf("root causes = %d, want 6", len(rep.RootCauses))
+	}
+	for i, rc := range rep.RootCauses {
+		if len(rc.Hits) == 0 {
+			t.Fatalf("cause %d has no hits", i)
+		}
+	}
+	if rep0.Stats.MatchedReplays < 2 {
+		t.Fatalf("6 corrupted addresses need >= 2 replays with 4 watchpoints, got %d",
+			rep0.Stats.MatchedReplays)
+	}
+}
+
+func TestOverflowInWorkerThread(t *testing.T) {
+	mb := tir.NewModuleBuilder()
+	w := mb.Func("worker_overflow", 1)
+	{
+		sz, p, v := w.NewReg(), w.NewReg(), w.NewReg()
+		w.ConstI(sz, 40)
+		w.Intrin(p, tir.IntrinMalloc, sz)
+		w.ConstI(v, 0x99)
+		w.Store8(v, p, 41)
+		w.Ret(-1)
+		w.Seal()
+	}
+	m := mb.Func("main", 0)
+	{
+		fnr, argr, tid := m.NewReg(), m.NewReg(), m.NewReg()
+		m.ConstI(fnr, int64(w.Index()))
+		m.ConstI(argr, 0)
+		m.Intrin(tid, tir.IntrinThreadCreate, fnr, argr)
+		m.Intrin(-1, tir.IntrinThreadJoin, tid)
+		m.Ret(-1)
+		m.Seal()
+	}
+	mb.SetEntry("main")
+	d := New(Config{Overflow: true})
+	rt, err := core.New(mb.MustBuild(), d.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Attach(rt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := d.Report()
+	if len(rep.RootCauses) != 1 || len(rep.RootCauses[0].Hits) == 0 {
+		t.Fatalf("report = %s", rep)
+	}
+	if got := rep.RootCauses[0].Hits[0].Stack[0].Func; got != "worker_overflow" {
+		t.Fatalf("root cause = %q", got)
+	}
+}

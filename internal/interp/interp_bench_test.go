@@ -1,0 +1,68 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/tir"
+)
+
+// Dispatch throughput of the virtual CPU: the substrate cost every measured
+// configuration shares (and the reason instrumentation ratios compress
+// relative to native code — see EXPERIMENTS.md).
+func BenchmarkDispatchArithLoop(b *testing.B) {
+	mb := tir.NewModuleBuilder()
+	fb := mb.Func("main", 0)
+	i, lim, cond, acc := fb.NewReg(), fb.NewReg(), fb.NewReg(), fb.NewReg()
+	fb.ConstI(i, 0)
+	fb.ConstI(lim, int64(1_000_000))
+	fb.ConstI(acc, 0)
+	loop, done := fb.NewLabel(), fb.NewLabel()
+	fb.Bind(loop)
+	fb.Bin(tir.LtS, cond, i, lim)
+	fb.Brz(cond, done)
+	fb.Bin(tir.Add, acc, acc, i)
+	fb.AddI(i, i, 1)
+	fb.Jmp(loop)
+	fb.Bind(done)
+	fb.Ret(acc)
+	fb.Seal()
+	mb.SetEntry("main")
+	m := mb.MustBuild()
+	vm := mem.New(mem.DefaultConfig())
+	h := &stubHooks{}
+	base, size := vm.StackRange(0)
+	c := New(m, vm, h, base, size)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		c.Start(m.Entry, nil)
+		if err := c.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(c.Instructions())/float64(b.N), "instrs/op")
+}
+
+// Context checkpoint cost: what every epoch boundary pays per thread (§3.1).
+func BenchmarkGetSetContext(b *testing.B) {
+	mb := tir.NewModuleBuilder()
+	fb := mb.Func("main", 0)
+	for i := 0; i < 16; i++ {
+		fb.NewReg()
+	}
+	r := fb.NewReg()
+	fb.ConstI(r, 1)
+	fb.Ret(r)
+	fb.Seal()
+	mb.SetEntry("main")
+	m := mb.MustBuild()
+	vm := mem.New(mem.DefaultConfig())
+	base, size := vm.StackRange(0)
+	c := New(m, vm, &stubHooks{}, base, size)
+	c.Start(m.Entry, nil)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		ctx := c.GetContext()
+		c.SetContext(ctx)
+	}
+}

@@ -1,0 +1,91 @@
+package mem
+
+import "sync"
+
+// Atomic 64-bit operations over the virtual address space. These model the
+// processor's atomic instructions and are the substrate for "ad hoc
+// synchronization" in programs under test (C/C++ atomics, §6): they are
+// genuinely atomic across vthreads, but — exactly like the paper — they are
+// NOT intercepted or recorded by the record-and-replay machinery. Programs
+// that synchronize only through them therefore may not replay identically,
+// which the canneal experiment reproduces.
+
+var atomicMu sync.Mutex
+
+// AtomicLoad64 atomically reads a 64-bit word.
+func (m *Memory) AtomicLoad64(addr uint64) (uint64, error) {
+	atomicMu.Lock()
+	defer atomicMu.Unlock()
+	return m.Load64(addr)
+}
+
+// AtomicStore64 atomically writes a 64-bit word.
+func (m *Memory) AtomicStore64(addr uint64, v uint64) error {
+	atomicMu.Lock()
+	defer atomicMu.Unlock()
+	return m.Store64(addr, v)
+}
+
+// AtomicAdd64 atomically adds delta and returns the new value.
+func (m *Memory) AtomicAdd64(addr uint64, delta uint64) (uint64, error) {
+	atomicMu.Lock()
+	defer atomicMu.Unlock()
+	v, err := m.Load64(addr)
+	if err != nil {
+		return 0, err
+	}
+	v += delta
+	if err := m.Store64(addr, v); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// AtomicCAS64 performs compare-and-swap; it returns 1 on success, 0 on
+// failure.
+func (m *Memory) AtomicCAS64(addr uint64, old, new uint64) (uint64, error) {
+	atomicMu.Lock()
+	defer atomicMu.Unlock()
+	v, err := m.Load64(addr)
+	if err != nil {
+		return 0, err
+	}
+	if v != old {
+		return 0, nil
+	}
+	if err := m.Store64(addr, new); err != nil {
+		return 0, err
+	}
+	return 1, nil
+}
+
+// AtomicXchg64 atomically swaps in v and returns the previous value.
+func (m *Memory) AtomicXchg64(addr uint64, v uint64) (uint64, error) {
+	atomicMu.Lock()
+	defer atomicMu.Unlock()
+	old, err := m.Load64(addr)
+	if err != nil {
+		return 0, err
+	}
+	if err := m.Store64(addr, v); err != nil {
+		return 0, err
+	}
+	return old, nil
+}
+
+// WatchOverlap reports whether [addr, addr+size) intersects an armed
+// watchpoint. It is a pure check: the CPU uses it to attach the faulting
+// thread's call stack to the hit (package interp).
+func (m *Memory) WatchOverlap(addr uint64, size int) (Watchpoint, bool) {
+	for i := 0; i < m.nwatches; i++ {
+		w := m.watches[i]
+		if addr < w.Addr+uint64(w.Size) && w.Addr < addr+uint64(size) {
+			return w, true
+		}
+	}
+	return Watchpoint{}, false
+}
+
+// HasWatchpoints reports whether any watchpoint is armed; the CPU uses it to
+// keep the store fast path free of watch checks.
+func (m *Memory) HasWatchpoints() bool { return m.nwatches > 0 }

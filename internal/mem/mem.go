@@ -1,0 +1,288 @@
+// Package mem implements the virtual address space shared by all vthreads of
+// a program under test: a globals segment, a heap arena, and per-thread stack
+// slots.
+//
+// It stands in for the writable memory of the native process that iReplayer
+// checkpoints by parsing /proc/self/maps (§3.1). Because every segment is an
+// ordinary byte slice, checkpointing is a copy, rollback is a copy back, and
+// the identity check of Table 1 is a byte-level diff of heap images.
+//
+// Concurrent unsynchronized access from multiple vthreads is intentional:
+// races in the program under test manifest as real interleavings on these
+// slices, which is what the divergence-search replay machinery (§3.5) must
+// cope with.
+package mem
+
+import "fmt"
+
+// Segment base addresses. Virtual addresses are uint64 and never collide
+// across segments; address 0 is unmapped so that null dereferences fault.
+const (
+	GlobalBase uint64 = 0x1000_0000
+	HeapBase   uint64 = 0x4000_0000
+	StackBase  uint64 = 0x7000_0000
+)
+
+// Config sizes the address space.
+type Config struct {
+	// GlobalSize is the byte size of the globals segment.
+	GlobalSize int64
+	// HeapSize is the byte size of the heap arena.
+	HeapSize int64
+	// StackSlot is the byte size of one thread stack.
+	StackSlot int64
+	// MaxThreads bounds the number of stack slots.
+	MaxThreads int
+}
+
+// DefaultConfig returns a laptop-scale address space adequate for every
+// workload in this repository.
+func DefaultConfig() Config {
+	return Config{
+		GlobalSize: 1 << 20,  // 1 MiB of globals
+		HeapSize:   16 << 20, // 16 MiB heap arena
+		StackSlot:  64 << 10, // 64 KiB per-thread stacks
+		MaxThreads: 64,
+	}
+}
+
+// Fault describes an invalid memory access.
+type Fault struct {
+	Addr uint64
+	Size int
+	Op   string // "load" or "store"
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("memory fault: %s of %d bytes at %#x", f.Op, f.Size, f.Addr)
+}
+
+// MaxWatchpoints mirrors the four hardware debug registers the paper uses
+// via perf_event_open (§4.1): at most four addresses can be watched per
+// re-execution.
+const MaxWatchpoints = 4
+
+// Watchpoint is an armed address range; Hit is invoked synchronously by the
+// storing thread.
+type Watchpoint struct {
+	Addr uint64
+	Size int
+}
+
+// WatchHit reports a store that touched a watched range.
+type WatchHit struct {
+	Watch Watchpoint
+	Addr  uint64
+	Size  int
+}
+
+// Memory is one program's address space.
+type Memory struct {
+	cfg     Config
+	globals []byte
+	heap    []byte
+	stacks  []byte // MaxThreads slots of StackSlot bytes each
+
+	watches  [MaxWatchpoints]Watchpoint
+	nwatches int
+	onWatch  func(WatchHit)
+}
+
+// New builds an address space from cfg.
+func New(cfg Config) *Memory {
+	if cfg.GlobalSize <= 0 || cfg.HeapSize <= 0 || cfg.StackSlot <= 0 || cfg.MaxThreads <= 0 {
+		panic("mem: invalid config")
+	}
+	return &Memory{
+		cfg:     cfg,
+		globals: make([]byte, cfg.GlobalSize),
+		heap:    make([]byte, cfg.HeapSize),
+		stacks:  make([]byte, cfg.StackSlot*int64(cfg.MaxThreads)),
+	}
+}
+
+// Config returns the sizing used to build this address space.
+func (m *Memory) Config() Config { return m.cfg }
+
+// HeapRange returns the [base, base+size) range of the heap arena.
+func (m *Memory) HeapRange() (base uint64, size int64) {
+	return HeapBase, m.cfg.HeapSize
+}
+
+// StackRange returns the stack slot range for thread slot i.
+func (m *Memory) StackRange(slot int) (base uint64, size int64) {
+	if slot < 0 || slot >= m.cfg.MaxThreads {
+		panic("mem: stack slot out of range")
+	}
+	return StackBase + uint64(int64(slot)*m.cfg.StackSlot), m.cfg.StackSlot
+}
+
+// resolve maps addr to a backing slice window of length size.
+func (m *Memory) resolve(addr uint64, size int, op string) ([]byte, error) {
+	switch {
+	case addr >= GlobalBase && addr+uint64(size) <= GlobalBase+uint64(len(m.globals)):
+		off := addr - GlobalBase
+		return m.globals[off : off+uint64(size)], nil
+	case addr >= HeapBase && addr+uint64(size) <= HeapBase+uint64(len(m.heap)):
+		off := addr - HeapBase
+		return m.heap[off : off+uint64(size)], nil
+	case addr >= StackBase && addr+uint64(size) <= StackBase+uint64(len(m.stacks)):
+		off := addr - StackBase
+		return m.stacks[off : off+uint64(size)], nil
+	}
+	return nil, &Fault{Addr: addr, Size: size, Op: op}
+}
+
+// Valid reports whether [addr, addr+size) is mapped.
+func (m *Memory) Valid(addr uint64, size int) bool {
+	_, err := m.resolve(addr, size, "probe")
+	return err == nil
+}
+
+// Load8 reads one byte.
+func (m *Memory) Load8(addr uint64) (uint64, error) {
+	w, err := m.resolve(addr, 1, "load")
+	if err != nil {
+		return 0, err
+	}
+	return uint64(w[0]), nil
+}
+
+// Load64 reads a little-endian 64-bit word.
+func (m *Memory) Load64(addr uint64) (uint64, error) {
+	w, err := m.resolve(addr, 8, "load")
+	if err != nil {
+		return 0, err
+	}
+	// Inlined little-endian decode; races between vthreads are modeled
+	// hardware behaviour, so no synchronization here.
+	return uint64(w[0]) | uint64(w[1])<<8 | uint64(w[2])<<16 | uint64(w[3])<<24 |
+		uint64(w[4])<<32 | uint64(w[5])<<40 | uint64(w[6])<<48 | uint64(w[7])<<56, nil
+}
+
+// Store8 writes one byte.
+func (m *Memory) Store8(addr uint64, v uint64) error {
+	w, err := m.resolve(addr, 1, "store")
+	if err != nil {
+		return err
+	}
+	w[0] = byte(v)
+	m.checkWatch(addr, 1)
+	return nil
+}
+
+// Store64 writes a little-endian 64-bit word.
+func (m *Memory) Store64(addr uint64, v uint64) error {
+	w, err := m.resolve(addr, 8, "store")
+	if err != nil {
+		return err
+	}
+	w[0] = byte(v)
+	w[1] = byte(v >> 8)
+	w[2] = byte(v >> 16)
+	w[3] = byte(v >> 24)
+	w[4] = byte(v >> 32)
+	w[5] = byte(v >> 40)
+	w[6] = byte(v >> 48)
+	w[7] = byte(v >> 56)
+	m.checkWatch(addr, 8)
+	return nil
+}
+
+// Bytes returns a read-write window over [addr, addr+size). Callers that
+// mutate through the window must invoke NoteStore themselves if watchpoint
+// semantics are required.
+func (m *Memory) Bytes(addr uint64, size int) ([]byte, error) {
+	return m.resolve(addr, size, "access")
+}
+
+// ReadBytes copies out of memory.
+func (m *Memory) ReadBytes(addr uint64, n int) ([]byte, error) {
+	w, err := m.resolve(addr, n, "load")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, w)
+	return out, nil
+}
+
+// WriteBytes copies into memory.
+func (m *Memory) WriteBytes(addr uint64, b []byte) error {
+	w, err := m.resolve(addr, len(b), "store")
+	if err != nil {
+		return err
+	}
+	copy(w, b)
+	m.checkWatch(addr, len(b))
+	return nil
+}
+
+// Memset fills [addr, addr+n) with v.
+func (m *Memory) Memset(addr uint64, v byte, n int) error {
+	w, err := m.resolve(addr, n, "store")
+	if err != nil {
+		return err
+	}
+	for i := range w {
+		w[i] = v
+	}
+	m.checkWatch(addr, n)
+	return nil
+}
+
+// Memcpy copies n bytes from src to dst within the address space.
+func (m *Memory) Memcpy(dst, src uint64, n int) error {
+	s, err := m.resolve(src, n, "load")
+	if err != nil {
+		return err
+	}
+	d, err := m.resolve(dst, n, "store")
+	if err != nil {
+		return err
+	}
+	copy(d, s)
+	m.checkWatch(dst, n)
+	return nil
+}
+
+// NoteStore applies watchpoint checking for an externally performed write.
+func (m *Memory) NoteStore(addr uint64, size int) { m.checkWatch(addr, size) }
+
+func (m *Memory) checkWatch(addr uint64, size int) {
+	if m.nwatches == 0 {
+		return
+	}
+	for i := 0; i < m.nwatches; i++ {
+		w := m.watches[i]
+		if addr < w.Addr+uint64(w.Size) && w.Addr < addr+uint64(size) {
+			if m.onWatch != nil {
+				m.onWatch(WatchHit{Watch: w, Addr: addr, Size: size})
+			}
+		}
+	}
+}
+
+// SetWatchHandler installs the callback invoked on watchpoint hits.
+func (m *Memory) SetWatchHandler(fn func(WatchHit)) { m.onWatch = fn }
+
+// ArmWatchpoint arms a watchpoint; it fails once all MaxWatchpoints slots are
+// occupied, mirroring the hardware debug-register limit.
+func (m *Memory) ArmWatchpoint(addr uint64, size int) error {
+	if m.nwatches >= MaxWatchpoints {
+		return fmt.Errorf("mem: all %d watchpoints in use", MaxWatchpoints)
+	}
+	m.watches[m.nwatches] = Watchpoint{Addr: addr, Size: size}
+	m.nwatches++
+	return nil
+}
+
+// ClearWatchpoints disarms all watchpoints.
+func (m *Memory) ClearWatchpoints() { m.nwatches = 0 }
+
+// Watchpoints returns the armed watchpoints.
+func (m *Memory) Watchpoints() []Watchpoint {
+	out := make([]Watchpoint, m.nwatches)
+	copy(out, m.watches[:m.nwatches])
+	return out
+}

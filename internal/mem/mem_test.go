@@ -1,0 +1,245 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newMem(t testing.TB) *Memory {
+	t.Helper()
+	return New(DefaultConfig())
+}
+
+func TestLoadStoreRoundTrip64(t *testing.T) {
+	m := newMem(t)
+	addr := HeapBase + 128
+	if err := m.Store64(addr, 0xDEADBEEFCAFEF00D); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Load64(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xDEADBEEFCAFEF00D {
+		t.Fatalf("got %#x", v)
+	}
+}
+
+func TestLoadStoreRoundTrip8(t *testing.T) {
+	m := newMem(t)
+	addr := GlobalBase + 5
+	if err := m.Store8(addr, 0x12F); err != nil { // truncates to byte
+		t.Fatal(err)
+	}
+	v, err := m.Load8(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0x2F {
+		t.Fatalf("got %#x, want 0x2f", v)
+	}
+}
+
+func TestNullDereferenceFaults(t *testing.T) {
+	m := newMem(t)
+	if _, err := m.Load64(0); err == nil {
+		t.Fatal("null load must fault")
+	}
+	if err := m.Store64(0, 1); err == nil {
+		t.Fatal("null store must fault")
+	}
+	var f *Fault
+	_, err := m.Load8(8)
+	if f, _ = err.(*Fault); f == nil {
+		t.Fatalf("want *Fault, got %T", err)
+	}
+	if f.Addr != 8 {
+		t.Fatalf("fault addr = %#x", f.Addr)
+	}
+}
+
+func TestSegmentBoundaryFaults(t *testing.T) {
+	m := newMem(t)
+	cfg := m.Config()
+	// A 64-bit store whose last byte crosses the end of the heap must fault.
+	if err := m.Store64(HeapBase+uint64(cfg.HeapSize)-4, 1); err == nil {
+		t.Fatal("straddling store must fault")
+	}
+	// A store fully inside must succeed.
+	if err := m.Store64(HeapBase+uint64(cfg.HeapSize)-8, 1); err != nil {
+		t.Fatalf("in-bounds store failed: %v", err)
+	}
+}
+
+func TestStackRanges(t *testing.T) {
+	m := newMem(t)
+	b0, s0 := m.StackRange(0)
+	b1, _ := m.StackRange(1)
+	if b0 != StackBase {
+		t.Fatalf("slot 0 base %#x", b0)
+	}
+	if b1 != StackBase+uint64(s0) {
+		t.Fatalf("slot 1 base %#x, want %#x", b1, StackBase+uint64(s0))
+	}
+	if err := m.Store64(b1, 42); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	m := newMem(t)
+	m.Store64(HeapBase, 111)
+	m.Store64(GlobalBase, 222)
+	m.Store64(StackBase, 333)
+	snap := m.Snapshot()
+	m.Store64(HeapBase, 999)
+	m.Store64(GlobalBase, 888)
+	m.Store64(StackBase, 777)
+	m.Restore(snap)
+	for _, tc := range []struct {
+		addr uint64
+		want uint64
+	}{{HeapBase, 111}, {GlobalBase, 222}, {StackBase, 333}} {
+		v, err := m.Load64(tc.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != tc.want {
+			t.Errorf("addr %#x = %d, want %d", tc.addr, v, tc.want)
+		}
+	}
+}
+
+func TestSnapshotIsIsolatedFromLaterWrites(t *testing.T) {
+	m := newMem(t)
+	m.Store8(HeapBase+1, 7)
+	snap := m.Snapshot()
+	m.Store8(HeapBase+1, 9)
+	m2 := New(DefaultConfig())
+	m2.Restore(snap)
+	v, _ := m2.Load8(HeapBase + 1)
+	if v != 7 {
+		t.Fatalf("snapshot leaked later write: got %d", v)
+	}
+}
+
+func TestWatchpointFiresOnOverlap(t *testing.T) {
+	m := newMem(t)
+	var hits []WatchHit
+	m.SetWatchHandler(func(h WatchHit) { hits = append(hits, h) })
+	if err := m.ArmWatchpoint(HeapBase+100, 8); err != nil {
+		t.Fatal(err)
+	}
+	m.Store64(HeapBase+96, 1)  // overlaps bytes 96..103 → hits 100..103
+	m.Store64(HeapBase+200, 1) // no overlap
+	m.Store8(HeapBase+107, 1)  // last watched byte
+	if len(hits) != 2 {
+		t.Fatalf("hits = %d, want 2 (%v)", len(hits), hits)
+	}
+}
+
+func TestWatchpointLimitIsFour(t *testing.T) {
+	m := newMem(t)
+	for i := 0; i < MaxWatchpoints; i++ {
+		if err := m.ArmWatchpoint(HeapBase+uint64(i*16), 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.ArmWatchpoint(HeapBase+512, 8); err == nil {
+		t.Fatal("fifth watchpoint must be rejected (hardware limit)")
+	}
+	m.ClearWatchpoints()
+	if err := m.ArmWatchpoint(HeapBase+512, 8); err != nil {
+		t.Fatalf("after clear: %v", err)
+	}
+	if n := len(m.Watchpoints()); n != 1 {
+		t.Fatalf("watchpoints = %d", n)
+	}
+}
+
+func TestMemsetMemcpy(t *testing.T) {
+	m := newMem(t)
+	if err := m.Memset(HeapBase, 0xAB, 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Memcpy(HeapBase+64, HeapBase, 32); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.ReadBytes(HeapBase+64, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range b {
+		if v != 0xAB {
+			t.Fatalf("byte %d = %#x", i, v)
+		}
+	}
+	if err := m.Memcpy(HeapBase, 0, 8); err == nil {
+		t.Fatal("memcpy from null must fault")
+	}
+}
+
+func TestDiffBytes(t *testing.T) {
+	if d := DiffBytes([]byte{1, 2, 3}, []byte{1, 9, 3}); d != 1 {
+		t.Fatalf("diff = %d", d)
+	}
+	if d := DiffBytes([]byte{1, 2}, []byte{1, 2, 3, 4}); d != 2 {
+		t.Fatalf("unequal length diff = %d", d)
+	}
+	if p := DiffPercent(make([]byte, 100), make([]byte, 100)); p != 0 {
+		t.Fatalf("identical diff%% = %f", p)
+	}
+}
+
+func TestDiffAddrs(t *testing.T) {
+	a := []byte{0, 0, 5, 0, 7}
+	b := []byte{0, 0, 0, 0, 0}
+	addrs := DiffAddrs(a, b, HeapBase, 4)
+	if len(addrs) != 2 || addrs[0] != HeapBase+2 || addrs[1] != HeapBase+4 {
+		t.Fatalf("addrs = %v", addrs)
+	}
+	if got := DiffAddrs(a, b, HeapBase, 1); len(got) != 1 {
+		t.Fatalf("max not honoured: %v", got)
+	}
+}
+
+// Property: store-then-load returns the stored value for arbitrary values and
+// in-bounds offsets.
+func TestQuickStoreLoad64(t *testing.T) {
+	m := newMem(t)
+	f := func(v uint64, off uint16) bool {
+		addr := HeapBase + uint64(off)*8
+		if err := m.Store64(addr, v); err != nil {
+			return false
+		}
+		got, err := m.Load64(addr)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: snapshot/restore is a fixed point — restoring twice equals
+// restoring once.
+func TestQuickSnapshotIdempotent(t *testing.T) {
+	m := newMem(t)
+	f := func(vals []byte) bool {
+		for i, v := range vals {
+			if i >= 256 {
+				break
+			}
+			m.Store8(HeapBase+uint64(i), uint64(v))
+		}
+		s := m.Snapshot()
+		m.Memset(HeapBase, 0xFF, 256)
+		m.Restore(s)
+		first := m.HeapImage()
+		m.Restore(s)
+		second := m.HeapImage()
+		return DiffBytes(first, second) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

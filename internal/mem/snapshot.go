@@ -1,0 +1,92 @@
+package mem
+
+// Snapshot is a full copy of the writable address space taken at an epoch
+// boundary (§3.1). All vthreads must be quiescent when a snapshot is taken or
+// restored; the epoch coordinator guarantees this.
+type Snapshot struct {
+	globals []byte
+	heap    []byte
+	stacks  []byte
+}
+
+// Snapshot copies every writable segment.
+func (m *Memory) Snapshot() *Snapshot {
+	s := &Snapshot{
+		globals: make([]byte, len(m.globals)),
+		heap:    make([]byte, len(m.heap)),
+		stacks:  make([]byte, len(m.stacks)),
+	}
+	copy(s.globals, m.globals)
+	copy(s.heap, m.heap)
+	copy(s.stacks, m.stacks)
+	return s
+}
+
+// Restore copies a snapshot back over the address space, implementing the
+// memory portion of rollback (§3.4). Stack areas beyond the checkpointed
+// image are restored wholesale, which subsumes the paper's zeroing of the
+// unused stack remainder.
+func (m *Memory) Restore(s *Snapshot) {
+	copy(m.globals, s.globals)
+	copy(m.heap, s.heap)
+	copy(m.stacks, s.stacks)
+}
+
+// HeapImage returns a copy of the current heap arena, used by the Table 1
+// identity experiment.
+func (m *Memory) HeapImage() []byte {
+	out := make([]byte, len(m.heap))
+	copy(out, m.heap)
+	return out
+}
+
+// DiffBytes counts positions at which a and b differ. Slices of unequal
+// length differ in every position beyond the shorter length.
+func DiffBytes(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	diff := 0
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			diff++
+		}
+	}
+	if len(a) != len(b) {
+		long := len(a)
+		if len(b) > long {
+			long = len(b)
+		}
+		diff += long - n
+	}
+	return diff
+}
+
+// DiffPercent returns 100 * DiffBytes / len, the Table 1 metric.
+func DiffPercent(a, b []byte) float64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	return 100 * float64(DiffBytes(a, b)) / float64(n)
+}
+
+// DiffAddrs reports up to max addresses (base-relative) at which a and b
+// differ; used by detectors to locate corrupted canaries.
+func DiffAddrs(a, b []byte, base uint64, max int) []uint64 {
+	var out []uint64
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n && len(out) < max; i++ {
+		if a[i] != b[i] {
+			out = append(out, base+uint64(i))
+		}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package record
+
+import (
+	"sync"
+	"testing"
+)
+
+// Ablation: the preallocated per-thread list (the paper's design, §3.2)
+// versus a naively growing slice. Preallocation keeps the recording hot path
+// allocation-free.
+func BenchmarkAppendPreallocated(b *testing.B) {
+	l := NewThreadList(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if l.Full() {
+			l.Clear()
+		}
+		l.Append(Event{Kind: KMutexLock, Var: uint64(i)})
+	}
+}
+
+func BenchmarkAppendGrowingSlice(b *testing.B) {
+	var l []Event
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(l) == 1<<16 {
+			l = nil
+		}
+		l = append(l, Event{Kind: KMutexLock, Var: uint64(i)})
+	}
+}
+
+// Ablation: per-variable lists versus a single global ordered log guarded by
+// one mutex (the "global order" design the paper rejects, §3.2): the global
+// log serializes recording across threads.
+func BenchmarkVarListPerVariable(b *testing.B) {
+	lists := make([]*VarList, 64)
+	for i := range lists {
+		lists[i] = NewVarList(1 << 16)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			l := lists[i%64]
+			if l.Full() {
+				l.Clear()
+			}
+			l.Append(int32(i))
+			i++
+		}
+	})
+}
+
+func BenchmarkVarListGlobalLog(b *testing.B) {
+	var mu sync.Mutex
+	log := make([]int32, 0, 1<<16)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			mu.Lock()
+			if len(log) == 1<<16 {
+				log = log[:0]
+			}
+			log = append(log, int32(i))
+			mu.Unlock()
+			i++
+		}
+	})
+}

@@ -1,0 +1,190 @@
+package record
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestThreadListAppendPeekAdvance(t *testing.T) {
+	l := NewThreadList(4)
+	if l.Append(Event{Kind: KMutexLock, Var: 100}) {
+		t.Fatal("list should not be full after 1 of 4")
+	}
+	l.Append(Event{Kind: KSyscall, Aux: 7})
+	if l.Len() != 2 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	e := l.Peek()
+	if e == nil || e.Kind != KMutexLock || e.Var != 100 {
+		t.Fatalf("peek = %+v", e)
+	}
+	l.Advance()
+	e = l.Peek()
+	if e == nil || e.Kind != KSyscall {
+		t.Fatalf("peek 2 = %+v", e)
+	}
+	l.Advance()
+	if !l.Replayed() {
+		t.Fatal("should be replayed")
+	}
+	if l.Peek() != nil {
+		t.Fatal("peek past end must be nil")
+	}
+}
+
+func TestThreadListFullSignal(t *testing.T) {
+	l := NewThreadList(2)
+	if l.Append(Event{Kind: KExit}) {
+		t.Fatal("not full yet")
+	}
+	if !l.Append(Event{Kind: KExit}) {
+		t.Fatal("append of last entry must report full")
+	}
+	if !l.Full() {
+		t.Fatal("Full() should be true")
+	}
+}
+
+func TestThreadListOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l := NewThreadList(1)
+	l.Append(Event{})
+	l.Append(Event{})
+}
+
+func TestThreadListResetAndClear(t *testing.T) {
+	l := NewThreadList(4)
+	l.Append(Event{Kind: KMutexLock})
+	l.Advance()
+	l.ResetReplay()
+	if l.Replayed() {
+		t.Fatal("reset must rewind replay cursor")
+	}
+	l.Clear()
+	if l.Len() != 0 || l.Peek() != nil {
+		t.Fatal("clear must discard events")
+	}
+}
+
+func TestVarListTurnProtocol(t *testing.T) {
+	v := NewVarList(8)
+	p0, _ := v.Append(3)
+	p1, _ := v.Append(5)
+	p2, _ := v.Append(3)
+	if p0 != 0 || p1 != 1 || p2 != 2 {
+		t.Fatalf("positions = %d %d %d", p0, p1, p2)
+	}
+	if v.Turn() != 0 || v.Owner(v.Turn()) != 3 {
+		t.Fatal("first turn must belong to thread 3")
+	}
+	v.AdvanceTurn()
+	if v.Owner(v.Turn()) != 5 {
+		t.Fatal("second turn must belong to thread 5")
+	}
+	v.ResetReplay()
+	if v.Turn() != 0 {
+		t.Fatal("reset must rewind turn")
+	}
+}
+
+func TestMatches(t *testing.T) {
+	lock := &Event{Kind: KMutexLock, Var: 0x40}
+	if !Matches(lock, KMutexLock, 0x40, 0) {
+		t.Fatal("identical lock must match")
+	}
+	if Matches(lock, KMutexLock, 0x48, 0) {
+		t.Fatal("different var must not match")
+	}
+	if Matches(lock, KCondWake, 0x40, 0) {
+		t.Fatal("different kind must not match")
+	}
+	sc := &Event{Kind: KSyscall, Aux: 42}
+	if !Matches(sc, KSyscall, 0, 42) {
+		t.Fatal("same syscall must match")
+	}
+	if Matches(sc, KSyscall, 0, 43) {
+		t.Fatal("different syscall number must not match")
+	}
+	if Matches(nil, KSyscall, 0, 42) {
+		t.Fatal("nil event must not match")
+	}
+	// Barrier events are unordered: var addr is not compared.
+	bar := &Event{Kind: KBarrier, Var: 0x10}
+	if !Matches(bar, KBarrier, 0x99, 0) {
+		t.Fatal("barrier events are unordered; var must be ignored")
+	}
+	// Trylocks compare the var even though failed tries are unordered.
+	try := &Event{Kind: KMutexTry, Var: 0x10}
+	if Matches(try, KMutexTry, 0x20, 0) {
+		t.Fatal("trylock on different var must not match")
+	}
+}
+
+func TestOrderedKinds(t *testing.T) {
+	for k, want := range map[Kind]bool{
+		KMutexLock: true, KCondWake: true, KCreate: true, KBlockFetch: true,
+		KMutexTry: false, KBarrier: false, KJoin: false, KExit: false, KSyscall: false,
+	} {
+		if k.Ordered() != want {
+			t.Errorf("%v.Ordered() = %v, want %v", k, k.Ordered(), want)
+		}
+	}
+}
+
+// Property: for any sequence of appends within capacity, replaying the list
+// yields exactly the recorded sequence, and ResetReplay makes it repeatable.
+func TestQuickThreadListRoundTrip(t *testing.T) {
+	f := func(vars []uint64) bool {
+		if len(vars) > 64 {
+			vars = vars[:64]
+		}
+		l := NewThreadList(64)
+		for _, v := range vars {
+			l.Append(Event{Kind: KMutexLock, Var: v})
+		}
+		for pass := 0; pass < 2; pass++ {
+			for _, v := range vars {
+				e := l.Peek()
+				if e == nil || e.Var != v {
+					return false
+				}
+				l.Advance()
+			}
+			if !l.Replayed() {
+				return false
+			}
+			l.ResetReplay()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a VarList's turn order visits owners in append order.
+func TestQuickVarListOrder(t *testing.T) {
+	f := func(tids []int32) bool {
+		if len(tids) > 64 {
+			tids = tids[:64]
+		}
+		v := NewVarList(64)
+		for _, id := range tids {
+			v.Append(id)
+		}
+		for _, id := range tids {
+			if v.Owner(v.Turn()) != id {
+				return false
+			}
+			v.AdvanceTurn()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

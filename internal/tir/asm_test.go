@@ -1,0 +1,163 @@
+package tir
+
+import (
+	"strings"
+	"testing"
+)
+
+const asmCountdown = `
+; sum 1..n via a loop, called from main
+global seed 8 "\x05\x00\x00\x00\x00\x00\x00\x00"
+
+func sum/1 regs=4 {
+  consti r1, 0          ; acc
+  consti r2, 1
+loop:
+  brz r0, @done
+  add r1, r1, r0
+  sub r0, r0, r2
+  jmp @loop
+done:
+  ret r1
+}
+
+func main/0 regs=2 {
+  globaladdr r0, seed
+  load64 r0, [r0+0]
+  call r1, sum(r0+1)
+  ret r1
+}
+
+entry main
+`
+
+func TestAssembleCountdown(t *testing.T) {
+	m, err := Assemble(asmCountdown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FuncIndex("main") < 0 || m.FuncIndex("sum") < 0 {
+		t.Fatal("functions missing")
+	}
+	if m.Entry != m.FuncIndex("main") {
+		t.Fatalf("entry = %d", m.Entry)
+	}
+	g := m.Globals[0]
+	if g.Name != "seed" || g.Size != 8 || g.Init[0] != 5 {
+		t.Fatalf("global = %+v", g)
+	}
+}
+
+func TestAssembleIntrinsicsAndSyscalls(t *testing.T) {
+	src := `
+func main/0 regs=3 frame=16 {
+  consti r0, 64
+  intrin r1, malloc(r0+1)
+  store64 [r1+0], r0
+  frameaddr r2, fp+8
+  store64 [r2+0], r0
+  syscall r2, 1()
+  intrin _, free(r1+1)
+  ret r2
+}
+entry main
+`
+	m, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Funcs[0]
+	if f.FrameSize != 16 {
+		t.Fatalf("frame = %d", f.FrameSize)
+	}
+	var sawMalloc, sawFree, sawSyscall bool
+	for _, in := range f.Code {
+		switch {
+		case in.Op == Intrin && in.Imm == IntrinMalloc:
+			sawMalloc = true
+		case in.Op == Intrin && in.Imm == IntrinFree:
+			if in.A != -1 {
+				t.Fatalf("free result must be discarded, got A=%d", in.A)
+			}
+			sawFree = true
+		case in.Op == Syscall:
+			sawSyscall = true
+		}
+	}
+	if !sawMalloc || !sawFree || !sawSyscall {
+		t.Fatalf("missing instructions: malloc=%v free=%v syscall=%v", sawMalloc, sawFree, sawSyscall)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic": "func main/0 regs=1 {\n frobnicate r0\n ret r0\n}\nentry main",
+		"bad register":     "func main/0 regs=1 {\n consti r9, 1\n ret r9\n}\nentry main",
+		"unbound label":    "func main/0 regs=1 {\n jmp @nowhere\n ret r0\n}\nentry main",
+		"unknown global":   "func main/0 regs=1 {\n globaladdr r0, nope\n ret r0\n}\nentry main",
+		"unknown function": "func main/0 regs=1 {\n call r0, nope(r0+1)\n ret r0\n}\nentry main",
+		"unknown intrin":   "func main/0 regs=1 {\n intrin r0, zap(r0+1)\n ret r0\n}\nentry main",
+		"no entry":         "func main/0 regs=1 {\n ret r0\n}",
+		"global in body":   "func main/0 regs=1 {\nglobal x 8\n ret r0\n}\nentry main",
+		"nested func":      "func main/0 regs=1 {\nfunc f/0 regs=1 {\n}\n}\nentry main",
+		"stray statement":  "consti r0, 1",
+		"unterminated":     "func main/0 regs=1 {\n ret r0",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestAssembleCommentsAndWhitespace(t *testing.T) {
+	src := `
+; leading comment
+
+func main/0 regs=1 {
+  consti r0, 7   ; trailing comment
+  ret r0
+}
+entry main
+`
+	m, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Funcs[0].Code) != 2 {
+		t.Fatalf("code = %d instrs", len(m.Funcs[0].Code))
+	}
+}
+
+// Round trip: the disassembler's mnemonics for the ops the assembler accepts
+// stay in sync (a drift guard between asm.go and disasm.go).
+func TestAssemblerDisassemblerAgreeOnMnemonics(t *testing.T) {
+	m := MustAssemble(asmCountdown)
+	text := Disasm(m)
+	for _, want := range []string{"consti", "add", "sub", "brz", "jmp", "ret", "globaladdr", "load64", "call"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disasm missing %q", want)
+		}
+	}
+}
+
+func TestAssembleForwardCall(t *testing.T) {
+	src := `
+func main/0 regs=2 {
+  consti r0, 3
+  call r1, later(r0+1)
+  ret r1
+}
+func later/1 regs=1 {
+  ret r0
+}
+entry main
+`
+	m, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Funcs) != 2 {
+		t.Fatalf("funcs = %d", len(m.Funcs))
+	}
+}

@@ -1,0 +1,268 @@
+package tir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildCountdown(t testing.TB) *Module {
+	mb := NewModuleBuilder()
+	fb := mb.Func("main", 0)
+	n := fb.NewReg()
+	one := fb.NewReg()
+	cond := fb.NewReg()
+	loop := fb.NewLabel()
+	done := fb.NewLabel()
+	fb.ConstI(n, 10)
+	fb.ConstI(one, 1)
+	fb.Bind(loop)
+	fb.Emit(Instr{Op: LeS, A: cond, B: n, C: one})
+	fb.Br(cond, done)
+	fb.Bin(Sub, n, n, one)
+	fb.Jmp(loop)
+	fb.Bind(done)
+	fb.Ret(n)
+	fb.Seal()
+	mb.SetEntry("main")
+	m, err := mb.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return m
+}
+
+func TestBuilderProducesValidModule(t *testing.T) {
+	m := buildCountdown(t)
+	if got := len(m.Funcs); got != 1 {
+		t.Fatalf("funcs = %d, want 1", got)
+	}
+	if m.FuncIndex("main") != 0 {
+		t.Fatalf("FuncIndex(main) = %d", m.FuncIndex("main"))
+	}
+	if m.FuncIndex("nope") != -1 {
+		t.Fatalf("FuncIndex(nope) should be -1")
+	}
+}
+
+func TestValidateRejectsBadEntry(t *testing.T) {
+	m := buildCountdown(t)
+	m.Entry = 5
+	if err := Validate(m); err == nil {
+		t.Fatal("expected out-of-range entry error")
+	}
+}
+
+func TestValidateRejectsEntryWithParams(t *testing.T) {
+	mb := NewModuleBuilder()
+	fb := mb.Func("main", 1)
+	fb.Ret(-1)
+	fb.Seal()
+	mb.SetEntry("main")
+	if _, err := mb.Build(); err == nil {
+		t.Fatal("entry with params must be rejected")
+	}
+}
+
+func TestValidateRejectsRegisterOutOfRange(t *testing.T) {
+	mb := NewModuleBuilder()
+	fb := mb.Func("main", 0)
+	fb.Emit(Instr{Op: ConstI, A: 99, Imm: 1})
+	fb.Ret(-1)
+	fb.Seal()
+	mb.SetEntry("main")
+	if _, err := mb.Build(); err == nil {
+		t.Fatal("register out of range must be rejected")
+	}
+}
+
+func TestValidateRejectsBadBranchTarget(t *testing.T) {
+	mb := NewModuleBuilder()
+	fb := mb.Func("main", 0)
+	r := fb.NewReg()
+	fb.ConstI(r, 0)
+	fb.Emit(Instr{Op: Jmp, Imm: 100})
+	fb.Ret(r)
+	fb.Seal()
+	mb.SetEntry("main")
+	if _, err := mb.Build(); err == nil {
+		t.Fatal("bad jump target must be rejected")
+	}
+}
+
+func TestValidateRejectsFallOffEnd(t *testing.T) {
+	mb := NewModuleBuilder()
+	fb := mb.Func("main", 0)
+	r := fb.NewReg()
+	fb.ConstI(r, 0)
+	fb.Seal()
+	mb.SetEntry("main")
+	if _, err := mb.Build(); err == nil {
+		t.Fatal("function falling off end must be rejected")
+	}
+}
+
+func TestValidateRejectsCallArity(t *testing.T) {
+	mb := NewModuleBuilder()
+	fa := mb.Func("f", 2)
+	fa.Ret(fa.Param(0))
+	fa.Seal()
+	fb := mb.Func("main", 0)
+	r := fb.NewReg()
+	fb.ConstI(r, 1)
+	fb.Emit(Instr{Op: Call, A: int32(r), B: int32(r), C: 1, Imm: 0}) // 1 arg, wants 2
+	fb.Ret(r)
+	fb.Seal()
+	mb.SetEntry("main")
+	if _, err := mb.Build(); err == nil {
+		t.Fatal("call arity mismatch must be rejected")
+	}
+}
+
+func TestValidateRejectsFrameAddrWithoutFrame(t *testing.T) {
+	mb := NewModuleBuilder()
+	fb := mb.Func("main", 0)
+	r := fb.NewReg()
+	fb.Emit(Instr{Op: FrameAddr, A: int32(r)})
+	fb.Ret(r)
+	fb.Seal()
+	mb.SetEntry("main")
+	if _, err := mb.Build(); err == nil {
+		t.Fatal("frameaddr without frame must be rejected")
+	}
+}
+
+func TestValidateRejectsBadIntrinsic(t *testing.T) {
+	mb := NewModuleBuilder()
+	fb := mb.Func("main", 0)
+	r := fb.NewReg()
+	fb.Emit(Instr{Op: Intrin, A: int32(r), Imm: 9999})
+	fb.Ret(r)
+	fb.Seal()
+	mb.SetEntry("main")
+	if _, err := mb.Build(); err == nil {
+		t.Fatal("invalid intrinsic id must be rejected")
+	}
+}
+
+func TestDuplicateFunctionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate function name")
+		}
+	}()
+	mb := NewModuleBuilder()
+	f1 := mb.Func("f", 0)
+	f1.Ret(-1)
+	f1.Seal()
+	mb.Func("f", 0)
+}
+
+func TestUnboundLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unbound label")
+		}
+	}()
+	mb := NewModuleBuilder()
+	fb := mb.Func("main", 0)
+	l := fb.NewLabel()
+	fb.Jmp(l)
+	fb.Seal()
+}
+
+func TestDisasmMentionsNames(t *testing.T) {
+	mb := NewModuleBuilder()
+	mb.Global("counter", 8)
+	callee := mb.Func("worker", 1)
+	callee.Ret(callee.Param(0))
+	callee.Seal()
+	fb := mb.Func("main", 0)
+	r := fb.NewReg()
+	fb.GlobalAddr(r, 0)
+	fb.Call(r, callee.Index(), r)
+	fb.Intrin(-1, IntrinPrint, r)
+	fb.Ret(r)
+	fb.Seal()
+	mb.SetEntry("main")
+	m := mb.MustBuild()
+	text := Disasm(m)
+	for _, want := range []string{"counter", "worker", "globaladdr", "print"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disasm missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestContiguousArgCopying(t *testing.T) {
+	mb := NewModuleBuilder()
+	callee := mb.Func("add3", 3)
+	s := callee.NewReg()
+	callee.Bin(Add, s, callee.Param(0), callee.Param(1))
+	callee.Bin(Add, s, s, callee.Param(2))
+	callee.Ret(s)
+	callee.Seal()
+	fb := mb.Func("main", 0)
+	a := fb.NewReg()
+	_ = fb.NewReg() // gap so args are non-contiguous
+	b := fb.NewReg()
+	_ = fb.NewReg()
+	c := fb.NewReg()
+	fb.ConstI(a, 1)
+	fb.ConstI(b, 2)
+	fb.ConstI(c, 3)
+	dst := fb.NewReg()
+	fb.Call(dst, callee.Index(), a, b, c)
+	fb.Ret(dst)
+	fb.Seal()
+	mb.SetEntry("main")
+	if _, err := mb.Build(); err != nil {
+		t.Fatalf("non-contiguous args should be handled by the builder: %v", err)
+	}
+}
+
+// Property: every opcode the builder can emit has a printable mnemonic, and
+// IntrinName is total over the defined intrinsic range.
+func TestOpAndIntrinNamesTotal(t *testing.T) {
+	for op := Op(0); op < opCount; op++ {
+		if s := op.String(); s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+	}
+	for id := int64(1); id < intrinCount; id++ {
+		if s := IntrinName(id); strings.HasPrefix(s, "intrin(") {
+			t.Errorf("intrinsic %d has no mnemonic", id)
+		}
+	}
+}
+
+// Property: validation is deterministic — validating the same module twice
+// gives the same verdict, and a validated module re-validates clean.
+func TestValidateIdempotent(t *testing.T) {
+	m := buildCountdown(t)
+	if err := Validate(m); err != nil {
+		t.Fatalf("first validate: %v", err)
+	}
+	if err := Validate(m); err != nil {
+		t.Fatalf("second validate: %v", err)
+	}
+}
+
+// Property (testing/quick): ConstI followed by Ret of that register is always
+// a valid single-function module, for arbitrary immediates.
+func TestQuickConstRetAlwaysValid(t *testing.T) {
+	f := func(v int64) bool {
+		mb := NewModuleBuilder()
+		fb := mb.Func("main", 0)
+		r := fb.NewReg()
+		fb.ConstI(r, v)
+		fb.Ret(r)
+		fb.Seal()
+		mb.SetEntry("main")
+		_, err := mb.Build()
+		return err == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

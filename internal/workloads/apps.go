@@ -1,0 +1,140 @@
+package workloads
+
+// The fifteen evaluated applications of §5.1 (PARSEC 2.1 with native-input
+// character, plus the six real applications), scaled to laptop-size runs.
+// Comments note the behavioural signature each models and the evaluation
+// number it drives.
+
+// Apps returns the Table 1/3 application list in the paper's column order.
+func Apps() []Spec {
+	return []Spec{
+		{
+			// blackscholes: data-parallel option pricing; almost pure
+			// floating-point compute, one barrier per round, negligible
+			// locking. IR ≈ 1.02, CLAP ≈ 1.11, RR ≈ 8× (paper).
+			Name: "blackscholes", Threads: 4, Iters: 60, WorkingSet: 32 << 10,
+			CPUFloat: 2500, BarrierEvery: 10, Locks: 1, LockStride: 1, WritesPerLock: 1,
+		},
+		{
+			// bodytrack: thread-pool vision pipeline; condition variables
+			// drive a known replay divergence (§5.2.1). CLAP fails on it.
+			Name: "bodytrack", Threads: 4, Iters: 80, WorkingSet: 100 << 10,
+			CPUBranchy: 900, CondVar: true, Locks: 4, LockStride: 2, WritesPerLock: 2,
+			Allocs: 2, AllocSize: 96,
+		},
+		{
+			// canneal: simulated annealing with ATOMIC pointer swaps — ad
+			// hoc synchronization that iReplayer cannot replay identically
+			// until atomics are replaced with mutexes (§5.2); see
+			// CannealMutex below for the ablation.
+			Name: "canneal", Threads: 4, Iters: 80, WorkingSet: 512 << 10,
+			CPUBranchy: 700, Atomics: 40, Allocs: 3, AllocSize: 64,
+			Locks: 1, LockStride: 1, WritesPerLock: 1,
+		},
+		{
+			// dedup: dedup/compression pipeline; allocation-heavy (the
+			// paper's allocator avoids its madvise storms: IR-Alloc 0.66).
+			Name: "dedup", Threads: 4, Iters: 70, WorkingSet: 300 << 10,
+			CPUBranchy: 300, Allocs: 24, AllocSize: 256, Locks: 4, LockStride: 4,
+			WritesPerLock: 2, LibraryWork: 512,
+		},
+		{
+			// ferret: similarity search; deep branchy compute per query
+			// (CLAP 3.5×) with pipeline locks.
+			Name: "ferret", Threads: 4, Iters: 70, WorkingSet: 56 << 10,
+			CPUBranchy: 2200, Locks: 6, LockStride: 3, WritesPerLock: 2,
+			Allocs: 2, AllocSize: 128,
+		},
+		{
+			// fluidanimate: the lock-rate extreme — tens of millions of
+			// fine-grained acquisitions guarding tiny critical sections;
+			// recording each one is iReplayer's worst case (1.49×).
+			Name: "fluidanimate", Threads: 4, Iters: 60, WorkingSet: 80 << 10,
+			CPUBranchy: 60, Locks: 60, LockStride: 16, WritesPerLock: 1,
+		},
+		{
+			// streamcluster: barrier-synchronized clustering rounds with
+			// allocation churn (IR overhead dominated by the allocator).
+			Name: "streamcluster", Threads: 4, Iters: 90, WorkingSet: 4 << 10,
+			CPUBranchy: 800, BarrierEvery: 3, Allocs: 6, AllocSize: 512,
+			Locks: 2, LockStride: 2, WritesPerLock: 1,
+		},
+		{
+			// swaptions: Monte-Carlo pricing; pure branchy+float compute,
+			// essentially no synchronization (CLAP 2.96× from paths alone).
+			Name: "swaptions", Threads: 4, Iters: 60, WorkingSet: 90 << 10,
+			CPUBranchy: 1800, CPUFloat: 900,
+		},
+		{
+			// x264: video encoder; the branch-density extreme (CLAP 9.1×)
+			// with moderate locking between encoder threads.
+			Name: "x264", Threads: 4, Iters: 60, WorkingSet: 280 << 10,
+			CPUBranchy: 4200, Locks: 3, LockStride: 2, WritesPerLock: 2,
+			Allocs: 1, AllocSize: 1024,
+		},
+		{
+			// aget: parallel HTTP downloader; socket-recv bound, trivial
+			// compute — every system hovers near 1× except the data copies.
+			Name: "aget", Threads: 4, Iters: 120, WorkingSet: 80 << 10,
+			SocketIO: 1024, CPUBranchy: 40, Locks: 1, LockStride: 1, WritesPerLock: 1,
+		},
+		{
+			// apache: worker-model HTTP server answering `ab`; socket IO
+			// plus accept-queue locking and time queries for logging.
+			Name: "apache", Threads: 4, Iters: 100, WorkingSet: 140 << 10,
+			SocketIO: 512, Locks: 4, LockStride: 2, WritesPerLock: 2,
+			TimeCalls: 2, CPUBranchy: 150, Allocs: 2, AllocSize: 192,
+		},
+		{
+			// memcached: get/set over sockets with slab-style allocation and
+			// per-shard locks.
+			Name: "memcached", Threads: 4, Iters: 110, WorkingSet: 48 << 10,
+			SocketIO: 256, Locks: 3, LockStride: 4, WritesPerLock: 2,
+			Allocs: 3, AllocSize: 128, TimeCalls: 1,
+		},
+		{
+			// pbzip2: parallel compression; the real work happens inside
+			// libbz2 — uninstrumented library code — so CLAP/ASan see almost
+			// nothing (modeled with memcpy library work), plus file IO.
+			Name: "pbzip2", Threads: 4, Iters: 70, WorkingSet: 48 << 10,
+			LibraryWork: 3072, FileIO: 512, Locks: 2, LockStride: 2, WritesPerLock: 1,
+			Allocs: 2, AllocSize: 2048,
+		},
+		{
+			// pfscan: parallel grep over a large file; file reads plus light
+			// scanning.
+			Name: "pfscan", Threads: 4, Iters: 100, WorkingSet: 56 << 10,
+			FileIO: 1024, CPUBranchy: 250, Locks: 1, LockStride: 1, WritesPerLock: 1,
+		},
+		{
+			// sqlite: threadtest3-style workload; lock-protected B-tree
+			// updates with branchy compute and journal IO.
+			Name: "sqlite", Threads: 4, Iters: 80, WorkingSet: 120 << 10,
+			CPUBranchy: 1100, Locks: 8, LockStride: 2, WritesPerLock: 3,
+			FileIO: 128, Allocs: 4, AllocSize: 160, TryLocks: 2,
+		},
+	}
+}
+
+// ByName returns the named application spec.
+func ByName(name string) (Spec, bool) {
+	if name == "canneal-mutex" {
+		return CannealMutex(), true
+	}
+	for _, s := range Apps() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// CannealMutex is the §5.2 ablation: canneal with every atomic operation
+// replaced by mutex-protected updates, after which identical replay holds.
+func CannealMutex() Spec {
+	s, _ := ByName("canneal")
+	s.Name = "canneal-mutex"
+	s.Atomics = 0
+	s.Locks += 4 // the swaps now take a lock each
+	return s
+}

@@ -1,0 +1,142 @@
+package workloads
+
+import "repro/internal/tir"
+
+// BugKind classifies a corpus entry.
+type BugKind int
+
+const (
+	// BugOverflow is a heap buffer overflow.
+	BugOverflow BugKind = iota
+	// BugUseAfterFree is a write through a dangling pointer.
+	BugUseAfterFree
+)
+
+// Bug is one entry of the §5.4.1 detection-effectiveness corpus: known heap
+// overflows and use-after-frees collected from Bugbench, Bugzilla, and prior
+// tools (bc, bzip2, gzip, libHX, polymorph, memcached, libtiff). Each entry
+// models the published bug's shape — buffer size, overrun length, and the
+// faulting function's identity — so the detector's root-cause report can be
+// checked against the known site.
+type Bug struct {
+	Name string
+	Kind BugKind
+	// Site is the function the detector must blame.
+	Site string
+	// BufSize / Overrun describe the object and the overflow extent.
+	BufSize int64
+	Overrun int64
+}
+
+// Corpus returns the evaluated bug set.
+func Corpus() []Bug {
+	return []Bug{
+		// bc-1.06: more_arrays() under-allocates the array vector and the
+		// interpreter writes one slot past it (Bugbench).
+		{Name: "bc-1.06", Kind: BugOverflow, Site: "more_arrays", BufSize: 32, Overrun: 8},
+		// bzip2recover: block file-name buffer overflow (Red Hat #226979).
+		{Name: "bzip2recover", Kind: BugOverflow, Site: "writeBlockFileName", BufSize: 40, Overrun: 6},
+		// gzip-1.2.4: strcpy of a long path into a fixed 1024-byte name
+		// buffer (scaled).
+		{Name: "gzip-1.2.4", Kind: BugOverflow, Site: "get_suffix_copy", BufSize: 64, Overrun: 12},
+		// libHX: HXdeque_genocide writes past the reallocated vector.
+		{Name: "libHX", Kind: BugOverflow, Site: "deque_genocide", BufSize: 48, Overrun: 8},
+		// polymorph: command-line filename into a fixed buffer.
+		{Name: "polymorph", Kind: BugOverflow, Site: "convert_filename", BufSize: 24, Overrun: 10},
+		// memcached SASL authentication overflow (TALOS-2016-0221).
+		{Name: "memcached-sasl", Kind: BugOverflow, Site: "sasl_auth_copy", BufSize: 80, Overrun: 16},
+		// libtiff gif2tiff: readgifimage() heap overflow (MapTools #2451).
+		{Name: "libtiff-gif2tiff", Kind: BugOverflow, Site: "readgifimage", BufSize: 56, Overrun: 9},
+		// Use-after-free companions exercising the quarantine detector.
+		{Name: "uaf-cache-evict", Kind: BugUseAfterFree, Site: "touch_evicted_entry", BufSize: 64},
+		{Name: "uaf-double-consumer", Kind: BugUseAfterFree, Site: "consume_stale_buffer", BufSize: 128},
+	}
+}
+
+// Build synthesizes the buggy program: main allocates the victim object and
+// calls the bug-site function, which corrupts it exactly as the entry
+// describes.
+func (b Bug) Build() *tir.Module {
+	mb := tir.NewModuleBuilder()
+
+	site := mb.Func(b.Site, 1)
+	switch b.Kind {
+	case BugOverflow:
+		p := site.Param(0)
+		v, i, lim, cond, a := site.NewReg(), site.NewReg(), site.NewReg(), site.NewReg(), site.NewReg()
+		site.ConstI(v, 0x41)
+		site.ConstI(i, 0)
+		site.ConstI(lim, b.BufSize+b.Overrun)
+		loop, done := site.NewLabel(), site.NewLabel()
+		site.Bind(loop)
+		site.Bin(tir.LtS, cond, i, lim)
+		site.Brz(cond, done)
+		site.Bin(tir.Add, a, p, i)
+		site.Store8(v, a, 0)
+		site.AddI(i, i, 1)
+		site.Jmp(loop)
+		site.Bind(done)
+		site.Ret(-1)
+	case BugUseAfterFree:
+		v := site.NewReg()
+		site.ConstI(v, 0xDEAD)
+		site.Store64(v, site.Param(0), 0)
+		site.Ret(-1)
+	}
+	site.Seal()
+
+	m := mb.Func("main", 0)
+	sz, p := m.NewReg(), m.NewReg()
+	m.ConstI(sz, b.BufSize)
+	m.Intrin(p, tir.IntrinMalloc, sz)
+	if b.Kind == BugUseAfterFree {
+		m.Intrin(-1, tir.IntrinFree, p)
+	}
+	m.Call(-1, site.Index(), p)
+	m.Ret(-1)
+	m.Seal()
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+// ImplantOverflow returns a copy of mod whose main gains a one-byte heap
+// overflow immediately before returning — the §5.2 validation methodology
+// ("we manually implanted a buffer overflow error in the end of main routine
+// for every program") that triggers the Table 1 re-execution.
+func ImplantOverflow(mod *tir.Module) *tir.Module {
+	out := &tir.Module{
+		Funcs:   make([]*tir.Function, len(mod.Funcs)),
+		Globals: append([]tir.Global(nil), mod.Globals...),
+		Entry:   mod.Entry,
+	}
+	for i, f := range mod.Funcs {
+		cp := *f
+		cp.Code = append([]tir.Instr(nil), f.Code...)
+		out.Funcs[i] = &cp
+	}
+	f := out.Funcs[out.Entry]
+	// Rewrite every Ret of main into a jump to an epilogue that mallocs,
+	// overflows by one byte, and then returns.
+	epilogue := len(f.Code)
+	szReg := int32(f.NumRegs)
+	pReg := szReg + 1
+	vReg := szReg + 2
+	f.NumRegs += 3
+	// Our generated mains return through a single Ret whose value register
+	// stays live; redirect it to the epilogue and return from there.
+	var lastRetA int32 = -1
+	for pc := range f.Code {
+		if f.Code[pc].Op == tir.Ret {
+			lastRetA = f.Code[pc].A
+			f.Code[pc] = tir.Instr{Op: tir.Jmp, Imm: int64(epilogue)}
+		}
+	}
+	f.Code = append(f.Code,
+		tir.Instr{Op: tir.ConstI, A: szReg, Imm: 24},
+		tir.Instr{Op: tir.Intrin, A: pReg, B: szReg, C: 1, Imm: tir.IntrinMalloc},
+		tir.Instr{Op: tir.ConstI, A: vReg, Imm: 0x7F},
+		tir.Instr{Op: tir.Store8, A: vReg, B: pReg, Imm: 24}, // one past the end
+		tir.Instr{Op: tir.Ret, A: lastRetA},
+	)
+	return out
+}

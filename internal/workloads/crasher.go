@@ -1,0 +1,82 @@
+package workloads
+
+import (
+	"repro/internal/tir"
+)
+
+// CrasherSpec tunes the §5.2.1 Crasher program: a synthetic race in which
+// one thread nulls a shared pointer while another dereferences it. The
+// original [Machado, Lucia & Rodrigues, PLDI 2015] places sleeps to make the
+// crash likely (82.6% of 100,000 runs in the paper); the delays below play
+// the same role.
+type CrasherSpec struct {
+	// NullerDelayUS is the corruptor's sleep before nulling the pointer.
+	NullerDelayUS int
+	// ReaderDelayUS is the victim's sleep before dereferencing.
+	ReaderDelayUS int
+}
+
+// DefaultCrasher biases the race toward crashing, like the original: the
+// nuller usually reaches the shared pointer well before the reader, but
+// goroutine start-up jitter leaves a real losing tail.
+func DefaultCrasher() CrasherSpec {
+	return CrasherSpec{NullerDelayUS: 30, ReaderDelayUS: 250}
+}
+
+// Build synthesizes Crasher. Thread "nuller" stores NULL into the shared
+// pointer cell without synchronization; thread "reader" loads the pointer
+// and dereferences it. When the nuller wins the race the reader faults —
+// the SIGSEGV that iReplayer's replay must reproduce (Table 2).
+func (c CrasherSpec) Build() *tir.Module {
+	mb := tir.NewModuleBuilder()
+	gPtr := mb.Global("shared_ptr", 8)
+
+	nuller := mb.Func("nuller", 1)
+	{
+		pa, z, d := nuller.NewReg(), nuller.NewReg(), nuller.NewReg()
+		nuller.ConstI(d, int64(c.NullerDelayUS))
+		nuller.Intrin(-1, tir.IntrinUsleep, d)
+		nuller.GlobalAddr(pa, gPtr)
+		nuller.ConstI(z, 0)
+		nuller.Store64(z, pa, 0) // unsynchronized write: the race
+		nuller.Ret(-1)
+		nuller.Seal()
+	}
+
+	reader := mb.Func("reader", 1)
+	{
+		pa, p, v, d := reader.NewReg(), reader.NewReg(), reader.NewReg(), reader.NewReg()
+		reader.ConstI(d, int64(c.ReaderDelayUS))
+		reader.Intrin(-1, tir.IntrinUsleep, d)
+		reader.GlobalAddr(pa, gPtr)
+		reader.Load64(p, pa, 0) // unsynchronized read: the race
+		reader.Load64(v, p, 0)  // faults when p was nulled
+		reader.Ret(v)
+		reader.Seal()
+	}
+
+	m := mb.Func("main", 0)
+	{
+		sz, p, pa := m.NewReg(), m.NewReg(), m.NewReg()
+		m.ConstI(sz, 64)
+		m.Intrin(p, tir.IntrinMalloc, sz)
+		v := m.NewReg()
+		m.ConstI(v, 0x1234)
+		m.Store64(v, p, 0)
+		m.GlobalAddr(pa, gPtr)
+		m.Store64(p, pa, 0)
+		fnr, argr, t1, t2 := m.NewReg(), m.NewReg(), m.NewReg(), m.NewReg()
+		m.ConstI(argr, 0)
+		m.ConstI(fnr, int64(nuller.Index()))
+		m.Intrin(t1, tir.IntrinThreadCreate, fnr, argr)
+		m.ConstI(fnr, int64(reader.Index()))
+		m.Intrin(t2, tir.IntrinThreadCreate, fnr, argr)
+		m.Intrin(-1, tir.IntrinThreadJoin, t1)
+		r := m.NewReg()
+		m.Intrin(r, tir.IntrinThreadJoin, t2)
+		m.Ret(r)
+		m.Seal()
+	}
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}

@@ -1,0 +1,443 @@
+// Package workloads synthesizes the evaluation's applications as TIR
+// programs: the nine PARSEC 2.1 benchmarks and six real applications of
+// §5.1, the Crasher race program of §5.2.1, and the §5.4.1 bug corpus.
+//
+// Each application is a parameterization of a common generator whose knobs
+// mirror the behaviour that drives the paper's numbers: lock rate
+// (fluidanimate's 54M acquisitions/second), branch density (x264's 9.1×
+// CLAP overhead), allocation churn (dedup), socket and file IO (aget,
+// memcached), barriers (streamcluster), condition variables (bodytrack),
+// trylocks, and "library" work that instrumentation passes cannot see
+// (pbzip2's libbz2 compression, modeled with memcpy intrinsics). Absolute
+// magnitudes are scaled to laptop-size runs; the *ratios* between runtime
+// configurations are what the benchmark harness reproduces.
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/tir"
+	"repro/internal/vsys"
+)
+
+// Spec parameterizes one synthesized application.
+type Spec struct {
+	Name    string
+	Threads int
+	// Iters is the per-thread outer loop count.
+	Iters int
+	// CPUBranchy is the per-iteration count of branchy integer work
+	// (odd/even branches) — expensive under CLAP path profiling.
+	CPUBranchy int
+	// CPUFloat is the per-iteration count of floating-point work (straight
+	// line) — expensive everywhere but cheap to instrument.
+	CPUFloat int
+	// LibraryWork is per-iteration bytes of memcpy "library" work invisible
+	// to instrumentation passes (the pbzip2 profile).
+	LibraryWork int
+	// Locks is the number of recorded lock/unlock pairs per iteration.
+	Locks int
+	// LockStride spreads lock traffic over this many distinct mutexes.
+	LockStride int
+	// WritesPerLock is the number of shared heap stores inside each
+	// critical section — what ASan's write instrumentation pays for.
+	WritesPerLock int
+	// TryLocks per iteration (recorded results).
+	TryLocks int
+	// Allocs is malloc/free pairs per iteration.
+	Allocs int
+	// AllocSize is the allocation request size.
+	AllocSize int64
+	// FileIO is bytes of file read per iteration (revocable syscalls).
+	FileIO int
+	// SocketIO is bytes of socket read per iteration (recordable syscalls).
+	SocketIO int
+	// TimeCalls is gettimeofday queries per iteration (recordable).
+	TimeCalls int
+	// BarrierEvery makes every thread wait at a shared barrier each N
+	// iterations (0 disables).
+	BarrierEvery int
+	// CondVar adds a producer/consumer handoff every iteration for thread 0
+	// (producer) and thread 1 (consumer) when at least 2 threads exist.
+	CondVar bool
+	// Atomics is per-iteration ad hoc synchronization (atomic CAS pointer
+	// swaps) — the canneal profile that breaks identical replay (§5.2).
+	Atomics int
+	// WorkingSet is the bytes of live, heap-resident data the application
+	// maintains (split across threads). Real applications keep their data in
+	// the heap, which is what makes Table 1's heap-image diff meaningful:
+	// under the default allocator, ASLR and allocation racing move this data
+	// between runs.
+	WorkingSet int64
+}
+
+// Build synthesizes the TIR module for s.
+func (s Spec) Build() (*tir.Module, error) {
+	if s.Threads < 1 {
+		return nil, fmt.Errorf("workloads: %s needs at least one thread", s.Name)
+	}
+	mb := tir.NewModuleBuilder()
+
+	nMutex := s.LockStride
+	if nMutex < 1 {
+		nMutex = 1
+	}
+	gMutexes := make([]int, nMutex)
+	for i := range gMutexes {
+		gMutexes[i] = mb.Global(fmt.Sprintf("mutex%d", i), 8)
+	}
+	gShared := mb.Global("shared", 8*int64(nMutex))
+	gBarrier := mb.Global("barrier", 8)
+	gCondM := mb.Global("condm", 8)
+	gCond := mb.Global("cond", 8)
+	gTokens := mb.Global("tokens", 8)
+	gAtomic := mb.Global("atomiccell", 16)
+	gScratch := mb.Global("scratch", 4096)
+	gPath := mb.GlobalInit("path", 32, []byte(s.Name+".dat"))
+	pathLen := len(s.Name) + 4
+
+	worker := s.buildWorker(mb, workerGlobals{
+		mutexes: gMutexes, shared: gShared, barrier: gBarrier,
+		condM: gCondM, cond: gCond, tokens: gTokens,
+		atomic: gAtomic, scratch: gScratch, path: gPath, pathLen: pathLen,
+	})
+
+	m := mb.Func("main", 0)
+	if s.BarrierEvery > 0 {
+		ba, n := m.NewReg(), m.NewReg()
+		m.GlobalAddr(ba, gBarrier)
+		m.ConstI(n, int64(s.Threads))
+		m.Intrin(-1, tir.IntrinBarrierInit, ba, n)
+	}
+	fnr, argr := m.NewReg(), m.NewReg()
+	m.ConstI(fnr, int64(worker))
+	tids := make([]tir.Reg, s.Threads)
+	for i := 0; i < s.Threads; i++ {
+		tids[i] = m.NewReg()
+		m.ConstI(argr, int64(i))
+		m.Intrin(tids[i], tir.IntrinThreadCreate, fnr, argr)
+	}
+	sum := m.NewReg()
+	m.ConstI(sum, 0)
+	for i := 0; i < s.Threads; i++ {
+		r := m.NewReg()
+		m.Intrin(r, tir.IntrinThreadJoin, tids[i])
+		m.Bin(tir.Add, sum, sum, r)
+	}
+	m.Ret(sum)
+	m.Seal()
+	mb.SetEntry("main")
+	return mb.Build()
+}
+
+type workerGlobals struct {
+	mutexes []int
+	shared  int
+	barrier int
+	condM   int
+	cond    int
+	tokens  int
+	atomic  int
+	scratch int
+	path    int
+	pathLen int
+}
+
+// buildWorker emits the per-thread loop body.
+func (s Spec) buildWorker(mb *tir.ModuleBuilder, g workerGlobals) int {
+	fb := mb.Func("worker", 1)
+	self := fb.Param(0)
+
+	acc := fb.NewReg()
+	fb.ConstI(acc, 0)
+	one := fb.NewReg()
+	fb.ConstI(one, 1)
+
+	// Live heap-resident working set: allocated once per thread, written
+	// every iteration, never freed (see Spec.WorkingSet).
+	ws := fb.NewReg()
+	wsSize := s.WorkingSet / int64(s.Threads)
+	if wsSize > 0 {
+		szr, fill := fb.NewReg(), fb.NewReg()
+		fb.ConstI(szr, wsSize)
+		fb.Intrin(ws, tir.IntrinMalloc, szr)
+		// Initialize the data structure; real applications populate their
+		// heaps, which is what the Table 1 image diff observes.
+		fb.ConstI(fill, 0x42)
+		fb.Intrin(-1, tir.IntrinMemset, ws, fill, szr)
+	}
+
+	// Per-thread file descriptor for file IO.
+	fd := fb.NewReg()
+	if s.FileIO > 0 {
+		pa, pl := fb.NewReg(), fb.NewReg()
+		fb.GlobalAddr(pa, g.path)
+		fb.ConstI(pl, int64(g.pathLen))
+		fb.Syscall(fd, vsys.SysOpen, pa, pl)
+	}
+	sock := fb.NewReg()
+	if s.SocketIO > 0 {
+		fb.Syscall(sock, vsys.SysSocket)
+	}
+
+	i, lim, cond := fb.NewReg(), fb.NewReg(), fb.NewReg()
+	fb.ConstI(i, 0)
+	fb.ConstI(lim, int64(s.Iters))
+	loop, done := fb.NewLabel(), fb.NewLabel()
+	fb.Bind(loop)
+	fb.Bin(tir.LtS, cond, i, lim)
+	fb.Brz(cond, done)
+
+	// --- branchy integer CPU work (drives CLAP cost) ---
+	if s.CPUBranchy > 0 {
+		j, jl, jc, t := fb.NewReg(), fb.NewReg(), fb.NewReg(), fb.NewReg()
+		fb.ConstI(j, 0)
+		fb.ConstI(jl, int64(s.CPUBranchy))
+		jLoop, jDone, jOdd, jNext := fb.NewLabel(), fb.NewLabel(), fb.NewLabel(), fb.NewLabel()
+		fb.Bind(jLoop)
+		fb.Bin(tir.LtS, jc, j, jl)
+		fb.Brz(jc, jDone)
+		fb.Bin(tir.And, t, j, one)
+		fb.Br(t, jOdd)
+		fb.Bin(tir.Add, acc, acc, j)
+		fb.Jmp(jNext)
+		fb.Bind(jOdd)
+		fb.Bin(tir.Xor, acc, acc, j)
+		fb.Bind(jNext)
+		fb.AddI(j, j, 1)
+		fb.Jmp(jLoop)
+		fb.Bind(jDone)
+	}
+
+	// --- floating point work (blackscholes/swaptions profile) ---
+	if s.CPUFloat > 0 {
+		f, finc, k, kl, kc := fb.NewReg(), fb.NewReg(), fb.NewReg(), fb.NewReg(), fb.NewReg()
+		fb.ConstI(f, 4607182418800017408) // bits of 1.0
+		fb.ConstI(finc, 4607632778762754458)
+		fb.ConstI(k, 0)
+		fb.ConstI(kl, int64(s.CPUFloat))
+		kLoop, kDone := fb.NewLabel(), fb.NewLabel()
+		fb.Bind(kLoop)
+		fb.Bin(tir.LtS, kc, k, kl)
+		fb.Brz(kc, kDone)
+		fb.Bin(tir.FMul, f, f, finc)
+		fb.Emit(tir.Instr{Op: tir.FSqrt, A: f, B: f})
+		fb.Bin(tir.FAdd, f, f, finc)
+		fb.AddI(k, k, 1)
+		fb.Jmp(kLoop)
+		fb.Bind(kDone)
+		fi := fb.NewReg()
+		fb.Emit(tir.Instr{Op: tir.FtoI, A: fi, B: f})
+		fb.Bin(tir.Add, acc, acc, fi)
+	}
+
+	// --- uninstrumented library work (pbzip2 profile) ---
+	if s.LibraryWork > 0 {
+		src, dst, n := fb.NewReg(), fb.NewReg(), fb.NewReg()
+		fb.GlobalAddr(src, g.scratch)
+		fb.AddI(dst, src, 2048)
+		fb.ConstI(n, int64(s.LibraryWork))
+		fb.Intrin(-1, tir.IntrinMemcpy, dst, src, n)
+		fb.Intrin(-1, tir.IntrinMemcpy, src, dst, n)
+	}
+
+	// --- recorded lock traffic ---
+	if s.Locks > 0 {
+		ma, sa, v := fb.NewReg(), fb.NewReg(), fb.NewReg()
+		idx, off := fb.NewReg(), fb.NewReg()
+		for l := 0; l < s.Locks; l++ {
+			// mutex index = (self + l) % stride, resolved at run time so
+			// threads spread across the lock set.
+			fb.AddI(idx, self, int64(l))
+			str := fb.NewReg()
+			fb.ConstI(str, int64(len(g.mutexes)))
+			fb.Bin(tir.Rem, idx, idx, str)
+			base := fb.NewReg()
+			fb.GlobalAddr(base, g.mutexes[0])
+			sh := fb.NewReg()
+			fb.ConstI(sh, 3)
+			fb.Bin(tir.Shl, off, idx, sh)
+			// Mutex globals are laid out consecutively 8-byte aligned, so
+			// mutex i lives at mutex0 + 8i.
+			fb.Bin(tir.Add, ma, base, off)
+			fb.Intrin(-1, tir.IntrinMutexLock, ma)
+			fb.GlobalAddr(sa, g.shared)
+			fb.Bin(tir.Add, sa, sa, off)
+			for wr := 0; wr < s.WritesPerLock; wr++ {
+				fb.Load64(v, sa, 0)
+				fb.Bin(tir.Add, v, v, one)
+				fb.Store64(v, sa, 0)
+			}
+			fb.Intrin(-1, tir.IntrinMutexUnlock, ma)
+		}
+	}
+
+	// --- trylocks ---
+	if s.TryLocks > 0 {
+		ma, got := fb.NewReg(), fb.NewReg()
+		fb.GlobalAddr(ma, g.mutexes[0])
+		for l := 0; l < s.TryLocks; l++ {
+			fb.Intrin(got, tir.IntrinMutexTryLock, ma)
+			skip := fb.NewLabel()
+			fb.Brz(got, skip)
+			fb.Bin(tir.Add, acc, acc, one)
+			fb.Intrin(-1, tir.IntrinMutexUnlock, ma)
+			fb.Bind(skip)
+		}
+	}
+
+	// --- allocation churn ---
+	if s.Allocs > 0 {
+		sz, p := fb.NewReg(), fb.NewReg()
+		for a := 0; a < s.Allocs; a++ {
+			fb.ConstI(sz, s.AllocSize+int64(a%4)*16)
+			fb.Intrin(p, tir.IntrinMalloc, sz)
+			fb.Store64(i, p, 0)
+			fb.Intrin(-1, tir.IntrinFree, p)
+		}
+	}
+
+	// --- file IO (revocable) ---
+	if s.FileIO > 0 {
+		buf, n, want := fb.NewReg(), fb.NewReg(), fb.NewReg()
+		fb.GlobalAddr(buf, g.scratch)
+		fb.ConstI(want, int64(s.FileIO))
+		fb.Syscall(n, vsys.SysRead, fd, buf, want)
+		reopen := fb.NewLabel()
+		fb.Brz(n, reopen)
+		fb.Bin(tir.Add, acc, acc, n)
+		cont := fb.NewLabel()
+		fb.Jmp(cont)
+		fb.Bind(reopen)
+		// EOF: rewind via position query + reread pattern is irrevocable;
+		// simply stop reading (file sized to cover the run).
+		fb.Bind(cont)
+	}
+
+	// --- socket IO (recordable) ---
+	if s.SocketIO > 0 {
+		buf, n, want := fb.NewReg(), fb.NewReg(), fb.NewReg()
+		fb.GlobalAddr(buf, g.scratch)
+		fb.ConstI(want, int64(s.SocketIO))
+		fb.Syscall(n, vsys.SysRead, sock, buf, want)
+		fb.Bin(tir.Add, acc, acc, n)
+		fb.Syscall(-1, vsys.SysWrite, sock, buf, want)
+	}
+
+	// --- time queries (recordable) ---
+	if s.TimeCalls > 0 {
+		tv := fb.NewReg()
+		for q := 0; q < s.TimeCalls; q++ {
+			fb.Syscall(tv, vsys.SysGettimeofday)
+			fb.Bin(tir.Xor, acc, acc, tv)
+		}
+	}
+
+	// --- ad hoc synchronization (canneal profile) ---
+	if s.Atomics > 0 {
+		ca, old, nw, ok := fb.NewReg(), fb.NewReg(), fb.NewReg(), fb.NewReg()
+		fb.GlobalAddr(ca, g.atomic)
+		for a := 0; a < s.Atomics; a++ {
+			fb.Intrin(old, tir.IntrinAtomicLoad, ca)
+			fb.Bin(tir.Add, nw, old, one)
+			fb.Intrin(ok, tir.IntrinAtomicCAS, ca, old, nw)
+			fb.Bin(tir.Add, acc, acc, ok)
+		}
+	}
+
+	// --- condition-variable handoff (bodytrack profile) ---
+	if s.CondVar && s.Threads >= 2 {
+		ma, ca, ta, v := fb.NewReg(), fb.NewReg(), fb.NewReg(), fb.NewReg()
+		fb.GlobalAddr(ma, g.condM)
+		fb.GlobalAddr(ca, g.cond)
+		fb.GlobalAddr(ta, g.tokens)
+		isProd, isCons := fb.NewReg(), fb.NewReg()
+		zero := fb.NewReg()
+		fb.ConstI(zero, 0)
+		fb.Bin(tir.Eq, isProd, self, zero)
+		fb.ConstI(v, 1)
+		fb.Bin(tir.Eq, isCons, self, v)
+		notProd := fb.NewLabel()
+		afterCV := fb.NewLabel()
+		fb.Brz(isProd, notProd)
+		// producer: token++ and signal
+		fb.Intrin(-1, tir.IntrinMutexLock, ma)
+		fb.Load64(v, ta, 0)
+		fb.Bin(tir.Add, v, v, one)
+		fb.Store64(v, ta, 0)
+		fb.Intrin(-1, tir.IntrinCondSignal, ca)
+		fb.Intrin(-1, tir.IntrinMutexUnlock, ma)
+		fb.Jmp(afterCV)
+		fb.Bind(notProd)
+		fb.Brz(isCons, afterCV)
+		// consumer: wait for a token
+		fb.Intrin(-1, tir.IntrinMutexLock, ma)
+		waitLoop, gotTok := fb.NewLabel(), fb.NewLabel()
+		fb.Bind(waitLoop)
+		fb.Load64(v, ta, 0)
+		fb.Br(v, gotTok)
+		fb.Intrin(-1, tir.IntrinCondWait, ca, ma)
+		fb.Jmp(waitLoop)
+		fb.Bind(gotTok)
+		fb.Bin(tir.Sub, v, v, one)
+		fb.Store64(v, ta, 0)
+		fb.Intrin(-1, tir.IntrinMutexUnlock, ma)
+		fb.Bind(afterCV)
+	}
+
+	// --- working-set writes: scatter this iteration's result through the
+	// live heap buffer ---
+	if wsSize >= 64 {
+		slot, off := fb.NewReg(), fb.NewReg()
+		stride := fb.NewReg()
+		fb.ConstI(stride, (wsSize-8)/8)
+		fb.Bin(tir.Rem, off, i, stride)
+		three := fb.NewReg()
+		fb.ConstI(three, 3)
+		fb.Bin(tir.Shl, off, off, three)
+		fb.Bin(tir.Add, slot, ws, off)
+		fb.Store64(acc, slot, 0)
+	}
+
+	// --- barrier phase (streamcluster profile) ---
+	if s.BarrierEvery > 0 {
+		be, rem := fb.NewReg(), fb.NewReg()
+		fb.ConstI(be, int64(s.BarrierEvery))
+		fb.Bin(tir.Rem, rem, i, be)
+		skipBar := fb.NewLabel()
+		fb.Br(rem, skipBar)
+		ba := fb.NewReg()
+		fb.GlobalAddr(ba, g.barrier)
+		fb.Intrin(-1, tir.IntrinBarrierWait, ba)
+		fb.Bind(skipBar)
+	}
+
+	fb.Bin(tir.Add, i, i, one)
+	fb.Jmp(loop)
+	fb.Bind(done)
+	// Publish the thread's accumulator into a live heap object so the final
+	// heap image reflects every thread's computed result: this is what makes
+	// Table 1's diff meaningful (racy outcomes — canneal's ad hoc
+	// synchronization — surface as differing heap bytes).
+	pub, psz := fb.NewReg(), fb.NewReg()
+	fb.ConstI(psz, 32)
+	fb.Intrin(pub, tir.IntrinMalloc, psz)
+	fb.Store64(acc, pub, 0)
+	fb.Store64(i, pub, 8)
+	fb.Ret(acc)
+	fb.Seal()
+	return fb.Index()
+}
+
+// SetupOS installs the input files the workload reads.
+func (s Spec) SetupOS(os *vsys.OS) {
+	if s.FileIO > 0 {
+		// Size the file so reads never hit EOF across all iterations.
+		n := s.FileIO*s.Iters + 4096
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i*31 + 7)
+		}
+		os.AddFile(s.Name+".dat", data)
+	}
+}

@@ -1,0 +1,224 @@
+package workloads
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/interp"
+	"repro/internal/mem"
+	"repro/internal/tir"
+)
+
+func TestAllAppsBuildAndValidate(t *testing.T) {
+	for _, s := range Apps() {
+		mod, err := s.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if err := tir.Validate(mod); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+	}
+	if len(Apps()) != 15 {
+		t.Fatalf("apps = %d, want the paper's 15", len(Apps()))
+	}
+}
+
+func runApp(t *testing.T, s Spec, opts core.Options) (*core.Runtime, *core.Report) {
+	t.Helper()
+	mod, err := s.Build()
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name, err)
+	}
+	rt, err := core.New(mod, opts)
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name, err)
+	}
+	s.SetupOS(rt.OS())
+	rep, err := rt.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name, err)
+	}
+	return rt, rep
+}
+
+func TestAppsRunUnderRecording(t *testing.T) {
+	for _, s := range Apps() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			sm := s
+			sm.Iters = sm.Iters / 4
+			if sm.Iters < 4 {
+				sm.Iters = 4
+			}
+			_, rep := runApp(t, sm, core.Options{})
+			if rep.Stats.Epochs < 1 {
+				t.Fatalf("stats = %+v", rep.Stats)
+			}
+		})
+	}
+}
+
+func TestAppIdenticalReplayExceptCanneal(t *testing.T) {
+	// §5.2: every application replays identically except canneal, whose ad
+	// hoc atomic synchronization is invisible to the recorder. The mutex
+	// ablation fixes it.
+	cases := []string{"fluidanimate", "dedup", "canneal-mutex"}
+	for _, name := range cases {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			s, ok := ByName(name)
+			if !ok {
+				t.Fatalf("unknown app %s", name)
+			}
+			s.Iters = 12
+			var img1, img2 []byte
+			opts := core.Options{
+				MaxReplays:        400,
+				DelayOnDivergence: true,
+				OnEpochEnd: func(rt *core.Runtime, info core.EpochEndInfo) core.Decision {
+					if info.Reason == core.StopProgramEnd && img1 == nil {
+						img1 = rt.Mem().HeapImage()
+						return core.Replay
+					}
+					return core.Proceed
+				},
+				OnReplayMatched: func(rt *core.Runtime, attempts int) core.Decision {
+					img2 = rt.Mem().HeapImage()
+					return core.Proceed
+				},
+			}
+			_, _ = runApp(t, s, opts)
+			if img1 == nil || img2 == nil {
+				t.Fatal("replay did not complete")
+			}
+			if d := mem.DiffBytes(img1, img2); d != 0 {
+				t.Fatalf("%s: %d bytes differ after matched replay", name, d)
+			}
+		})
+	}
+}
+
+func TestCrasherCrashesSometimes(t *testing.T) {
+	crashes := 0
+	runs := 20
+	for i := 0; i < runs; i++ {
+		rt, err := core.New(DefaultCrasher().Build(), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Run(); err != nil {
+			var trap *interp.Trap
+			if !errors.As(err, &trap) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			crashes++
+		}
+	}
+	if crashes == 0 {
+		t.Fatal("the race never fired; delays need retuning")
+	}
+	t.Logf("crasher crashed %d/%d runs", crashes, runs)
+}
+
+func TestCrasherRaceReproducedByReplaySearch(t *testing.T) {
+	// Table 2's protocol: when the crash occurs, replay until the schedule
+	// matches (the fault reproduces); count attempts.
+	reproduced := false
+	var attemptsUsed int
+	opts := core.Options{
+		MaxReplays:        2000,
+		DelayOnDivergence: true,
+		OnEpochEnd: func(rt *core.Runtime, info core.EpochEndInfo) core.Decision {
+			if info.Reason == core.StopFault && !reproduced {
+				return core.Replay
+			}
+			return core.Proceed
+		},
+		OnReplayMatched: func(rt *core.Runtime, attempts int) core.Decision {
+			reproduced = true
+			attemptsUsed = attempts
+			return core.Proceed
+		},
+	}
+	// Find a crashing run first.
+	for i := 0; i < 50 && !reproduced; i++ {
+		rt, err := core.New(DefaultCrasher().Build(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, runErr := rt.Run()
+		if runErr != nil && !reproduced {
+			t.Fatalf("crash occurred but was not reproduced: %v", runErr)
+		}
+	}
+	if !reproduced {
+		t.Skip("race never fired in 50 runs")
+	}
+	t.Logf("race reproduced after %d replay attempt(s)", attemptsUsed)
+}
+
+func TestBugCorpusAllDetectedWithCorrectSite(t *testing.T) {
+	for _, b := range Corpus() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			d := detect.New(detect.Config{Overflow: true, UseAfterFree: true})
+			rt, err := core.New(b.Build(), d.Options())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Attach(rt); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := rt.Run(); err != nil {
+				t.Fatal(err)
+			}
+			rep := d.Report()
+			if len(rep.Violations) == 0 {
+				t.Fatalf("%s: bug not detected", b.Name)
+			}
+			wantUAF := b.Kind == BugUseAfterFree
+			if rep.Violations[0].UseFree != wantUAF {
+				t.Fatalf("%s: kind = UAF:%v, want UAF:%v", b.Name, rep.Violations[0].UseFree, wantUAF)
+			}
+			if len(rep.RootCauses) == 0 || len(rep.RootCauses[0].Hits) == 0 {
+				t.Fatalf("%s: no root cause", b.Name)
+			}
+			if got := rep.RootCauses[0].Hits[0].Stack[0].Func; got != b.Site {
+				t.Fatalf("%s: blamed %q, want %q", b.Name, got, b.Site)
+			}
+		})
+	}
+}
+
+func TestImplantOverflowTriggersDetector(t *testing.T) {
+	s, _ := ByName("swaptions")
+	s.Iters = 5
+	mod, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buggy := ImplantOverflow(mod)
+	if err := tir.Validate(buggy); err != nil {
+		t.Fatalf("implanted module invalid: %v", err)
+	}
+	d := detect.New(detect.Config{Overflow: true})
+	rt, err := core.New(buggy, d.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Attach(rt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := d.Report()
+	if len(rep.Violations) == 0 {
+		t.Fatal("implanted overflow not detected")
+	}
+}

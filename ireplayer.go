@@ -1,0 +1,84 @@
+// Package ireplayer is a Go reproduction of "iReplayer: In-situ and
+// Identical Record-and-Replay for Multithreaded Applications" (Liu,
+// Silvestro, Wang, Tian, Liu — PLDI 2018).
+//
+// Programs under test are expressed in TIR (package internal/tir), a small
+// register-based thread IR executed on checkpointable virtual CPUs, so that
+// the paper's mechanisms — epoch checkpoints of thread contexts, in-situ
+// rollback, identical replay via per-thread/per-variable event lists, and
+// watchpoint-driven root-cause analysis — are implemented directly rather
+// than approximated over goroutines (see DESIGN.md for the substitution
+// argument).
+//
+// The package re-exports the runtime's public surface:
+//
+//	rt, err := ireplayer.New(module, ireplayer.Options{})
+//	report, err := rt.Run()
+//
+// Tools hook epoch boundaries through Options.OnEpochEnd /
+// Options.OnReplayMatched; the bundled detectors (internal/detect), the
+// interactive debugger (internal/debug), the evaluation baselines
+// (internal/baseline/...), and the synthesized applications
+// (internal/workloads) all build on exactly this surface.
+package ireplayer
+
+import (
+	"repro/internal/core"
+	"repro/internal/tir"
+)
+
+// Runtime executes one TIR program under record-and-replay.
+type Runtime = core.Runtime
+
+// Options configures a Runtime.
+type Options = core.Options
+
+// Report summarizes a completed run.
+type Report = core.Report
+
+// Stats aggregates runtime counters.
+type Stats = core.Stats
+
+// Decision is a tool's verdict at an epoch boundary.
+type Decision = core.Decision
+
+// EpochEndInfo describes why an epoch ended.
+type EpochEndInfo = core.EpochEndInfo
+
+// StopReason explains an epoch boundary.
+type StopReason = core.StopReason
+
+// Epoch-boundary decisions.
+const (
+	// Proceed continues to the next epoch.
+	Proceed = core.Proceed
+	// Replay rolls back and re-executes the last epoch in-situ.
+	Replay = core.Replay
+	// Abort terminates the program.
+	Abort = core.Abort
+)
+
+// Epoch-end reasons.
+const (
+	// StopLogFull: a preallocated event list was exhausted.
+	StopLogFull = core.StopLogFull
+	// StopIrrevocable: an irrevocable system call closed the epoch.
+	StopIrrevocable = core.StopIrrevocable
+	// StopProgramEnd: main returned.
+	StopProgramEnd = core.StopProgramEnd
+	// StopFault: a thread trapped (the SIGSEGV analogue).
+	StopFault = core.StopFault
+	// StopTool: a tool or user requested the boundary.
+	StopTool = core.StopTool
+)
+
+// Module is a TIR program.
+type Module = tir.Module
+
+// NewModuleBuilder starts building a TIR program.
+var NewModuleBuilder = tir.NewModuleBuilder
+
+// New builds a runtime for a validated module.
+func New(mod *Module, opts Options) (*Runtime, error) {
+	return core.New(mod, opts)
+}
