@@ -9,6 +9,7 @@
 //	BenchmarkTable3Overhead     §5.3   recording overhead by system
 //	BenchmarkFigure5Detectors   §5.4.2 detector overhead vs ASan
 //	BenchmarkDetectionTable     §5.4.1 bug-corpus effectiveness
+//	BenchmarkBatchReplay        offline replay throughput by worker count
 package ireplayer_test
 
 import (
@@ -16,6 +17,10 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/record"
+	"repro/internal/tir"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -107,6 +112,57 @@ func BenchmarkFigure5Detectors(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkBatchReplay measures parallel offline replay: one trace is
+// recorded up front, then each iteration fans eight re-replays of it across
+// the worker pool. Comparing ns/op across the workers sub-benchmarks shows
+// the throughput scaling of the sharded batch replayer (bounded by
+// GOMAXPROCS on small hosts); events/s reports absolute replay throughput.
+func BenchmarkBatchReplay(b *testing.B) {
+	spec := specFor(b, "streamcluster", 0.15)
+	opts := core.Options{Seed: 21}
+	mod, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := &trace.Trace{Header: trace.Header{
+		App: spec.Name, ModuleHash: tir.Fingerprint(mod),
+	}}
+	recOpts := opts
+	recOpts.TraceSink = func(ep *record.EpochLog) error {
+		tr.Epochs = append(tr.Epochs, ep)
+		return nil
+	}
+	rt, err := core.New(mod, recOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.SetupOS(rt.OS())
+	rep, err := rt.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr.Summary = &trace.Summary{Exit: rep.Exit, Output: rep.Output}
+
+	job := trace.Job{
+		Name: spec.Name, Module: mod, Trace: tr, Opts: core.Options{Seed: 21},
+		Setup: func(rt *core.Runtime) error { spec.SetupOS(rt.OS()); return nil },
+	}
+	const fan = 8
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var events int64
+			for i := 0; i < b.N; i++ {
+				results, stats := trace.ReplayBatch(trace.Fanout(job, fan), workers)
+				if stats.Failed != 0 {
+					b.Fatalf("batch failed: %+v", results)
+				}
+				events += stats.Events
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+		})
 	}
 }
 

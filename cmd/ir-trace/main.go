@@ -1,0 +1,321 @@
+// Command ir-trace records evaluated applications into persistent trace
+// files and replays them offline — the record-once / replay-many workflow
+// the in-memory runtime alone cannot offer:
+//
+//	ir-trace record -app pfscan -dir ./traces          # run + persist
+//	ir-trace ls -dir ./traces                          # inventory
+//	ir-trace replay -name pfscan -dir ./traces         # one offline replay
+//	ir-trace replay -name pfscan -n 16 -workers 4      # parallel fan-out
+//	ir-trace verify -name pfscan -dir ./traces         # replay + compare
+//
+// Traces are stored one file per recording ("<name>.irt"), indexed by the
+// recorded module's fingerprint; replay rebuilds the named workload, checks
+// the fingerprint, and re-executes through the divergence-checking replay
+// path.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tir"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = cmdRecord(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "ls":
+		err = cmdLs(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "ir-trace: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ir-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: ir-trace <record|replay|ls|verify> [flags]
+
+  record  -app NAME [-name N] [-dir D] [-scale S] [-seed N] [-eventcap N]
+  replay  -name N [-dir D] [-n COPIES] [-workers W] [-max-replays N] [-delay]
+  ls      [-dir D]
+  verify  -name N [-dir D]
+
+known apps:
+`)
+	for _, name := range workloads.Names() {
+		fmt.Fprintf(os.Stderr, "  %s\n", name)
+	}
+}
+
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	app := fs.String("app", "", "application to record (see ir-trace help)")
+	name := fs.String("name", "", "trace name (default: the app name)")
+	dir := fs.String("dir", "traces", "trace store directory")
+	scale := fs.Float64("scale", 1.0, "iteration scale")
+	seed := fs.Int64("seed", 42, "external-nondeterminism seed")
+	eventCap := fs.Int("eventcap", 0, "per-thread event list size (0 = default)")
+	fs.Parse(args)
+	if *app == "" {
+		return fmt.Errorf("record: -app is required")
+	}
+	spec, ok := workloads.ByName(*app)
+	if !ok {
+		return fmt.Errorf("record: unknown app %q (run `ir-trace help` for the list)", *app)
+	}
+	if *scale != 1.0 {
+		spec.Iters = int(float64(spec.Iters) * *scale)
+		if spec.Iters < 3 {
+			spec.Iters = 3
+		}
+	}
+	if *name == "" {
+		*name = spec.Name
+	}
+	mod, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	st, err := trace.OpenStore(*dir)
+	if err != nil {
+		return err
+	}
+
+	// Stream epoch frames straight to the file as the runtime flushes them.
+	f, err := st.Create(*name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	opts := core.Options{Seed: *seed, EventCap: *eventCap}
+	w, err := trace.NewWriter(f, trace.Header{
+		App:        spec.Name,
+		ModuleHash: tir.Fingerprint(mod),
+		EventCap:   *eventCap,
+		VarCap:     0,
+		Seed:       *seed,
+		AppIters:   spec.Iters,
+	})
+	if err != nil {
+		return err
+	}
+	opts.TraceSink = w.Sink()
+	rt, err := core.New(mod, opts)
+	if err != nil {
+		return err
+	}
+	spec.SetupOS(rt.OS())
+	start := time.Now()
+	rep, runErr := rt.Run()
+	if rep == nil {
+		return runErr
+	}
+	if err := w.Finish(&trace.Summary{Exit: rep.Exit, Output: rep.Output}); err != nil {
+		return err
+	}
+	if runErr != nil {
+		// A faulting run still leaves a valid trace (the bug-reproduction
+		// use case); report both.
+		fmt.Printf("recorded %s with fault: %v\n", *name, runErr)
+	}
+	fi, _ := f.Stat()
+	fmt.Printf("recorded %s: %d epochs, %d bytes, exit=%d, wall=%v -> %s\n",
+		*name, w.Epochs(), fi.Size(), rep.Exit, time.Since(start).Round(time.Millisecond),
+		st.Path(*name))
+	return nil
+}
+
+// loadJob resolves a stored trace back to a runnable replay job.
+func loadJob(st *trace.Store, name string, opts core.Options) (trace.Job, error) {
+	tr, err := st.Load(name)
+	if err != nil {
+		return trace.Job{}, err
+	}
+	spec, ok := workloads.ByName(tr.Header.App)
+	if !ok {
+		return trace.Job{}, fmt.Errorf("trace %s was recorded from unknown app %q", name, tr.Header.App)
+	}
+	// The header records the iteration count the module was built with;
+	// older traces without it fall back to a fingerprint search over
+	// iteration scales (the only module-shaping knob the recorder exposes).
+	if tr.Header.AppIters > 0 {
+		spec.Iters = tr.Header.AppIters
+	}
+	mod, err := buildMatching(spec, tr.Header.ModuleHash)
+	if err != nil {
+		return trace.Job{}, fmt.Errorf("trace %s: %v", name, err)
+	}
+	opts.Seed = tr.Header.Seed
+	opts.EventCap = tr.Header.EventCap
+	return trace.Job{
+		Name: name, Module: mod, Trace: tr, Opts: opts,
+		Setup: func(rt *core.Runtime) error { spec.SetupOS(rt.OS()); return nil },
+	}, nil
+}
+
+// buildMatching finds the iteration count whose module matches hash: the
+// spec's iteration knob is the only module-shaping parameter the record
+// subcommand exposes.
+func buildMatching(spec workloads.Spec, hash uint64) (*tir.Module, error) {
+	mod, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	if hash == 0 || tir.Fingerprint(mod) == hash {
+		return mod, nil
+	}
+	base := spec
+	for iters := 3; iters <= base.Iters*4+16; iters++ {
+		s := base
+		s.Iters = iters
+		m, err := s.Build()
+		if err != nil {
+			return nil, err
+		}
+		if tir.Fingerprint(m) == hash {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("no iteration scale of %q matches the recorded module fingerprint %#x (recorded with different parameters?)", spec.Name, hash)
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	name := fs.String("name", "", "trace name to replay")
+	dir := fs.String("dir", "traces", "trace store directory")
+	n := fs.Int("n", 1, "number of parallel re-replays")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	maxReplays := fs.Int("max-replays", 0, "divergence search bound (0 = default)")
+	delay := fs.Bool("delay", true, "randomized delays on divergence retries")
+	fs.Parse(args)
+	if *name == "" {
+		return fmt.Errorf("replay: -name is required")
+	}
+	st, err := trace.OpenStore(*dir)
+	if err != nil {
+		return err
+	}
+	job, err := loadJob(st, *name, core.Options{
+		MaxReplays: *maxReplays, DelayOnDivergence: *delay,
+	})
+	if err != nil {
+		return err
+	}
+	jobs := []trace.Job{job}
+	if *n > 1 {
+		jobs = trace.Fanout(job, *n)
+	}
+	results, stats := trace.ReplayBatch(jobs, *workers)
+	for _, r := range results {
+		switch {
+		case r.Matched && r.Err == nil:
+			fmt.Printf("%-24s matched (attempts=%d, wall=%v)\n",
+				r.Name, r.Report.Stats.LastReplayAttempts, r.Wall.Round(time.Millisecond))
+		case r.Matched:
+			fmt.Printf("%-24s matched, reproduced fault: %v\n", r.Name, r.Err)
+		default:
+			fmt.Printf("%-24s FAILED: %v\n", r.Name, r.Err)
+		}
+	}
+	fmt.Printf("batch: %d/%d matched, %d events replayed, work=%v elapsed=%v (x%.1f)\n",
+		stats.Matched, stats.Jobs, stats.Events,
+		stats.Work.Round(time.Millisecond), stats.Elapsed.Round(time.Millisecond),
+		float64(stats.Work)/float64(stats.Elapsed+1))
+	if stats.Failed > 0 {
+		return fmt.Errorf("%d replay(s) failed to match", stats.Failed)
+	}
+	return nil
+}
+
+func cmdLs(args []string) error {
+	fs := flag.NewFlagSet("ls", flag.ExitOnError)
+	dir := fs.String("dir", "traces", "trace store directory")
+	fs.Parse(args)
+	st, err := trace.OpenStore(*dir)
+	if err != nil {
+		return err
+	}
+	entries, err := st.List()
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		fmt.Printf("no traces in %s\n", st.Dir())
+		return nil
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NAME\tAPP\tMODULE\tEPOCHS\tEVENTS\tBYTES\tCOMPLETE")
+	for _, e := range entries {
+		if e.Header.App == "" {
+			fmt.Fprintf(tw, "%s\t(unreadable)\t-\t-\t-\t-\t-\n", e.Name)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%016x\t%d\t%d\t%d\t%v\n",
+			e.Name, e.Header.App, e.Header.ModuleHash, e.Epochs, e.Events, e.Size, e.Complete)
+	}
+	return tw.Flush()
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	name := fs.String("name", "", "trace name to verify")
+	dir := fs.String("dir", "traces", "trace store directory")
+	fs.Parse(args)
+	if *name == "" {
+		return fmt.Errorf("verify: -name is required")
+	}
+	st, err := trace.OpenStore(*dir)
+	if err != nil {
+		return err
+	}
+	tr, err := st.Load(*name) // CRC validation happens on decode
+	if err != nil {
+		return fmt.Errorf("integrity: %v", err)
+	}
+	if tr.Summary == nil {
+		fmt.Printf("%s: incomplete trace (no summary frame); replaying best-effort\n", *name)
+	}
+	job, err := loadJob(st, *name, core.Options{DelayOnDivergence: true})
+	if err != nil {
+		return err
+	}
+	results, _ := trace.ReplayBatch([]trace.Job{job}, 1)
+	r := results[0]
+	if !r.Matched {
+		return fmt.Errorf("verify %s: %v", *name, r.Err)
+	}
+	fmt.Printf("%s: OK — %d epochs, %d events, schedule reproduced (attempts=%d)",
+		*name, len(tr.Epochs), tr.EventCount(), r.Report.Stats.LastReplayAttempts)
+	if tr.Summary != nil {
+		fmt.Printf(", exit/output match recording")
+	}
+	if r.Err != nil {
+		fmt.Printf(", recorded fault reproduced (%v)", r.Err)
+	}
+	fmt.Println()
+	return nil
+}

@@ -33,7 +33,14 @@ func main() {
 		}
 		spec, ok := workloads.ByName(*app)
 		if !ok {
-			return nil, fmt.Errorf("unknown app %q", *app)
+			fmt.Fprintf(os.Stderr, "irdb: unknown app %q\n", *app)
+			fmt.Fprintln(os.Stderr, "usage: irdb -app <name> [-implant] [-break-at-end]")
+			fmt.Fprintln(os.Stderr, "known apps:")
+			fmt.Fprintln(os.Stderr, "  crasher")
+			for _, name := range workloads.Names() {
+				fmt.Fprintf(os.Stderr, "  %s\n", name)
+			}
+			os.Exit(2)
 		}
 		m, err := spec.Build()
 		if err != nil {

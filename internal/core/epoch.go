@@ -217,15 +217,28 @@ func (rt *Runtime) monitor() {
 // synchronization count as stopped: with every other thread parked, nothing
 // can wake them.
 func (rt *Runtime) awaitQuiescence() {
+	// Stability must hold across several spaced observations, not one: on an
+	// oversubscribed host a runnable thread can sit unscheduled (still
+	// tsBlocked) past a single 50µs window, and declaring a stall then would
+	// send a healthy replay into a spurious rollback.
+	const confirmations = 4
+	stable := 0
+	a1 := rt.activity.Load()
 	for {
-		a1 := rt.activity.Load()
-		if rt.noneRunning() {
-			time.Sleep(50 * time.Microsecond)
-			if rt.activity.Load() == a1 && rt.noneRunning() {
-				return
-			}
-		} else {
+		if !rt.noneRunning() {
+			stable = 0
 			time.Sleep(100 * time.Microsecond)
+			a1 = rt.activity.Load()
+			continue
+		}
+		time.Sleep(50 * time.Microsecond)
+		if a2 := rt.activity.Load(); a2 != a1 || !rt.noneRunning() {
+			stable = 0
+			a1 = rt.activity.Load()
+			continue
+		}
+		if stable++; stable >= confirmations {
+			return
 		}
 	}
 }
@@ -248,8 +261,15 @@ func (rt *Runtime) noneRunning() bool {
 // (possibly many times, §3.5.2), or terminate. Returns true when the
 // program is over.
 func (rt *Runtime) handleEpochEnd() bool {
+	// stopReason/stopTID are written by requestStop under stopMu from
+	// arbitrary goroutines (tools call RequestEpochEnd); take the lock for
+	// the read — the captured reason is persisted into trace files and must
+	// be the one whose stop this boundary is handling.
+	rt.stopMu.Lock()
 	reason := rt.stopReason
-	info := EpochEndInfo{Epoch: rt.epochSeq, Reason: reason, TID: rt.stopTID, Fault: rt.progErr}
+	stopTID := rt.stopTID
+	rt.stopMu.Unlock()
+	info := EpochEndInfo{Epoch: rt.epochSeq, Reason: reason, TID: stopTID, Fault: rt.progErr}
 
 	decision := Proceed
 	if rt.opts.OnEpochEnd != nil {
@@ -295,12 +315,63 @@ func (rt *Runtime) handleEpochEnd() bool {
 	case Abort:
 		return true
 	default: // Proceed
+		if err := rt.flushTraceSink(reason); err != nil {
+			rt.errMu.Lock()
+			if rt.progErr == nil {
+				rt.progErr = fmt.Errorf("core: trace sink: %w", err)
+			}
+			rt.errMu.Unlock()
+			return true
+		}
 		if reason == StopProgramEnd || reason == StopFault {
 			return true
 		}
 		rt.beginEpoch()
 		return false
 	}
+}
+
+// flushTraceSink hands the closing epoch's finalized log to the configured
+// trace sink. It runs while the world is quiescent, after any tool-driven
+// replays matched (a matched replay leaves the lists holding exactly the
+// recorded events) and before beginEpoch's housekeeping clears them.
+func (rt *Runtime) flushTraceSink(reason StopReason) error {
+	if rt.opts.TraceSink == nil || rt.opts.DisableRecording {
+		return nil
+	}
+	return rt.opts.TraceSink(rt.captureEpochLog(reason))
+}
+
+// captureEpochLog deep-copies the epoch's per-thread and per-variable lists
+// into an encode-stable record.EpochLog. Reclaimed (dead) threads cannot
+// carry events from this epoch and are skipped; every other thread is
+// included even with an empty list, because the offline replayer needs each
+// thread's entry function to pre-create it.
+func (rt *Runtime) captureEpochLog(reason StopReason) *record.EpochLog {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	ep := &record.EpochLog{Epoch: rt.epochSeq, Reason: int32(reason)}
+	for _, t := range rt.threads {
+		if t == nil || t.state.Load() == tsDead {
+			continue
+		}
+		ep.Threads = append(ep.Threads, record.ThreadLog{
+			TID:     t.id,
+			EntryFn: int32(t.entryFn),
+			Events:  append([]record.Event(nil), t.list.Events()...),
+		})
+	}
+	for _, s := range rt.shadowL {
+		s.mu.Lock()
+		if s.order.Len() > 0 {
+			ep.Vars = append(ep.Vars, record.VarLog{
+				Addr:  s.addr,
+				Order: append([]int32(nil), s.order.Order()...),
+			})
+		}
+		s.mu.Unlock()
+	}
+	return ep
 }
 
 // replayMatched reports whether the finished re-execution reproduced the
@@ -343,7 +414,9 @@ func (rt *Runtime) beginEpoch() {
 	rt.epochSeq++
 	rt.stats.Epochs++
 	rt.takeCheckpoint()
+	rt.stopMu.Lock()
 	rt.stopReason = StopNone
+	rt.stopMu.Unlock()
 	rt.setPhase(phRecord)
 }
 
@@ -386,6 +459,13 @@ func (rt *Runtime) rollbackAndReplay() {
 	rt.awaitAllUnwound()
 
 	// 2. Restore shared state while every thread is parked.
+	if rt.offline {
+		// An offline retry restarts the whole program; discard the diverged
+		// attempt's re-emitted output so a matched attempt's output is whole.
+		rt.outMu.Lock()
+		rt.outBuf.Reset()
+		rt.outMu.Unlock()
+	}
 	rt.clearDeferred()
 	rt.mem.Restore(rt.ckpt.snap)
 	rt.alloc.Restore(rt.ckpt.allocSnap)
@@ -421,12 +501,24 @@ func (rt *Runtime) rollbackAndReplay() {
 		tc, inCkpt := rt.ckpt.threads[t.id]
 		switch {
 		case !inCkpt:
+			// Born during the dead epoch. Its creator marked it running
+			// before handing it its start message (threadCreate), so
+			// awaitAllUnwound above could not pass until the message was
+			// consumed and the thread unwound — the start channel is
+			// empty and the thread is parked at its trampoline.
 			t.setState(tsEmbryo)
 		case tc.exited:
 			t.joined = tc.joined
+			// Mark the thread running before handing it its message: a thread
+			// with an unprocessed resume is not quiescent, and quiescence
+			// detection observing the hand-off window would otherwise declare
+			// a stalled replay and start a second rollback whose send then
+			// deadlocks against the undrained one-slot start channel.
+			t.setState(tsRunning)
 			t.startCh <- startMsg{kind: smParkExited}
 		default:
 			t.joined = tc.joined
+			t.setState(tsRunning)
 			t.startCh <- startMsg{kind: smResume, ctx: tc.ctx, block: tc.block}
 		}
 	}

@@ -1,0 +1,225 @@
+package core
+
+// Offline replay: re-executing a stored trace in a fresh process.
+//
+// In-situ replay (§3.4) rolls the live world back to the last epoch
+// checkpoint and re-executes against the in-memory lists. Offline replay has
+// no live world and no serialized CPU contexts — what a trace persists is
+// exactly the paper's per-thread and per-variable lists (§3.2), plus enough
+// thread metadata to rebuild the cast. That is sufficient because the lists
+// of *all* epochs, concatenated with per-variable positions rebased
+// (record.FlattenEpochs), fully determine a re-execution from program start:
+//
+//   - program order fixes each thread's sequence, the concatenated variable
+//     lists fix every cross-thread interleaving, recordable syscall results
+//     are returned from the log, and revocable IO is re-issued against the
+//     re-created virtual OS state;
+//   - epoch boundaries need no re-enactment: the irrevocable-syscall dance
+//     and log-exhaustion stops exist to bound in-situ rollback, and a
+//     whole-program replay has nothing to bound;
+//   - divergence checking and the randomized re-execution search (§3.5.2)
+//     are inherited unchanged — the program-start checkpoint taken before
+//     releasing the main thread is a perfectly ordinary rollback target, so
+//     a diverged attempt restarts the program exactly like an in-situ retry
+//     restarts an epoch.
+//
+// PrepareReplay builds the primed runtime (callers may still populate the
+// virtual OS with the workload's input files), RunReplay drives it, and
+// ReplayFromTrace is the one-call convenience wrapper.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/record"
+	"repro/internal/tir"
+)
+
+// PrepareReplay builds a runtime primed to re-execute the recorded epochs of
+// a trace from program start. The returned runtime has not started: callers
+// that need virtual-OS state (input files installed by workload setup) must
+// recreate it via rt.OS() before calling RunReplay. Options are interpreted
+// as for New, except that recording-side hooks (TraceSink, OnEpochEnd,
+// OnReplayMatched) are ignored; Mem, EventCap, VarCap and the allocator
+// selection must match the recording run for addresses to reproduce.
+func PrepareReplay(mod *tir.Module, epochs []*record.EpochLog, opts Options) (*Runtime, error) {
+	if len(epochs) == 0 {
+		return nil, errors.New("core: replay of an empty trace")
+	}
+	opts.TraceSink = nil
+	opts.OnEpochEnd = nil
+	opts.OnReplayMatched = nil
+	opts.DisableRecording = false
+	rt, err := New(mod, opts)
+	if err != nil {
+		return nil, err
+	}
+	rt.offline = true
+
+	threads, vars, err := record.FlattenEpochs(epochs)
+	if err != nil {
+		return nil, err
+	}
+	if len(threads) == 0 || len(threads[0].Events) == 0 {
+		return nil, errors.New("core: trace has no main-thread events")
+	}
+	for _, tl := range threads {
+		if tl.TID != 0 && (tl.EntryFn < 0 || int(tl.EntryFn) >= len(mod.Funcs)) {
+			return nil, fmt.Errorf("core: trace thread %d has invalid entry function %d",
+				tl.TID, tl.EntryFn)
+		}
+	}
+
+	// The final epoch's stop reason matters for one check: a trace that ended
+	// in a fault must see the same fault again — onTrap treats a trap after a
+	// fully consumed list as the matching outcome only under StopFault.
+	rt.stopReason = StopReason(epochs[len(epochs)-1].Reason)
+
+	// Main thread and the program-start checkpoint, exactly as Run does. Its
+	// trampoline starts parked on the start channel; RunReplay releases it.
+	main, err := rt.newThread(rt.mod.Entry, 0, false)
+	if err != nil {
+		return nil, err
+	}
+	main.cpu.Start(rt.mod.Entry, nil)
+	rt.epochSeq = 1
+	rt.stats.Epochs = int64(len(epochs))
+	rt.takeCheckpoint()
+	go main.trampoline()
+	// Once any trampoline is live, error paths must reap it.
+	fail := func(err error) (*Runtime, error) {
+		rt.shutdown()
+		return nil, err
+	}
+
+	// Pre-create every other recorded thread in embryo state, after the
+	// checkpoint so that a divergence rollback reverts it to an embryo again
+	// (the !inCkpt arm of rollbackAndReplay). Its replayed creation event
+	// releases it, as for threads born during an in-situ dead epoch (§3.5.1).
+	for _, tl := range threads[1:] {
+		t, err := rt.newThread(int(tl.EntryFn), 0, true)
+		if err != nil {
+			return fail(err)
+		}
+		go t.trampoline()
+		if t.id != tl.TID {
+			return fail(fmt.Errorf("core: trace thread %d materialized as %d", tl.TID, t.id))
+		}
+	}
+
+	// Load the concatenated lists. Shadow variables are pre-created so their
+	// recorded orders are in place before first use; varFor finds them by
+	// address and rewrites the in-memory index word on demand.
+	rt.mu.Lock()
+	for i := range threads {
+		rt.threads[i].list = record.LoadThreadList(threads[i].Events)
+	}
+	rt.mu.Unlock()
+	for _, vl := range vars {
+		s := rt.replayVarFor(vl.Addr)
+		s.mu.Lock()
+		s.order = record.LoadVarList(vl.Order)
+		s.mu.Unlock()
+	}
+	return rt, nil
+}
+
+// replayVarFor resolves (or pre-creates) the shadow for addr without touching
+// VM memory — memory is still at its program-start state and varFor caches
+// the index word lazily on first use during the replay itself.
+func (rt *Runtime) replayVarFor(addr uint64) *syncVar {
+	switch addr {
+	case createVarAddr:
+		return rt.createVar
+	case superVarAddr:
+		return rt.superVar
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if s, ok := rt.shadows[addr]; ok {
+		return s
+	}
+	return rt.newSyncVarLocked(addr)
+}
+
+// RunReplay re-executes the loaded trace to completion through the ordinary
+// divergence-checking replay path, retrying from program start (with the
+// §3.5.2 randomized delays, if enabled) until the recorded schedule is
+// reproduced or Options.MaxReplays attempts are exhausted. On a match it
+// returns the replayed report; a trace that recorded a fault reproduces the
+// fault, which is returned as the error alongside the report.
+func (rt *Runtime) RunReplay() (*Report, error) {
+	if !rt.offline {
+		return nil, errors.New("core: RunReplay on a runtime not built by PrepareReplay")
+	}
+	main := rt.thread(0)
+	if main == nil {
+		return nil, errors.New("core: replay runtime has no main thread")
+	}
+	// In-situ replay inherits the paper's unlimited default search; offline a
+	// runaway search has no user watching it, so an unset bound gets a large
+	// finite default and surfaces as an error instead of spinning forever.
+	maxReplays := rt.opts.MaxReplays
+	if maxReplays == 0 {
+		maxReplays = 256
+	}
+	rt.divMu.Lock()
+	rt.attempt = 1
+	rt.divMu.Unlock()
+	rt.stats.Replays++
+	rt.setPhase(phReplay)
+	// Mark main running before releasing it so quiescence detection cannot
+	// observe an all-parked world in the hand-off window.
+	main.setState(tsRunning)
+	main.startCh <- startMsg{kind: smStart}
+
+	attempt := 1
+	for {
+		rt.awaitQuiescence()
+		if rt.replayMatched() {
+			rt.stats.MatchedReplays++
+			rt.stats.LastReplayAttempts = attempt
+			break
+		}
+		if attempt >= maxReplays {
+			info := rt.DivergenceInfo()
+			rt.shutdown()
+			return nil, fmt.Errorf("core: offline replay diverged %d times without matching: %s",
+				attempt, info)
+		}
+		attempt++
+		rt.stats.Replays++
+		rt.divMu.Lock()
+		rt.attempt = attempt
+		rt.diverged = false
+		rt.divMu.Unlock()
+		rt.rollbackAndReplay()
+	}
+
+	rep := &Report{
+		Exit:   main.exitVal,
+		Stats:  rt.stats,
+		Output: rt.Output(),
+	}
+	_, ferr := rt.FaultedThread()
+	rt.shutdown()
+	return rep, ferr
+}
+
+// ReplayFromTrace loads a recorded epoch sequence and re-executes it from
+// program start: PrepareReplay + optional OS setup + RunReplay. setup, when
+// non-nil, runs before execution and recreates environment the recording run
+// had (typically the workload's input files).
+func ReplayFromTrace(mod *tir.Module, epochs []*record.EpochLog, opts Options, setup func(*Runtime) error) (*Report, error) {
+	rt, err := PrepareReplay(mod, epochs, opts)
+	if err != nil {
+		return nil, err
+	}
+	if setup != nil {
+		if err := setup(rt); err != nil {
+			rt.shutdown()
+			return nil, err
+		}
+	}
+	return rt.RunReplay()
+}

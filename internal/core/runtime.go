@@ -52,6 +52,13 @@ type Options struct {
 	// recorded schedule; tools may request another Replay (§4.1: more than
 	// four watchpoints) or Abort.
 	OnReplayMatched func(rt *Runtime, attempts int) Decision
+	// TraceSink, when set, receives every epoch's finalized event log at the
+	// epoch boundary, after any tool-driven replays have resolved and before
+	// the lists are cleared for the next epoch — the hand-off point between
+	// in-situ recording and the persistent trace layer (internal/trace). The
+	// log is a deep copy; the sink may retain it. A sink error terminates the
+	// run and surfaces from Run. Ignored with DisableRecording.
+	TraceSink func(*record.EpochLog) error
 	// OnProbe receives instrumentation probes (Probe instructions inserted
 	// by IR passes); used by the CLAP and ASan baseline runtimes. Must be
 	// safe for concurrent calls from different thread IDs.
@@ -120,6 +127,12 @@ type Runtime struct {
 
 	epochSeq int64
 	ckpt     *checkpoint
+
+	// offline marks a runtime built by PrepareReplay: it re-executes a stored
+	// trace from program start instead of recording, with program output
+	// re-emitted (there is no original execution to duplicate) and recorded
+	// opens materialized through the virtual OS.
+	offline bool
 
 	deferredMu sync.Mutex
 	deferred   []deferredOp
@@ -532,7 +545,16 @@ func (h *threadHooks) Intrinsic(id int64, args []uint64) (ret uint64, err error)
 		preciseSleep(arg(0))
 		return 0, nil
 	case tir.IntrinPrint:
-		if !rt.phaseIs(phReplay) {
+		// In-situ replay suppresses output (the original execution already
+		// printed it) — including the stopping/rollback phases, where a
+		// thread between intercept points could otherwise duplicate a line
+		// into the preserved original output. Offline replay re-emits
+		// everything: there is no original stream, and matching the recorded
+		// output is part of the identity check (diverged offline attempts
+		// reset the buffer on rollback).
+		ph := rt.phase()
+		replaying := ph == phReplay || ph == phReplayStopping || ph == phRollback
+		if !replaying || rt.offline {
 			rt.outMu.Lock()
 			fmt.Fprintf(&rt.outBuf, "%d\n", int64(arg(0)))
 			rt.outMu.Unlock()

@@ -642,8 +642,12 @@ func (t *Thread) threadCreate(fn int64, arg uint64) (uint64, error) {
 			}
 			// The child goroutine is alive in embryo state; release it to
 			// run its body from the start (§3.5.1: actual creation skipped,
-			// same ID and stack guaranteed).
+			// same ID and stack guaranteed). Mark it running before the
+			// hand-off: a child with an unprocessed start message must not
+			// look quiescent, or a stop/rollback racing the release could
+			// restore state while the child starts executing against it.
 			child.entryArg = arg
+			child.setState(tsRunning)
 			child.startCh <- startMsg{kind: smStart}
 			t.list.Advance()
 			cv.advanceTurn()
@@ -660,6 +664,9 @@ func (t *Thread) threadCreate(fn int64, arg uint64) (uint64, error) {
 	rt.createMu.Unlock()
 	t.appendEvent(record.Event{Kind: record.KCreate, Var: cv.addr, Aux: int64(child.id), Pos: pos})
 	go child.trampoline()
+	// Running-before-release, as in the replay arm: quiescence must not be
+	// observable between the hand-off and the child's first instruction.
+	child.setState(tsRunning)
 	child.startCh <- startMsg{kind: smStart}
 	return uint64(child.id), nil
 }

@@ -118,12 +118,29 @@ func (t *Thread) syscallReplay(num int64, args []uint64, class vsys.Class) (uint
 			}
 		}
 		if num == vsys.SysOpen {
-			// The file is still open in-situ from the original execution;
-			// the replayed open returns the recorded descriptor, reset to
-			// the position a fresh open would have. Descriptors already open
-			// at epoch begin are covered by the checkpointed position table
-			// instead (§3.4).
-			rt.os.Lseek(int64(ev.Ret), 0, vsys.SeekSet)
+			if rt.offline {
+				// Offline replay runs in a fresh process: nothing is open.
+				// Materialize the descriptor at the recorded number (which
+				// sidesteps any cross-thread ordering of concurrent opens)
+				// with the position a fresh open would have.
+				if len(args) < 2 {
+					return 0, t.trapf("replayed open with missing path args")
+				}
+				path, perr := rt.readString(args[0], int(args[1]))
+				if perr != nil {
+					return 0, t.trapf("replayed open with bad path pointer: %v", perr)
+				}
+				if oerr := rt.os.OpenAt(path, int64(ev.Ret)); oerr != nil {
+					return 0, t.trapf("replayed open: %v", oerr)
+				}
+			} else {
+				// The file is still open in-situ from the original execution;
+				// the replayed open returns the recorded descriptor, reset to
+				// the position a fresh open would have. Descriptors already
+				// open at epoch begin are covered by the checkpointed position
+				// table instead (§3.4).
+				rt.os.Lseek(int64(ev.Ret), 0, vsys.SeekSet)
+			}
 		}
 		return ev.Ret, nil
 	case vsys.Revocable:

@@ -1,0 +1,140 @@
+package record
+
+import "fmt"
+
+// EpochLog is one epoch's complete, finalized event record: every live
+// thread's per-thread list and every touched variable's cross-thread order
+// list, captured at the epoch boundary after any tool-driven replays have
+// resolved. It is the unit the runtime hands to a trace sink and the unit
+// the offline replayer consumes — deliberately a plain value type with only
+// exported, encode-stable fields so that serialization layers (internal/
+// trace) need no access to runtime internals.
+type EpochLog struct {
+	// Epoch is the 1-based epoch sequence number.
+	Epoch int64
+	// Reason is the StopReason that closed the epoch (stored as its integer
+	// value so this package stays independent of internal/core).
+	Reason int32
+	// Threads holds one entry per live thread, in ascending TID order.
+	Threads []ThreadLog
+	// Vars holds one entry per variable with at least one ordered event this
+	// epoch, in shadow-creation order.
+	Vars []VarLog
+}
+
+// ThreadLog is one thread's slice of an epoch.
+type ThreadLog struct {
+	// TID is the thread's deterministic identifier.
+	TID int32
+	// EntryFn is the index of the thread's entry function — needed by the
+	// offline replayer to pre-create the thread before its recorded creation
+	// event releases it.
+	EntryFn int32
+	// Events are the thread's recorded events, in program order.
+	Events []Event
+}
+
+// VarLog is one synchronization variable's slice of an epoch.
+type VarLog struct {
+	// Addr is the variable's VM address (or pseudo-address).
+	Addr uint64
+	// Order is the recorded acquisition/wake-up order as thread IDs.
+	Order []int32
+}
+
+// EventCount returns the number of events across all threads of the epoch.
+func (ep *EpochLog) EventCount() int {
+	n := 0
+	for i := range ep.Threads {
+		n += len(ep.Threads[i].Events)
+	}
+	return n
+}
+
+// FlattenEpochs merges a multi-epoch log sequence into whole-program
+// per-thread and per-variable lists suitable for a single replay pass from
+// program start: per-thread lists are concatenated in epoch order, and each
+// ordered event's Pos is rebased by the length its variable's order list had
+// accumulated in earlier epochs. Inputs are not mutated (epoch logs may be
+// cached by a trace store); the returned lists are fresh copies.
+//
+// Thread IDs must be dense (0..N-1 over the union of all epochs) and each
+// thread's entry function must be consistent across epochs — both hold for
+// any log sequence the runtime produced.
+func FlattenEpochs(epochs []*EpochLog) (threads []ThreadLog, vars []VarLog, err error) {
+	threadIdx := map[int32]int{}
+	varIdx := map[uint64]int{}
+	for _, ep := range epochs {
+		// Per-epoch rebase offsets: the accumulated order length of each
+		// variable before this epoch's events.
+		offsets := map[uint64]int32{}
+		for _, vl := range ep.Vars {
+			i, ok := varIdx[vl.Addr]
+			if !ok {
+				i = len(vars)
+				varIdx[vl.Addr] = i
+				vars = append(vars, VarLog{Addr: vl.Addr})
+			}
+			offsets[vl.Addr] = int32(len(vars[i].Order))
+			vars[i].Order = append(vars[i].Order, vl.Order...)
+		}
+		for _, tl := range ep.Threads {
+			i, ok := threadIdx[tl.TID]
+			if !ok {
+				i = len(threads)
+				threadIdx[tl.TID] = i
+				threads = append(threads, ThreadLog{TID: tl.TID, EntryFn: tl.EntryFn})
+			} else if threads[i].EntryFn != tl.EntryFn {
+				return nil, nil, fmt.Errorf(
+					"record: thread %d changes entry function (%d vs %d) across epochs",
+					tl.TID, threads[i].EntryFn, tl.EntryFn)
+			}
+			for _, ev := range tl.Events {
+				if ev.Pos >= 0 {
+					ev.Pos += offsets[ev.Var]
+				}
+				threads[i].Events = append(threads[i].Events, ev)
+			}
+		}
+	}
+	for i := range threads {
+		if threads[i].TID != int32(i) {
+			// The runtime allocates TIDs densely and captures threads in
+			// ascending order, so a gap means a corrupted or truncated log.
+			return nil, nil, fmt.Errorf("record: non-dense thread IDs in epoch logs (slot %d holds tid %d)",
+				i, threads[i].TID)
+		}
+	}
+	return threads, vars, nil
+}
+
+// LoadThreadList builds a ThreadList whose recorded contents are events and
+// whose replay cursor is at the beginning — the offline replayer's
+// counterpart of a rolled-back in-situ list. A small amount of spare
+// capacity is kept so a post-replay append cannot overflow.
+func LoadThreadList(events []Event) *ThreadList {
+	l := &ThreadList{events: make([]Event, len(events)+16)}
+	l.n = copy(l.events, events)
+	return l
+}
+
+// LoadVarList builds a VarList whose recorded order is order, replay cursor
+// at the beginning.
+func LoadVarList(order []int32) *VarList {
+	l := &VarList{order: make([]int32, len(order)+16)}
+	l.n = copy(l.order, order)
+	return l
+}
+
+// Order returns the recorded thread-ID order (read-only view).
+func (l *VarList) Order() []int32 { return l.order[:l.n] }
+
+// ParseKind inverts Kind.String for the mnemonic kinds.
+func ParseKind(s string) (Kind, bool) {
+	for k, name := range kindNames {
+		if name == s {
+			return k, true
+		}
+	}
+	return 0, false
+}

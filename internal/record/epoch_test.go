@@ -1,0 +1,176 @@
+package record
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestKindStringRoundTrip: every defined kind must map to a distinct
+// mnemonic and parse back to itself — the property trace tooling relies on
+// when it prints and filters events.
+func TestKindStringRoundTrip(t *testing.T) {
+	kinds := []Kind{KMutexLock, KMutexTry, KCondWake, KBarrier, KCreate,
+		KJoin, KExit, KSyscall, KBlockFetch}
+	seen := map[string]Kind{}
+	for _, k := range kinds {
+		s := k.String()
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("kinds %v and %v share mnemonic %q", prev, k, s)
+		}
+		seen[s] = k
+		back, ok := ParseKind(s)
+		if !ok || back != k {
+			t.Fatalf("ParseKind(%q) = %v, %v; want %v", s, back, ok, k)
+		}
+	}
+	// Unknown kinds format distinctly and do not parse.
+	if s := Kind(200).String(); s != "kind(200)" {
+		t.Fatalf("unknown kind formats as %q", s)
+	}
+	if _, ok := ParseKind("kind(200)"); ok {
+		t.Fatal("unknown mnemonic must not parse")
+	}
+	if _, ok := ParseKind(""); ok {
+		t.Fatal("empty mnemonic must not parse")
+	}
+}
+
+// TestVarListOrderingInvariants: the per-variable list must preserve
+// append order, expose it stably through Order/Owner, and replay it
+// slot-by-slot through the turn cursor — the cross-thread ordering contract
+// the trace encoder and offline replayer both depend on.
+func TestVarListOrderingInvariants(t *testing.T) {
+	l := NewVarList(8)
+	tids := []int32{3, 0, 2, 0, 1}
+	for i, tid := range tids {
+		pos, full := l.Append(tid)
+		if pos != int32(i) {
+			t.Fatalf("append %d returned slot %d, want %d", tid, pos, i)
+		}
+		if full {
+			t.Fatalf("list reported full at %d of %d", i+1, l.Cap())
+		}
+	}
+	if got := l.Order(); !reflect.DeepEqual(got, tids) {
+		t.Fatalf("Order() = %v, want %v", got, tids)
+	}
+	for i, tid := range tids {
+		if l.Owner(int32(i)) != tid {
+			t.Fatalf("Owner(%d) = %d, want %d", i, l.Owner(int32(i)), tid)
+		}
+	}
+	// Turn cursor replays slots in recorded order, independently of the
+	// record cursor.
+	for i := range tids {
+		if l.Turn() != int32(i) {
+			t.Fatalf("turn = %d, want %d", l.Turn(), i)
+		}
+		l.AdvanceTurn()
+	}
+	l.ResetReplay()
+	if l.Turn() != 0 {
+		t.Fatal("ResetReplay must rewind the turn cursor")
+	}
+	if got := l.Order(); !reflect.DeepEqual(got, tids) {
+		t.Fatal("ResetReplay must not disturb recorded order")
+	}
+}
+
+// TestLoadedListsStartAtBeginning: lists rebuilt from a trace must hold the
+// events verbatim with both cursors rewound.
+func TestLoadedListsStartAtBeginning(t *testing.T) {
+	evs := []Event{
+		{Kind: KMutexLock, Var: 0x10, Pos: 0},
+		{Kind: KSyscall, Aux: 5, Ret: 9, Pos: -1},
+		{Kind: KExit, Pos: -1},
+	}
+	l := LoadThreadList(evs)
+	if l.Len() != len(evs) || l.Replayed() {
+		t.Fatalf("loaded list len=%d replayed=%v", l.Len(), l.Replayed())
+	}
+	if !reflect.DeepEqual(l.Events(), evs) {
+		t.Fatalf("loaded events = %+v", l.Events())
+	}
+	if e := l.Peek(); e == nil || e.Kind != KMutexLock {
+		t.Fatalf("peek = %+v", e)
+	}
+	vl := LoadVarList([]int32{1, 0, 1})
+	if vl.Len() != 3 || vl.Turn() != 0 || vl.Owner(2) != 1 {
+		t.Fatalf("loaded var list len=%d turn=%d", vl.Len(), vl.Turn())
+	}
+}
+
+// TestFlattenEpochsRebasesPositions: concatenating epochs must shift each
+// ordered event's Pos by the length its variable's order list accumulated
+// in earlier epochs, and must not mutate the inputs.
+func TestFlattenEpochsRebasesPositions(t *testing.T) {
+	ep1 := &EpochLog{
+		Epoch: 1,
+		Threads: []ThreadLog{
+			{TID: 0, EntryFn: 0, Events: []Event{
+				{Kind: KMutexLock, Var: 0x10, Pos: 0},
+				{Kind: KCreate, Var: 1, Aux: 1, Pos: 0},
+			}},
+			{TID: 1, EntryFn: 2, Events: []Event{
+				{Kind: KMutexLock, Var: 0x10, Pos: 1},
+			}},
+		},
+		Vars: []VarLog{
+			{Addr: 0x10, Order: []int32{0, 1}},
+			{Addr: 1, Order: []int32{0}},
+		},
+	}
+	ep2 := &EpochLog{
+		Epoch: 2,
+		Threads: []ThreadLog{
+			{TID: 0, EntryFn: 0, Events: []Event{
+				{Kind: KMutexLock, Var: 0x10, Pos: 0},
+				{Kind: KExit, Pos: -1},
+			}},
+			{TID: 1, EntryFn: 2, Events: []Event{
+				{Kind: KMutexLock, Var: 0x10, Pos: 1},
+				{Kind: KExit, Pos: -1},
+			}},
+		},
+		Vars: []VarLog{
+			{Addr: 0x10, Order: []int32{1, 0}},
+		},
+	}
+	threads, vars, err := FlattenEpochs([]*EpochLog{ep1, ep2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(threads) != 2 || threads[0].TID != 0 || threads[1].TID != 1 {
+		t.Fatalf("threads = %+v", threads)
+	}
+	// Thread 0's epoch-2 lock at per-epoch slot 0 rebases to global slot 2.
+	if got := threads[0].Events[2]; got.Pos != 2 {
+		t.Fatalf("rebased pos = %d, want 2 (%+v)", got.Pos, got)
+	}
+	if got := threads[1].Events[1]; got.Pos != 3 {
+		t.Fatalf("rebased pos = %d, want 3 (%+v)", got.Pos, got)
+	}
+	// Unordered events keep Pos -1.
+	if got := threads[0].Events[3]; got.Pos != -1 {
+		t.Fatalf("exit pos = %d, want -1", got.Pos)
+	}
+	// Var orders concatenate in epoch order.
+	if !reflect.DeepEqual(vars[0].Order, []int32{0, 1, 1, 0}) {
+		t.Fatalf("var order = %v", vars[0].Order)
+	}
+	// Inputs untouched.
+	if ep2.Threads[0].Events[0].Pos != 0 {
+		t.Fatal("FlattenEpochs mutated its input")
+	}
+
+	// Inconsistent entry functions are rejected.
+	bad := &EpochLog{Epoch: 3, Threads: []ThreadLog{{TID: 1, EntryFn: 5}}}
+	if _, _, err := FlattenEpochs([]*EpochLog{ep1, bad}); err == nil {
+		t.Fatal("entry-function mismatch accepted")
+	}
+	// Non-dense thread IDs are rejected.
+	gap := &EpochLog{Epoch: 1, Threads: []ThreadLog{{TID: 0}, {TID: 2}}}
+	if _, _, err := FlattenEpochs([]*EpochLog{gap}); err == nil {
+		t.Fatal("non-dense thread IDs accepted")
+	}
+}

@@ -1,0 +1,49 @@
+package tir
+
+import "hash/fnv"
+
+// Fingerprint returns a stable 64-bit hash of a module's complete observable
+// content: entry point, functions (name, arity, register count, frame size,
+// code), and globals (name, size, initializer). Two modules with equal
+// fingerprints execute identically, which is what lets a trace store index
+// recordings by the program they came from and lets the offline replayer
+// refuse a trace recorded against a different program.
+func Fingerprint(m *Module) uint64 {
+	h := fnv.New64a()
+	var scratch [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			scratch[i] = byte(v >> (8 * i))
+		}
+		h.Write(scratch[:])
+	}
+	puts := func(s string) {
+		put(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	put(uint64(m.Entry))
+	put(uint64(len(m.Funcs)))
+	for _, f := range m.Funcs {
+		puts(f.Name)
+		put(uint64(f.NumParams))
+		put(uint64(f.NumRegs))
+		put(uint64(f.FrameSize))
+		put(uint64(len(f.Code)))
+		for _, in := range f.Code {
+			put(uint64(in.Op))
+			put(uint64(uint32(in.A)))
+			put(uint64(uint32(in.B)))
+			put(uint64(uint32(in.C)))
+			put(uint64(in.Imm))
+		}
+	}
+	put(uint64(len(m.Globals)))
+	for i := range m.Globals {
+		g := &m.Globals[i]
+		puts(g.Name)
+		put(uint64(g.Size))
+		put(uint64(len(g.Init)))
+		h.Write(g.Init)
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,157 @@
+package trace
+
+// Parallel offline replay. A recorded trace is a self-contained, read-only
+// artifact, so N traces — or N re-replays of one trace, the verification
+// fan-out — are embarrassingly parallel: each worker builds its own
+// runtime, virtual address space, and virtual OS. The pool below shards a
+// job list across GOMAXPROCS-bounded workers and aggregates the outcome,
+// which is what lets a replay service answer "does this recording still
+// reproduce?" for a whole corpus in one pass.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tir"
+)
+
+// Job is one offline replay: a trace plus the module it was recorded from.
+type Job struct {
+	// Name labels the job in results ("<trace>#<i>" for fan-out copies).
+	Name string
+	// Module is the program; its fingerprint must match the trace header's
+	// ModuleHash (checked unless the hash is zero).
+	Module *tir.Module
+	// Trace is the recording to re-execute. It is not mutated.
+	Trace *Trace
+	// Opts configures the replay runtime (MaxReplays, DelayOnDivergence,
+	// and the list capacities / memory config of the recording run).
+	Opts core.Options
+	// Setup recreates recording-time OS state (input files); may be nil.
+	Setup func(*core.Runtime) error
+}
+
+// Result is one job's outcome.
+type Result struct {
+	Name   string
+	Report *core.Report
+	// Err is non-nil when the replay failed to match (or the job was
+	// malformed); a reproduced fault from a fault-terminated trace counts as
+	// a match and is reported through Report with Err describing the fault.
+	Err error
+	// Matched reports whether the recorded schedule was reproduced.
+	Matched bool
+	Wall    time.Duration
+}
+
+// BatchStats aggregates a batch.
+type BatchStats struct {
+	Jobs    int
+	Matched int
+	Failed  int
+	// Attempts is the summed replay attempts (1 per job when nothing
+	// diverged; divergence retries add to it).
+	Attempts int64
+	// Events is the total recorded events replayed across matched jobs.
+	Events int64
+	// Work is summed per-job wall time; Elapsed is the batch's wall time.
+	// Work/Elapsed approximates the achieved parallel speedup.
+	Work    time.Duration
+	Elapsed time.Duration
+}
+
+// Fanout clones a job n times ("#0" … "#n-1"), the re-replay verification
+// pattern.
+func Fanout(j Job, n int) []Job {
+	out := make([]Job, n)
+	for i := range out {
+		out[i] = j
+		out[i].Name = fmt.Sprintf("%s#%d", j.Name, i)
+	}
+	return out
+}
+
+// ReplayBatch fans jobs across a worker pool and blocks until every job
+// finished. workers <= 0 selects GOMAXPROCS. Results are returned in job
+// order.
+func ReplayBatch(jobs []Job, workers int) ([]Result, BatchStats) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]Result, len(jobs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runJob(&jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	stats := BatchStats{Jobs: len(jobs), Elapsed: time.Since(start)}
+	for i := range results {
+		r := &results[i]
+		stats.Work += r.Wall
+		if !r.Matched {
+			stats.Failed++
+			continue
+		}
+		stats.Matched++
+		stats.Events += jobs[i].Trace.EventCount()
+		if r.Report != nil {
+			stats.Attempts += int64(r.Report.Stats.LastReplayAttempts)
+		}
+	}
+	return results, stats
+}
+
+func runJob(j *Job) (res Result) {
+	res = Result{Name: j.Name}
+	start := time.Now()
+	defer func() { res.Wall = time.Since(start) }()
+	if j.Module == nil || j.Trace == nil {
+		res.Err = fmt.Errorf("trace: job %q lacks a module or trace", j.Name)
+		return res
+	}
+	if h := j.Trace.Header.ModuleHash; h != 0 {
+		if got := tir.Fingerprint(j.Module); got != h {
+			res.Err = fmt.Errorf("trace: job %q module fingerprint %#x does not match trace %#x",
+				j.Name, got, h)
+			return res
+		}
+	}
+	rep, err := core.ReplayFromTrace(j.Module, j.Trace.Epochs, j.Opts, j.Setup)
+	res.Report = rep
+	if rep == nil {
+		// No report at all: the replay never matched (or setup failed).
+		res.Err = err
+		return res
+	}
+	res.Matched = true
+	res.Err = err // a reproduced fault arrives here, alongside the report
+	if sum := j.Trace.Summary; sum != nil {
+		if rep.Exit != sum.Exit {
+			res.Matched = false
+			res.Err = fmt.Errorf("trace: job %q replayed exit %d, recorded %d", j.Name, rep.Exit, sum.Exit)
+		} else if rep.Output != sum.Output {
+			res.Matched = false
+			res.Err = fmt.Errorf("trace: job %q replayed output differs from recording", j.Name)
+		}
+	}
+	return res
+}

@@ -1,0 +1,30 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// BenchmarkEncodeDecode times the serialization round-trip on a realistic
+// trace; bytes/event is reported so format regressions (delta or varint
+// changes) show up as size, not just time.
+func BenchmarkEncodeDecode(b *testing.B) {
+	spec := scaledSpec(b, "dedup", 0.3)
+	tr := recordTrace(b, spec, core.Options{Seed: 1})
+	enc, err := Encode(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(enc))/float64(tr.EventCount()), "bytes/event")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bs, err := Encode(tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Decode(bs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/record"
+)
+
+// Reader decodes a trace stream frame by frame, validating the magic, the
+// header version, and every frame's CRC. A stream that ends cleanly after
+// any whole frame is valid — a recorder killed mid-run leaves a usable
+// prefix — but a torn or corrupted frame is an error.
+type Reader struct {
+	br   *bufio.Reader
+	hdr  Header
+	sum  *Summary
+	done bool
+}
+
+// NewReader validates the magic and decodes the header frame.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	tr := &Reader{br: br}
+	kind, payload, err := tr.readFrame()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header frame: %w", err)
+	}
+	if kind != frameHeader {
+		return nil, fmt.Errorf("trace: first frame has kind %d, want header", kind)
+	}
+	if tr.hdr, err = decodeHeader(payload); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// Header returns the decoded header.
+func (r *Reader) Header() Header { return r.hdr }
+
+// readFrame reads one frame and verifies its CRC. io.EOF is returned only
+// at a clean frame boundary.
+func (r *Reader) readFrame() (byte, []byte, error) {
+	kind, err := r.br.ReadByte()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, err
+	}
+	n, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return 0, nil, fmt.Errorf("trace: torn frame length: %w", err)
+	}
+	const maxFrame = 1 << 30
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("trace: implausible frame length %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r.br, payload); err != nil {
+		return 0, nil, fmt.Errorf("trace: torn frame payload: %w", err)
+	}
+	var crcb [4]byte
+	if _, err := io.ReadFull(r.br, crcb[:]); err != nil {
+		return 0, nil, fmt.Errorf("trace: torn frame checksum: %w", err)
+	}
+	want := binary.LittleEndian.Uint32(crcb[:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return 0, nil, fmt.Errorf("trace: frame checksum mismatch (%#x != %#x)", got, want)
+	}
+	return kind, payload, nil
+}
+
+// Next returns the next epoch, or io.EOF after the last one (whether the
+// stream ended with a summary frame or a clean truncation). Use Summary
+// afterwards to retrieve the end marker, if present.
+func (r *Reader) Next() (*record.EpochLog, error) {
+	if r.done {
+		return nil, io.EOF
+	}
+	kind, payload, err := r.readFrame()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			r.done = true
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	switch kind {
+	case frameEpoch:
+		return decodeEpoch(payload)
+	case frameSum:
+		if r.sum, err = decodeSummary(payload); err != nil {
+			return nil, err
+		}
+		r.done = true
+		return nil, io.EOF
+	default:
+		return nil, fmt.Errorf("trace: unexpected frame kind %d", kind)
+	}
+}
+
+// Summary returns the end marker, or nil when the stream had none (or Next
+// has not yet consumed it).
+func (r *Reader) Summary() *Summary { return r.sum }
+
+// ReadTrace fully decodes a trace stream.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	out := &Trace{Header: tr.Header()}
+	for {
+		ep, err := tr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		out.Epochs = append(out.Epochs, ep)
+	}
+	out.Summary = tr.Summary()
+	return out, nil
+}
+
+// scanFile reads a trace's inventory statistics — header, epoch and event
+// counts, completeness — touching only each frame's leading fields. Every
+// frame's CRC is still verified, but the thread lists are never
+// materialized, so scanning a corpus costs IO, not decode.
+func scanFile(path string) (hdr Header, epochs int, events int64, complete bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return hdr, 0, 0, false, err
+	}
+	defer f.Close()
+	r, err := NewReader(f)
+	if err != nil {
+		return hdr, 0, 0, false, err
+	}
+	hdr = r.Header()
+	for {
+		kind, payload, err := r.readFrame()
+		if errors.Is(err, io.EOF) {
+			return hdr, epochs, events, complete, nil
+		}
+		if err != nil {
+			return hdr, 0, 0, false, err
+		}
+		switch kind {
+		case frameEpoch:
+			_, n, err := peekEpochMeta(payload)
+			if err != nil {
+				return hdr, 0, 0, false, err
+			}
+			epochs++
+			events += n
+		case frameSum:
+			complete = true
+		default:
+			return hdr, 0, 0, false, fmt.Errorf("trace: unexpected frame kind %d", kind)
+		}
+	}
+}
+
+// ReadFile decodes the trace stored at path.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}

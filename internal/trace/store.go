@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Store manages a directory of trace files and a decode cache. Traces are
+// addressed by name (one file per trace, "<name>.irt") and indexed by the
+// module fingerprint in their headers, so callers can enumerate every
+// recording of a given program. Loads are cached: a decoded trace is
+// immutable (the offline replayer copies before mutating), so repeated
+// replays of one trace — the batch replayer's fan-out case — decode once.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	cache map[string]*cachedTrace
+}
+
+type cachedTrace struct {
+	tr    *Trace
+	size  int64
+	mtime time.Time
+}
+
+// Entry describes one stored trace.
+type Entry struct {
+	Name   string
+	Path   string
+	Header Header
+	Epochs int
+	Events int64
+	// Size is the file size in bytes.
+	Size int64
+	// Complete reports whether the trace ends with its summary frame (false
+	// for a recording that was cut off).
+	Complete bool
+}
+
+// Ext is the trace file extension.
+const Ext = ".irt"
+
+// OpenStore opens (creating if needed) a trace directory.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trace: opening store: %w", err)
+	}
+	return &Store{dir: dir, cache: make(map[string]*cachedTrace)}, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the file path a trace name maps to.
+func (s *Store) Path(name string) string {
+	return filepath.Join(s.dir, name+Ext)
+}
+
+// Create opens (truncating) the named trace file for a streaming Writer,
+// applying the same name validation as Save so a recording cannot land
+// outside the store or under a name Load would later refuse.
+func (s *Store) Create(name string) (*os.File, error) {
+	if err := validateName(name); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(s.Path(name))
+	if err != nil {
+		return nil, fmt.Errorf("trace: creating %s: %w", name, err)
+	}
+	s.mu.Lock()
+	delete(s.cache, name) // any cached decode is stale now
+	s.mu.Unlock()
+	return f, nil
+}
+
+// Save encodes and writes a trace under name, replacing any previous trace
+// with that name. The cache is invalidated, not primed: the caller still
+// owns tr and may mutate it, while cached traces must stay immutable images
+// of the file — the next Load decodes fresh.
+func (s *Store) Save(name string, tr *Trace) (string, error) {
+	if err := validateName(name); err != nil {
+		return "", err
+	}
+	b, err := Encode(tr)
+	if err != nil {
+		return "", err
+	}
+	path := s.Path(name)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return "", fmt.Errorf("trace: saving %s: %w", name, err)
+	}
+	s.mu.Lock()
+	delete(s.cache, name)
+	s.mu.Unlock()
+	return path, nil
+}
+
+// Load returns the named trace, from the decode cache when the file is
+// unchanged since the cached decode.
+func (s *Store) Load(name string) (*Trace, error) {
+	if err := validateName(name); err != nil {
+		return nil, err
+	}
+	path := s.Path(name)
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: no trace %q in %s: %w", name, s.dir, err)
+	}
+	s.mu.Lock()
+	if c, ok := s.cache[name]; ok && c.size == fi.Size() && c.mtime.Equal(fi.ModTime()) {
+		s.mu.Unlock()
+		return c.tr, nil
+	}
+	s.mu.Unlock()
+	tr, err := ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.cache[name] = &cachedTrace{tr: tr, size: fi.Size(), mtime: fi.ModTime()}
+	s.mu.Unlock()
+	return tr, nil
+}
+
+// List enumerates every trace in the store, sorted by name. Files are
+// scanned frame by frame (CRC-checked, statistics from frame headers), not
+// decoded: an inventory pass over a large corpus costs IO only and does not
+// populate the replay cache.
+func (s *Store) List() ([]Entry, error) {
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), Ext) {
+			continue
+		}
+		name := strings.TrimSuffix(de.Name(), Ext)
+		hdr, epochs, events, complete, err := scanFile(s.Path(name))
+		if err != nil {
+			// A torn or foreign file must not hide the healthy traces; it is
+			// reported as an entry with no header.
+			out = append(out, Entry{Name: name, Path: s.Path(name)})
+			continue
+		}
+		fi, err := de.Info()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Entry{
+			Name:     name,
+			Path:     s.Path(name),
+			Header:   hdr,
+			Epochs:   epochs,
+			Events:   events,
+			Size:     fi.Size(),
+			Complete: complete,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// ByModule returns the stored traces recorded from the module with the
+// given fingerprint.
+func (s *Store) ByModule(hash uint64) ([]Entry, error) {
+	all, err := s.List()
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	for _, e := range all {
+		if e.Header.ModuleHash == hash && hash != 0 {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,138 @@
+// Package trace persists iReplayer recordings: the per-thread and
+// per-variable event lists of §3.2, which in the paper live only in the
+// recording process, serialized to a compact versioned binary format so an
+// execution can be recorded once and replayed identically many times,
+// offline and in parallel.
+//
+// The on-disk layout is a magic string followed by self-delimiting,
+// CRC-checked frames:
+//
+//	file    := magic frame*
+//	magic   := "IRTRACE1" (8 bytes)
+//	frame   := kind:1 len:uvarint payload:len crc32(payload):4 (LE, IEEE)
+//	kinds   := 1 header | 2 epoch | 3 summary (end marker)
+//
+// The header frame carries the format version, an application label, the
+// recorded module's fingerprint (tir.Fingerprint), and the recording
+// options that must match at replay time. Each epoch frame is one
+// record.EpochLog: per-thread event lists varint-encoded with per-field
+// delta compression (variable addresses, positions, and auxiliary values
+// change slowly within a thread's list), then per-variable order lists as
+// thread-ID deltas. The summary frame stores the recorded exit value and
+// program output, giving offline verification something to compare against;
+// a trace without one (recorder killed mid-run) still loads, up to its last
+// intact frame.
+//
+// Writer streams epochs as the runtime flushes them (Writer.Sink plugs
+// directly into core.Options.TraceSink); Reader validates and decodes.
+// Store manages a directory of traces indexed by module fingerprint with an
+// in-memory decode cache, and batch.go fans stored traces across a worker
+// pool for parallel offline replay.
+package trace
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/record"
+)
+
+// Magic identifies a trace file; the trailing digit is the format
+// generation and changes only on incompatible layout changes (the header
+// version covers compatible revisions).
+const Magic = "IRTRACE1"
+
+// Version is the current header version.
+const Version = 1
+
+// Frame kinds.
+const (
+	frameHeader byte = 1
+	frameEpoch  byte = 2
+	frameSum    byte = 3
+)
+
+// Header describes a recording. EventCap, VarCap, and Seed are the
+// recording options an offline replay must reuse for addresses and epoch
+// structure to reproduce.
+type Header struct {
+	// App is a free-form application label (workload name for the bundled
+	// apps).
+	App string
+	// ModuleHash is tir.Fingerprint of the recorded module; zero means
+	// unknown (the replayer then skips the identity check).
+	ModuleHash uint64
+	// EventCap and VarCap are the recording run's preallocated list sizes.
+	EventCap int
+	VarCap   int
+	// Seed is the recording run's external-nondeterminism seed.
+	Seed int64
+	// AppIters is the per-thread iteration count the workload was built
+	// with (0 = unknown): the one module-shaping parameter the bundled
+	// recorder exposes, stored so replay can rebuild the exact module
+	// instead of searching for a fingerprint match.
+	AppIters int
+}
+
+// Summary is the recorded run's observable outcome, stored in the end
+// frame for offline verification.
+type Summary struct {
+	Exit   uint64
+	Output string
+}
+
+// Trace is a fully decoded trace.
+type Trace struct {
+	Header  Header
+	Epochs  []*record.EpochLog
+	Summary *Summary
+}
+
+// EventCount sums events across all epochs.
+func (t *Trace) EventCount() int64 {
+	var n int64
+	for _, ep := range t.Epochs {
+		n += int64(ep.EventCount())
+	}
+	return n
+}
+
+// Encode serializes a whole trace. The encoding is canonical: equal traces
+// produce identical bytes, and Encode∘Decode∘Encode is the identity on
+// bytes.
+func Encode(tr *Trace) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, tr.Header)
+	if err != nil {
+		return nil, err
+	}
+	for _, ep := range tr.Epochs {
+		if err := w.WriteEpoch(ep); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Finish(tr.Summary); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes a whole trace produced by Encode or a Writer.
+func Decode(b []byte) (*Trace, error) {
+	return ReadTrace(bytes.NewReader(b))
+}
+
+func validateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("trace: empty trace name")
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.', r == '#':
+		default:
+			return fmt.Errorf("trace: invalid character %q in trace name %q", r, name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/record"
+)
+
+// Writer streams a trace: header first, then one frame per epoch as the
+// runtime flushes them, then the summary end marker. It buffers only one
+// frame at a time, so recording overhead stays proportional to epoch size,
+// not trace size.
+type Writer struct {
+	w        io.Writer
+	err      error
+	finished bool
+	epochs   int
+	scratch  []byte
+}
+
+// NewWriter writes the magic and header frame and returns a streaming
+// writer.
+func NewWriter(w io.Writer, hdr Header) (*Writer, error) {
+	tw := &Writer{w: w}
+	if _, err := io.WriteString(w, Magic); err != nil {
+		return nil, fmt.Errorf("trace: writing magic: %w", err)
+	}
+	if err := tw.frame(frameHeader, appendHeader(nil, hdr)); err != nil {
+		return nil, err
+	}
+	return tw, nil
+}
+
+// frame emits one kind/len/payload/crc frame.
+func (tw *Writer) frame(kind byte, payload []byte) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	buf := tw.scratch[:0]
+	buf = append(buf, kind)
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	tw.scratch = buf[:0]
+	if _, err := tw.w.Write(buf); err != nil {
+		tw.err = fmt.Errorf("trace: writing frame: %w", err)
+		return tw.err
+	}
+	return nil
+}
+
+// WriteEpoch appends one epoch frame.
+func (tw *Writer) WriteEpoch(ep *record.EpochLog) error {
+	if tw.finished {
+		return fmt.Errorf("trace: WriteEpoch after Finish")
+	}
+	if err := tw.frame(frameEpoch, appendEpoch(nil, ep)); err != nil {
+		return err
+	}
+	tw.epochs++
+	return nil
+}
+
+// Sink adapts the writer to core.Options.TraceSink.
+func (tw *Writer) Sink() func(*record.EpochLog) error {
+	return tw.WriteEpoch
+}
+
+// Epochs returns how many epoch frames have been written.
+func (tw *Writer) Epochs() int { return tw.epochs }
+
+// Finish writes the summary end marker (an empty summary when sum is nil)
+// and seals the writer. It does not close the underlying io.Writer.
+func (tw *Writer) Finish(sum *Summary) error {
+	if tw.finished {
+		return tw.err
+	}
+	if err := tw.frame(frameSum, appendSummary(nil, sum)); err != nil {
+		return err
+	}
+	tw.finished = true
+	return nil
+}

@@ -303,6 +303,29 @@ func (o *OS) Open(path string) (int64, error) {
 	return n, nil
 }
 
+// OpenAt opens a VFS file at a specific descriptor, creating the file if
+// absent and replacing any descriptor already installed at fdn. It exists
+// for offline trace replay: a recorded open is classified recordable (the
+// in-situ replay finds the file still open from the original execution), but
+// a replay in a fresh process must materialize the descriptor itself — at
+// the recorded number, so that concurrent opens need no ordering, and at
+// position zero, which is what a fresh open would have. Re-invocation on a
+// divergence retry simply resets the position.
+func (o *OS) OpenAt(path string, fdn int64) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if fdn < 3 || fdn >= int64(o.maxFDs) {
+		return fmt.Errorf("vsys: open at out-of-range fd %d", fdn)
+	}
+	f, ok := o.files[path]
+	if !ok {
+		f = &File{Name: path}
+		o.files[path] = f
+	}
+	o.fds[fdn] = &fd{kind: FDFile, file: f}
+	return nil
+}
+
 // Socket opens a descriptor connected to a fresh simulated peer.
 func (o *OS) Socket() (int64, error) {
 	o.mu.Lock()

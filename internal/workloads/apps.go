@@ -116,11 +116,43 @@ func Apps() []Spec {
 	}
 }
 
+// ablations are the named spec variants that exist alongside the Table 1/3
+// applications; ByName and Names both derive from this table, so a new
+// variant shows up in every command-line usage listing automatically.
+var ablations = []struct {
+	name  string
+	build func() Spec
+}{
+	{"canneal-mutex", CannealMutex},
+}
+
+// Names lists every spec name ByName resolves, in Apps order with the
+// ablation variants appended — the single source for command-line usage
+// listings.
+func Names() []string {
+	apps := Apps()
+	out := make([]string, 0, len(apps)+len(ablations))
+	for _, s := range apps {
+		out = append(out, s.Name)
+	}
+	for _, a := range ablations {
+		out = append(out, a.name)
+	}
+	return out
+}
+
 // ByName returns the named application spec.
 func ByName(name string) (Spec, bool) {
-	if name == "canneal-mutex" {
-		return CannealMutex(), true
+	for _, a := range ablations {
+		if a.name == name {
+			return a.build(), true
+		}
 	}
+	return appByName(name)
+}
+
+// appByName searches only the base application list (no variants).
+func appByName(name string) (Spec, bool) {
 	for _, s := range Apps() {
 		if s.Name == name {
 			return s, true
@@ -132,7 +164,7 @@ func ByName(name string) (Spec, bool) {
 // CannealMutex is the §5.2 ablation: canneal with every atomic operation
 // replaced by mutex-protected updates, after which identical replay holds.
 func CannealMutex() Spec {
-	s, _ := ByName("canneal")
+	s, _ := appByName("canneal")
 	s.Name = "canneal-mutex"
 	s.Atomics = 0
 	s.Locks += 4 // the swaps now take a lock each

@@ -24,6 +24,7 @@ package ireplayer
 
 import (
 	"repro/internal/core"
+	"repro/internal/record"
 	"repro/internal/tir"
 )
 
@@ -82,3 +83,29 @@ var NewModuleBuilder = tir.NewModuleBuilder
 func New(mod *Module, opts Options) (*Runtime, error) {
 	return core.New(mod, opts)
 }
+
+// --- persistent traces and offline replay (internal/trace) ---
+
+// EpochLog is one epoch's finalized event record, the unit Options.TraceSink
+// receives at every epoch boundary and the unit offline replay consumes.
+type EpochLog = record.EpochLog
+
+// ThreadLog is one thread's slice of an epoch.
+type ThreadLog = record.ThreadLog
+
+// VarLog is one synchronization variable's slice of an epoch.
+type VarLog = record.VarLog
+
+// Fingerprint hashes a module's observable content; trace stores index
+// recordings by it and offline replay refuses mismatched modules.
+var Fingerprint = tir.Fingerprint
+
+// PrepareReplay builds a runtime primed to re-execute a recorded epoch
+// sequence from program start; populate the virtual OS (input files) before
+// calling RunReplay on the result.
+var PrepareReplay = core.PrepareReplay
+
+// ReplayFromTrace loads a recorded epoch sequence and re-executes it
+// through the divergence-checking replay path: PrepareReplay + optional OS
+// setup + RunReplay.
+var ReplayFromTrace = core.ReplayFromTrace
