@@ -1,26 +1,32 @@
 // Command ir-trace records evaluated applications into persistent trace
-// files and replays them offline — the record-once / replay-many workflow
-// the in-memory runtime alone cannot offer:
+// files, replays them offline, and runs replay-time analyses over them —
+// the record-once / replay-and-analyze-many workflow the in-memory runtime
+// alone cannot offer:
 //
 //	ir-trace record -app pfscan -dir ./traces          # run + persist
 //	ir-trace ls -dir ./traces                          # inventory
 //	ir-trace replay -name pfscan -dir ./traces         # one offline replay
 //	ir-trace replay -name pfscan -n 16 -workers 4      # parallel fan-out
 //	ir-trace verify -name pfscan -dir ./traces         # replay + compare
+//	ir-trace analyze -name race-counter -dir ./traces  # race+leak analysis
+//	ir-trace analyze -all -workers 4 -json             # whole store, JSON
 //
 // Traces are stored one file per recording ("<name>.irt"), indexed by the
 // recorded module's fingerprint; replay rebuilds the named workload, checks
 // the fingerprint, and re-executes through the divergence-checking replay
-// path.
+// path. Both the evaluated applications and the analysis ground-truth
+// corpus (racy/leaky programs with known defects) are recordable.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/tir"
 	"repro/internal/trace"
@@ -42,6 +48,8 @@ func main() {
 		err = cmdLs(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -57,16 +65,21 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `usage: ir-trace <record|replay|ls|verify> [flags]
+	fmt.Fprint(os.Stderr, `usage: ir-trace <record|replay|ls|verify|analyze> [flags]
 
-  record  -app NAME [-name N] [-dir D] [-scale S] [-seed N] [-eventcap N]
-  replay  -name N [-dir D] [-n COPIES] [-workers W] [-max-replays N] [-delay]
-  ls      [-dir D]
-  verify  -name N [-dir D]
+  record   -app NAME [-name N] [-dir D] [-scale S] [-seed N] [-eventcap N]
+  replay   -name N [-dir D] [-n COPIES] [-workers W] [-max-replays N] [-delay]
+  ls       [-dir D]
+  verify   -name N [-dir D]
+  analyze  -name N | -all [-dir D] [-analyzers race,leak] [-workers W] [-json]
 
 known apps:
 `)
 	for _, name := range workloads.Names() {
+		fmt.Fprintf(os.Stderr, "  %s\n", name)
+	}
+	fmt.Fprint(os.Stderr, "analysis ground-truth corpus:\n")
+	for _, name := range workloads.AnalysisNames() {
 		fmt.Fprintf(os.Stderr, "  %s\n", name)
 	}
 }
@@ -83,22 +96,32 @@ func cmdRecord(args []string) error {
 	if *app == "" {
 		return fmt.Errorf("record: -app is required")
 	}
-	spec, ok := workloads.ByName(*app)
-	if !ok {
+	var (
+		mod      *tir.Module
+		setupOS  func(rt *core.Runtime)
+		appIters int
+	)
+	if spec, ok := workloads.ByName(*app); ok {
+		if *scale != 1.0 {
+			spec.Iters = int(float64(spec.Iters) * *scale)
+			if spec.Iters < 3 {
+				spec.Iters = 3
+			}
+		}
+		m, err := spec.Build()
+		if err != nil {
+			return err
+		}
+		mod, appIters = m, spec.Iters
+		setupOS = func(rt *core.Runtime) { spec.SetupOS(rt.OS()) }
+	} else if c, ok := workloads.AnalysisByName(*app); ok {
+		// Ground-truth corpus programs take no OS setup and no scaling.
+		mod = c.Build()
+	} else {
 		return fmt.Errorf("record: unknown app %q (run `ir-trace help` for the list)", *app)
 	}
-	if *scale != 1.0 {
-		spec.Iters = int(float64(spec.Iters) * *scale)
-		if spec.Iters < 3 {
-			spec.Iters = 3
-		}
-	}
 	if *name == "" {
-		*name = spec.Name
-	}
-	mod, err := spec.Build()
-	if err != nil {
-		return err
+		*name = *app
 	}
 	st, err := trace.OpenStore(*dir)
 	if err != nil {
@@ -113,12 +136,12 @@ func cmdRecord(args []string) error {
 	defer f.Close()
 	opts := core.Options{Seed: *seed, EventCap: *eventCap}
 	w, err := trace.NewWriter(f, trace.Header{
-		App:        spec.Name,
+		App:        *app,
 		ModuleHash: tir.Fingerprint(mod),
 		EventCap:   *eventCap,
 		VarCap:     0,
 		Seed:       *seed,
-		AppIters:   spec.Iters,
+		AppIters:   appIters,
 	})
 	if err != nil {
 		return err
@@ -128,7 +151,9 @@ func cmdRecord(args []string) error {
 	if err != nil {
 		return err
 	}
-	spec.SetupOS(rt.OS())
+	if setupOS != nil {
+		setupOS(rt)
+	}
 	start := time.Now()
 	rep, runErr := rt.Run()
 	if rep == nil {
@@ -157,6 +182,18 @@ func loadJob(st *trace.Store, name string, opts core.Options) (trace.Job, error)
 	}
 	spec, ok := workloads.ByName(tr.Header.App)
 	if !ok {
+		if c, okc := workloads.AnalysisByName(tr.Header.App); okc {
+			// A ground-truth corpus recording: the module is parameterless.
+			mod := c.Build()
+			if h := tr.Header.ModuleHash; h != 0 && tir.Fingerprint(mod) != h {
+				return trace.Job{}, fmt.Errorf(
+					"trace %s: corpus program %q no longer matches the recorded fingerprint %#x",
+					name, c.Name, h)
+			}
+			opts.Seed = tr.Header.Seed
+			opts.EventCap = tr.Header.EventCap
+			return trace.Job{Name: name, Module: mod, Trace: tr, Opts: opts}, nil
+		}
 		return trace.Job{}, fmt.Errorf("trace %s was recorded from unknown app %q", name, tr.Header.App)
 	}
 	// The header records the iteration count the module was built with;
@@ -247,6 +284,114 @@ func cmdReplay(args []string) error {
 		float64(stats.Work)/float64(stats.Elapsed+1))
 	if stats.Failed > 0 {
 		return fmt.Errorf("%d replay(s) failed to match", stats.Failed)
+	}
+	return nil
+}
+
+// cmdAnalyze fans replay-time analyses across stored traces in parallel.
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	name := fs.String("name", "", "trace to analyze (or -all)")
+	all := fs.Bool("all", false, "analyze every complete trace in the store")
+	dir := fs.String("dir", "traces", "trace store directory")
+	spec := fs.String("analyzers", "race,leak", "comma-separated analyzer list (race, leak, profile)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	maxReplays := fs.Int("max-replays", 0, "divergence search bound (0 = default)")
+	delay := fs.Bool("delay", true, "randomized delays on divergence retries")
+	asJSON := fs.Bool("json", false, "emit machine-readable findings on stdout")
+	fs.Parse(args)
+	if *name == "" && !*all {
+		return fmt.Errorf("analyze: -name or -all is required")
+	}
+	if _, err := analysis.FromSpec(*spec); err != nil {
+		return err // validate the analyzer list before any replay work
+	}
+	st, err := trace.OpenStore(*dir)
+	if err != nil {
+		return err
+	}
+	var names []string
+	if *all {
+		entries, err := st.List()
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if e.Header.App != "" && e.Complete {
+				names = append(names, e.Name)
+			}
+		}
+		if len(names) == 0 {
+			return fmt.Errorf("analyze: no complete traces in %s", st.Dir())
+		}
+	} else {
+		names = []string{*name}
+	}
+
+	jobs := make([]trace.AnalyzeJob, 0, len(names))
+	for _, n := range names {
+		job, err := loadJob(st, n, core.Options{
+			MaxReplays: *maxReplays, DelayOnDivergence: *delay,
+		})
+		if err != nil {
+			return err
+		}
+		jobs = append(jobs, trace.AnalyzeJob{
+			Job: job,
+			NewAnalyzers: func() []analysis.Analyzer {
+				az, _ := analysis.FromSpec(*spec) // validated above
+				return az
+			},
+		})
+	}
+	results, stats := trace.AnalyzeBatch(jobs, *workers)
+
+	if *asJSON {
+		type jsonResult struct {
+			Name     string             `json:"name"`
+			Matched  bool               `json:"matched"`
+			Error    string             `json:"error,omitempty"`
+			Findings []analysis.Finding `json:"findings"`
+		}
+		out := make([]jsonResult, len(results))
+		for i, r := range results {
+			out[i] = jsonResult{Name: r.Name, Matched: r.Matched, Findings: r.Findings}
+			if r.Err != nil {
+				out[i].Error = r.Err.Error()
+			}
+			if out[i].Findings == nil {
+				out[i].Findings = []analysis.Finding{}
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		for _, r := range results {
+			switch {
+			case !r.Matched:
+				fmt.Printf("%-24s FAILED: %v\n", r.Name, r.Err)
+				continue
+			case r.Err != nil:
+				fmt.Printf("%-24s matched (reproduced fault: %v), %d finding(s)\n",
+					r.Name, r.Err, len(r.Findings))
+			default:
+				fmt.Printf("%-24s matched, %d finding(s) (wall=%v)\n",
+					r.Name, len(r.Findings), r.Wall.Round(time.Millisecond))
+			}
+			for _, f := range r.Findings {
+				fmt.Print(f)
+			}
+		}
+		fmt.Printf("batch: %d/%d analyzed, %d events re-executed, work=%v elapsed=%v (x%.1f)\n",
+			stats.Matched, stats.Jobs, stats.Events,
+			stats.Work.Round(time.Millisecond), stats.Elapsed.Round(time.Millisecond),
+			float64(stats.Work)/float64(stats.Elapsed+1))
+	}
+	if stats.Failed > 0 {
+		return fmt.Errorf("%d analysis replay(s) failed to match", stats.Failed)
 	}
 	return nil
 }

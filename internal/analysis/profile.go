@@ -1,0 +1,132 @@
+package analysis
+
+// Profile is the trivial analyzer: it counts what the replay delivered.
+// Useful on its own as an `ir-trace analyze` summary, and in tests as the
+// cheapest witness that observers actually fired while perturbing nothing.
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+)
+
+// Profile counts observed operations by kind.
+type Profile struct {
+	Syncs    atomic.Int64
+	Creates  atomic.Int64
+	Exits    atomic.Int64
+	Joins    atomic.Int64
+	Allocs   atomic.Int64
+	Frees    atomic.Int64
+	Syscalls atomic.Int64
+	Accesses atomic.Int64
+	Resets   atomic.Int64
+
+	// ckpt/pending implement the two-slot boundary checkpoint (see
+	// RaceDetector): an in-situ rollback restores the counts at the current
+	// epoch's beginning instead of zeroing the whole run.
+	ckpt    atomic.Pointer[profileSnap]
+	pending atomic.Pointer[profileSnap]
+}
+
+type profileSnap [8]int64
+
+func (p *Profile) snap() *profileSnap {
+	return &profileSnap{
+		p.Syncs.Load(), p.Creates.Load(), p.Exits.Load(), p.Joins.Load(),
+		p.Allocs.Load(), p.Frees.Load(), p.Syscalls.Load(), p.Accesses.Load(),
+	}
+}
+
+func (p *Profile) restore(s *profileSnap) {
+	p.Syncs.Store(s[0])
+	p.Creates.Store(s[1])
+	p.Exits.Store(s[2])
+	p.Joins.Store(s[3])
+	p.Allocs.Store(s[4])
+	p.Frees.Store(s[5])
+	p.Syscalls.Store(s[6])
+	p.Accesses.Store(s[7])
+}
+
+// NewProfile builds a profile analyzer.
+func NewProfile() *Profile { return &Profile{} }
+
+// Name implements Analyzer.
+func (p *Profile) Name() string { return "profile" }
+
+// OnSync implements core.SyncObserver.
+func (p *Profile) OnSync(tid int32, op core.SyncOp, addr uint64) { p.Syncs.Add(1) }
+
+// OnThreadCreate implements core.ThreadObserver.
+func (p *Profile) OnThreadCreate(parent, child int32) { p.Creates.Add(1) }
+
+// OnThreadExit implements core.ThreadObserver.
+func (p *Profile) OnThreadExit(tid int32) { p.Exits.Add(1) }
+
+// OnThreadJoin implements core.ThreadObserver.
+func (p *Profile) OnThreadJoin(joiner, joinee int32) { p.Joins.Add(1) }
+
+// OnAlloc implements core.AllocObserver.
+func (p *Profile) OnAlloc(tid int32, addr uint64, size int64, stack []interp.StackEntry) {
+	p.Allocs.Add(1)
+}
+
+// OnFree implements core.AllocObserver.
+func (p *Profile) OnFree(tid int32, addr uint64, stack []interp.StackEntry) { p.Frees.Add(1) }
+
+// OnSyscall implements core.SyscallObserver.
+func (p *Profile) OnSyscall(tid int32, num int64, ret uint64) { p.Syscalls.Add(1) }
+
+// OnAccess implements core.AccessObserver.
+func (p *Profile) OnAccess(tid int32, addr uint64, size int, write, atomic bool,
+	stack func() []interp.StackEntry) {
+	p.Accesses.Add(1)
+}
+
+// OnReset implements core.ResetObserver: restore the committed boundary
+// snapshot (the in-situ rollback target's counts), or restart from zero
+// when none exists (offline rollback restarts from program start).
+func (p *Profile) OnReset() {
+	p.pending.Store(nil)
+	if s := p.ckpt.Load(); s != nil {
+		p.restore(s)
+	} else {
+		p.restore(&profileSnap{})
+	}
+	p.Resets.Add(1)
+}
+
+// OnEpochEnd implements core.EpochObserver: commit the previous boundary's
+// snapshot and stage this one.
+func (p *Profile) OnEpochEnd(rt *core.Runtime, info core.EpochEndInfo) core.Decision {
+	if s := p.pending.Load(); s != nil {
+		p.ckpt.Store(s)
+	}
+	p.pending.Store(p.snap())
+	return core.Proceed
+}
+
+// OnReplayMatched implements core.EpochObserver: re-stage from the matched
+// replay's re-accumulated counts.
+func (p *Profile) OnReplayMatched(rt *core.Runtime, attempts int) core.Decision {
+	p.pending.Store(p.snap())
+	return core.Proceed
+}
+
+// Finish implements Analyzer.
+func (p *Profile) Finish(rt *core.Runtime) error { return nil }
+
+// Findings implements Analyzer: one informational entry.
+func (p *Profile) Findings() []Finding {
+	return []Finding{{
+		Analyzer: "profile",
+		Kind:     "profile",
+		Detail: fmt.Sprintf(
+			"syncs=%d creates=%d exits=%d joins=%d allocs=%d frees=%d syscalls=%d accesses=%d",
+			p.Syncs.Load(), p.Creates.Load(), p.Exits.Load(), p.Joins.Load(),
+			p.Allocs.Load(), p.Frees.Load(), p.Syscalls.Load(), p.Accesses.Load()),
+	}}
+}

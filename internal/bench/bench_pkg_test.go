@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
+	"repro/internal/hostrace"
 	"repro/internal/workloads"
 )
 
@@ -61,6 +63,9 @@ func TestTable1CannealAblation(t *testing.T) {
 }
 
 func TestTable2CrasherBuckets(t *testing.T) {
+	if hostrace.Enabled {
+		t.Skip("Crasher races on VM memory by design (§5.2.1)")
+	}
 	res, err := Table2(15, workloads.DefaultCrasher())
 	if err != nil {
 		t.Fatal(err)
@@ -82,32 +87,54 @@ func TestTable2CrasherBuckets(t *testing.T) {
 }
 
 func TestTable3ShapeOnSample(t *testing.T) {
+	if hostrace.Enabled {
+		t.Skip("timing-shape assertions are meaningless under the race detector's overhead")
+	}
 	// Shape assertions only: tiny scaled runs on a shared host are noisy, so
 	// the test checks the orderings the paper's conclusions rest on, with
 	// slack, and leaves absolute numbers to cmd/ir-bench + EXPERIMENTS.md.
-	rows, err := Table3(smallApps("fluidanimate", "x264"), 3, 0.4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	byName := map[string]Table3Row{}
-	for _, r := range rows {
-		byName[r.App] = r
-	}
-	fl, x := byName["fluidanimate"], byName["x264"]
-	// Sanity: no configuration should be wildly faster than the baseline.
-	for _, r := range rows {
-		if r.IReplayer < 0.5 || r.IRAlloc < 0.3 {
-			t.Errorf("%s: implausible ratios %+v", r.App, r)
+	// A single measurement can still be ruined by a scheduling burst
+	// (single-CPU hosts, background compilation), so the orderings get a
+	// few fresh measurements before the test calls them violated.
+	check := func() []string {
+		rows, err := Table3(smallApps("fluidanimate", "x264"), 3, 0.4)
+		if err != nil {
+			t.Fatal(err)
 		}
+		byName := map[string]Table3Row{}
+		for _, r := range rows {
+			byName[r.App] = r
+		}
+		fl, x := byName["fluidanimate"], byName["x264"]
+		var problems []string
+		// Sanity: no configuration should be wildly faster than the baseline.
+		for _, r := range rows {
+			if r.IReplayer < 0.5 || r.IRAlloc < 0.3 {
+				problems = append(problems, fmt.Sprintf("%s: implausible ratios %+v", r.App, r))
+			}
+		}
+		// RR (serialization, including the forfeited parallel speedup) must
+		// cost more than iReplayer's recording on parallel applications.
+		if fl.RR < fl.IReplayer {
+			problems = append(problems,
+				fmt.Sprintf("RR (%.3f) should exceed iReplayer (%.3f) on fluidanimate", fl.RR, fl.IReplayer))
+		}
+		// CLAP's path profiling must hurt the branch-density extreme clearly.
+		if x.CLAP < 1.2 {
+			problems = append(problems,
+				fmt.Sprintf("x264 CLAP = %.3f, expected substantial path-profiling cost", x.CLAP))
+		}
+		return problems
 	}
-	// RR (serialization, including the forfeited parallel speedup) must cost
-	// more than iReplayer's recording on parallel applications.
-	if fl.RR < fl.IReplayer {
-		t.Errorf("RR (%.3f) should exceed iReplayer (%.3f) on fluidanimate", fl.RR, fl.IReplayer)
+	var problems []string
+	for attempt := 0; attempt < 3; attempt++ {
+		if problems = check(); len(problems) == 0 {
+			return
+		}
+		t.Logf("attempt %d: %v", attempt+1, problems)
 	}
-	// CLAP's path profiling must hurt the branch-density extreme clearly.
-	if x.CLAP < 1.2 {
-		t.Errorf("x264 CLAP = %.3f, expected substantial path-profiling cost", x.CLAP)
+	for _, p := range problems {
+		t.Error(p)
 	}
 }
 

@@ -1,0 +1,183 @@
+package bench
+
+// Machine-readable performance suite: the numbers `ir-bench -json` writes
+// to BENCH_<n>.json so the perf trajectory is tracked PR-over-PR. The suite
+// covers the three hot paths this system lives on: recording (events/sec
+// while the application runs), parallel offline replay (batch throughput by
+// worker count), and parallel replay-time analysis (ditto, with the race
+// and leak analyzers attached).
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/record"
+	"repro/internal/tir"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// PerfResult is one benchmark row.
+type PerfResult struct {
+	// Name identifies the measurement ("record/pfscan",
+	// "replay-batch/pfscan", "analyze-batch/pfscan").
+	Name string `json:"name"`
+	// Workers is the pool size for batch rows (0 for single-run rows).
+	Workers int `json:"workers,omitempty"`
+	// Ops is the number of operations timed (1 for record rows, the job
+	// count for batch rows).
+	Ops int `json:"ops"`
+	// NsPerOp is wall-clock nanoseconds per operation.
+	NsPerOp int64 `json:"ns_per_op"`
+	// EventsPerSec is recorded events processed per second of wall time.
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// PerfReport is the BENCH_<n>.json document.
+type PerfReport struct {
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Scale      float64      `json:"scale"`
+	Results    []PerfResult `json:"results"`
+}
+
+// perfApps are the workloads the suite records and replays: lock-heavy,
+// allocation-heavy, and IO-heavy representatives.
+var perfApps = []string{"fluidanimate", "dedup", "pfscan"}
+
+// Perf runs the suite at the given workload scale.
+func Perf(scale float64) (*PerfReport, error) {
+	rep := &PerfReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      scale,
+	}
+	workerSweep := []int{1, 2, 4, 8}
+
+	for _, name := range perfApps {
+		spec, ok := workloads.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown perf app %q", name)
+		}
+		spec.Iters = int(float64(spec.Iters) * scale)
+		if spec.Iters < 3 {
+			spec.Iters = 3
+		}
+		mod, err := spec.Build()
+		if err != nil {
+			return nil, err
+		}
+
+		// Record once, in memory, timing the run.
+		var epochs []*record.EpochLog
+		opts := core.Options{Seed: 7}
+		opts.TraceSink = func(ep *record.EpochLog) error {
+			epochs = append(epochs, ep)
+			return nil
+		}
+		rt, err := core.New(mod, opts)
+		if err != nil {
+			return nil, err
+		}
+		spec.SetupOS(rt.OS())
+		start := time.Now()
+		runRep, err := rt.Run()
+		recordWall := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("bench: recording %s: %w", name, err)
+		}
+		tr := &trace.Trace{
+			Header: trace.Header{App: spec.Name, ModuleHash: tir.Fingerprint(mod),
+				Seed: opts.Seed, AppIters: spec.Iters},
+			Epochs:  epochs,
+			Summary: &trace.Summary{Exit: runRep.Exit, Output: runRep.Output},
+		}
+		events := tr.EventCount()
+		rep.Results = append(rep.Results, PerfResult{
+			Name:         "record/" + name,
+			Ops:          1,
+			NsPerOp:      recordWall.Nanoseconds(),
+			EventsPerSec: perSec(events, recordWall),
+		})
+
+		job := trace.Job{
+			Name: name, Module: mod, Trace: tr,
+			Opts:  core.Options{DelayOnDivergence: true},
+			Setup: func(rt *core.Runtime) error { spec.SetupOS(rt.OS()); return nil },
+		}
+		nJobs := rep.GOMAXPROCS * 2
+		if nJobs < 4 {
+			nJobs = 4
+		}
+		for _, w := range workerSweep {
+			if w > rep.GOMAXPROCS {
+				break
+			}
+			results, stats := trace.ReplayBatch(trace.Fanout(job, nJobs), w)
+			if stats.Failed > 0 {
+				return nil, fmt.Errorf("bench: replay batch %s w=%d: %v", name, w, firstErr(results))
+			}
+			rep.Results = append(rep.Results, PerfResult{
+				Name:         "replay-batch/" + name,
+				Workers:      w,
+				Ops:          stats.Jobs,
+				NsPerOp:      stats.Elapsed.Nanoseconds() / int64(stats.Jobs),
+				EventsPerSec: perSec(stats.Events, stats.Elapsed),
+			})
+
+			ajobs := make([]trace.AnalyzeJob, nJobs)
+			for i := range ajobs {
+				ajobs[i] = trace.AnalyzeJob{
+					Job: trace.Job{
+						Name: fmt.Sprintf("%s#%d", name, i), Module: mod, Trace: tr,
+						Opts:  core.Options{DelayOnDivergence: true},
+						Setup: job.Setup,
+					},
+					NewAnalyzers: func() []analysis.Analyzer {
+						return []analysis.Analyzer{analysis.NewRaceDetector(), analysis.NewLeakDetector()}
+					},
+				}
+			}
+			aresults, astats := trace.AnalyzeBatch(ajobs, w)
+			if astats.Failed > 0 {
+				return nil, fmt.Errorf("bench: analyze batch %s w=%d: %v", name, w, firstAErr(aresults))
+			}
+			rep.Results = append(rep.Results, PerfResult{
+				Name:         "analyze-batch/" + name,
+				Workers:      w,
+				Ops:          astats.Jobs,
+				NsPerOp:      astats.Elapsed.Nanoseconds() / int64(astats.Jobs),
+				EventsPerSec: perSec(astats.Events, astats.Elapsed),
+			})
+		}
+	}
+	return rep, nil
+}
+
+func perSec(n int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds()
+}
+
+func firstErr(rs []trace.Result) error {
+	for _, r := range rs {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}
+
+func firstAErr(rs []trace.AnalyzeResult) error {
+	for _, r := range rs {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}

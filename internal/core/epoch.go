@@ -271,10 +271,15 @@ func (rt *Runtime) handleEpochEnd() bool {
 	rt.stopMu.Unlock()
 	info := EpochEndInfo{Epoch: rt.epochSeq, Reason: reason, TID: stopTID, Fault: rt.progErr}
 
-	decision := Proceed
-	if rt.opts.OnEpochEnd != nil {
-		decision = rt.opts.OnEpochEnd(rt, info)
-	}
+	decision := rt.epochDecision(
+		func() Decision {
+			if rt.opts.OnEpochEnd == nil {
+				return Proceed
+			}
+			return rt.opts.OnEpochEnd(rt, info)
+		},
+		func(o EpochObserver) Decision { return o.OnEpochEnd(rt, info) },
+	)
 
 	rt.divMu.Lock()
 	rt.attempt = 0
@@ -302,11 +307,15 @@ func (rt *Runtime) handleEpochEnd() bool {
 		if rt.replayMatched() {
 			rt.stats.MatchedReplays++
 			rt.stats.LastReplayAttempts = attempt
-			if rt.opts.OnReplayMatched != nil {
-				decision = rt.opts.OnReplayMatched(rt, attempt)
-			} else {
-				decision = Proceed
-			}
+			decision = rt.epochDecision(
+				func() Decision {
+					if rt.opts.OnReplayMatched == nil {
+						return Proceed
+					}
+					return rt.opts.OnReplayMatched(rt, attempt)
+				},
+				func(o EpochObserver) Decision { return o.OnReplayMatched(rt, attempt) },
+			)
 		}
 		// A divergent replay loops with decision still Replay.
 	}
@@ -361,7 +370,7 @@ func (rt *Runtime) captureEpochLog(reason StopReason) *record.EpochLog {
 			Events:  append([]record.Event(nil), t.list.Events()...),
 		})
 	}
-	for _, s := range rt.shadowL {
+	for _, s := range rt.shadowList() {
 		s.mu.Lock()
 		if s.order.Len() > 0 {
 			ep.Vars = append(ep.Vars, record.VarLog{
@@ -432,7 +441,7 @@ func (rt *Runtime) takeCheckpoint() {
 	}
 	rt.mu.Lock()
 	threads := append([]*Thread(nil), rt.threads...)
-	shadows := append([]*syncVar(nil), rt.shadowL...)
+	shadows := rt.shadowList()
 	rt.mu.Unlock()
 	for _, t := range threads {
 		if t == nil || t.state.Load() == tsDead {
@@ -472,7 +481,7 @@ func (rt *Runtime) rollbackAndReplay() {
 	rt.os.RestorePositions(rt.ckpt.positions)
 	rt.mu.Lock()
 	threads := append([]*Thread(nil), rt.threads...)
-	shadows := append([]*syncVar(nil), rt.shadowL...)
+	shadows := rt.shadowList()
 	rt.mu.Unlock()
 	for _, s := range shadows {
 		if st, ok := rt.ckpt.varState[s.id]; ok {
@@ -489,6 +498,10 @@ func (rt *Runtime) rollbackAndReplay() {
 		t.list.ResetReplay()
 		t.faulted = nil
 	}
+
+	// The abandoned attempt's observations are about to be re-executed;
+	// stateful observers discard them while every thread is still parked.
+	rt.notifyReset()
 
 	// 3. Resume. Threads present in the checkpoint are restored to their
 	// contexts (or re-parked as exited); threads born during the dead epoch
@@ -576,7 +589,7 @@ func (rt *Runtime) clearLogs() {
 			t.list.Clear()
 		}
 	}
-	for _, s := range rt.shadowL {
+	for _, s := range rt.shadowList() {
 		s.mu.Lock()
 		s.order.Clear()
 		s.mu.Unlock()

@@ -42,6 +42,10 @@ import (
 // as for New, except that recording-side hooks (TraceSink, OnEpochEnd,
 // OnReplayMatched) are ignored; Mem, EventCap, VarCap and the allocator
 // selection must match the recording run for addresses to reproduce.
+// Options.Observers ARE honored — attaching analyzers to the replay path is
+// how the replay-time analysis subsystem (internal/analysis) works — with
+// the caveat that epoch observers never fire offline (there are no epoch
+// boundaries to re-enact).
 func PrepareReplay(mod *tir.Module, epochs []*record.EpochLog, opts Options) (*Runtime, error) {
 	if len(epochs) == 0 {
 		return nil, errors.New("core: replay of an empty trace")
@@ -123,6 +127,11 @@ func PrepareReplay(mod *tir.Module, epochs []*record.EpochLog, opts Options) (*R
 	}
 	return rt, nil
 }
+
+// Shutdown reaps a runtime's thread goroutines. Run and RunReplay shut down
+// automatically on completion; callers that abandon a PrepareReplay runtime
+// before RunReplay (e.g. a failed OS setup) must call it themselves.
+func (rt *Runtime) Shutdown() { rt.shutdown() }
 
 // replayVarFor resolves (or pre-creates) the shadow for addr without touching
 // VM memory — memory is still at its program-start state and varFor caches

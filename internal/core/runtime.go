@@ -63,6 +63,13 @@ type Options struct {
 	// by IR passes); used by the CLAP and ASan baseline runtimes. Must be
 	// safe for concurrent calls from different thread IDs.
 	OnProbe func(tid int32, id int64, v uint64)
+	// Observers attach passive tools to the execution (see observer.go):
+	// synchronization, thread-lifecycle, allocation, syscall, memory-access,
+	// epoch-boundary, and reset callbacks. The replay-time analysis
+	// subsystem (internal/analysis) and the §4 detectors (internal/detect)
+	// plug in here. Observers survive PrepareReplay, unlike the recording
+	// hooks above.
+	Observers []Observer
 	// WrapAllocator, when set, wraps the deterministic allocator before use
 	// (the ASan baseline interposes shadow bookkeeping this way). Ignored
 	// with UseLibCAllocator.
@@ -107,7 +114,11 @@ type Runtime struct {
 	createMu sync.Mutex
 
 	shadows map[uint64]*syncVar
-	shadowL []*syncVar
+	// shadowL is the shadow table, copy-on-write: writers (newSyncVarLocked,
+	// under rt.mu) publish a fresh slice through the atomic pointer, so the
+	// lock-free fast path of varFor reads an immutable snapshot. Shadow
+	// creation is rare (first use of each variable); the copy is cheap.
+	shadowL atomic.Pointer[[]*syncVar]
 
 	createVar *syncVar
 	superVar  *syncVar
@@ -150,6 +161,11 @@ type Runtime struct {
 	shutdownCh chan struct{}
 	done       chan struct{}
 
+	// obs is the attached observer set (observer.go); populated from
+	// Options.Observers at construction and via AttachObserver before the
+	// program starts, immutable while threads run.
+	obs observerSet
+
 	stats Stats
 }
 
@@ -172,6 +188,9 @@ func New(mod *tir.Module, opts Options) (*Runtime, error) {
 	// iReplayer raises the descriptor limit during initialization so that
 	// deferred closes cannot exhaust it (§2.2.3).
 	rt.os.RaiseFDLimit(4096)
+	for _, o := range opts.Observers {
+		rt.obs.add(o)
+	}
 	if opts.UseLibCAllocator {
 		rt.alloc = heap.NewLibC(rt.mem, opts.ASLRSeed)
 	} else {
@@ -200,9 +219,14 @@ func (rt *Runtime) initGlobals() {
 	}
 }
 
-// shadowList returns the shadow table (unsynchronized fast path; the slice
-// only grows and entries are immutable once published under rt.mu).
-func (rt *Runtime) shadowList() []*syncVar { return rt.shadowL }
+// shadowList returns the current shadow-table snapshot (lock-free fast
+// path; entries are immutable once published under rt.mu).
+func (rt *Runtime) shadowList() []*syncVar {
+	if p := rt.shadowL.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
 
 func (rt *Runtime) thread(id int32) *Thread {
 	rt.mu.Lock()
@@ -244,6 +268,9 @@ func (rt *Runtime) newThread(fn int, arg uint64, hasArg bool) (*Thread, error) {
 	}
 	if rt.det != nil {
 		rt.det.AssignHeap(id)
+	}
+	if len(rt.obs.access) > 0 {
+		rt.armAccessHook(t)
 	}
 	rt.threads = append(rt.threads, t)
 	return t, nil
@@ -433,10 +460,17 @@ func preciseSleep(us uint64) {
 type threadHooks struct{ t *Thread }
 
 func (h *threadHooks) Syscall(num int64, args []uint64) (uint64, error) {
+	var ret uint64
+	var err error
 	if h.t.rt.opts.DisableRecording {
-		return h.t.performSyscall(num, args, nil)
+		ret, err = h.t.performSyscall(num, args, nil)
+	} else {
+		ret, err = h.t.syscall(num, args)
 	}
-	return h.t.syscall(num, args)
+	if err == nil {
+		h.t.rt.notifySyscall(h.t.id, num, ret)
+	}
+	return ret, err
 }
 
 func (h *threadHooks) Probe(id int64, v uint64) {
@@ -509,6 +543,7 @@ func (h *threadHooks) Intrinsic(id int64, args []uint64) (ret uint64, err error)
 		if a == 0 {
 			return 0, fmt.Errorf("core: out of memory (malloc %d)", arg(0))
 		}
+		rt.notifyAlloc(t, a, int64(arg(0)))
 		return a, nil
 	case tir.IntrinCalloc:
 		if err := t.intercept(); err != nil {
@@ -518,6 +553,7 @@ func (h *threadHooks) Intrinsic(id int64, args []uint64) (ret uint64, err error)
 		if a == 0 {
 			return 0, fmt.Errorf("core: out of memory (calloc %d*%d)", arg(0), arg(1))
 		}
+		rt.notifyAlloc(t, a, int64(arg(0))*int64(arg(1)))
 		return a, nil
 	case tir.IntrinFree:
 		if err := t.intercept(); err != nil {
@@ -529,6 +565,7 @@ func (h *threadHooks) Intrinsic(id int64, args []uint64) (ret uint64, err error)
 			}
 			return 0, err
 		}
+		rt.notifyFree(t, arg(0))
 		return 0, nil
 	case tir.IntrinSelfTID:
 		return uint64(t.id), nil
@@ -600,6 +637,7 @@ func (h *threadHooks) plainIntrinsic(id int64, args []uint64) (uint64, error) {
 		var ret uint64
 		if !s.locked {
 			s.locked, s.holder, ret = true, t.id, 1
+			rt.notifySync(t.id, SyncAcquire, s.addr)
 		}
 		s.mu.Unlock()
 		return ret, nil
@@ -640,19 +678,28 @@ func (h *threadHooks) plainIntrinsic(id int64, args []uint64) (uint64, error) {
 		}
 		myGen := s.gen
 		s.arrived++
+		rt.notifySync(t.id, SyncBarrierArrive, s.addr)
 		released := s.arrived == s.parties
 		var serial uint64
 		if released {
 			s.arrived = 0
 			s.gen++
 			serial = 1
+			// As in the recorded path: release + serial departure in the
+			// arrival's critical section.
+			rt.notifySync(t.id, SyncBarrierRelease, s.addr)
+			rt.notifySync(t.id, SyncBarrierDepart, s.addr)
 		}
 		s.mu.Unlock()
 		if released {
 			s.changed.Broadcast()
 			return serial, nil
 		}
-		return 0, t.barrierSleep(s, myGen)
+		// barrierSleep notifies the departure under s.mu.
+		if err := t.barrierSleep(s, myGen); err != nil {
+			return 0, err
+		}
+		return 0, nil
 	case tir.IntrinThreadCreate:
 		rt.createMu.Lock()
 		child, err := rt.newThread(int(arg(0)), arg(1), true)
@@ -660,6 +707,7 @@ func (h *threadHooks) plainIntrinsic(id int64, args []uint64) (uint64, error) {
 		if err != nil {
 			return 0, err
 		}
+		rt.notifyThreadCreate(t.id, child.id)
 		go child.trampoline()
 		child.startCh <- startMsg{kind: smStart}
 		return uint64(child.id), nil
@@ -672,6 +720,7 @@ func (h *threadHooks) plainIntrinsic(id int64, args []uint64) (uint64, error) {
 			return 0, err
 		}
 		child.joined = true
+		rt.notifyThreadJoin(t.id, child.id)
 		return child.exitVal, nil
 	case tir.IntrinThreadExit:
 		t.pendingExit = arg(0)
@@ -681,15 +730,21 @@ func (h *threadHooks) plainIntrinsic(id int64, args []uint64) (uint64, error) {
 		if a == 0 {
 			return 0, fmt.Errorf("core: out of memory")
 		}
+		rt.notifyAlloc(t, a, int64(arg(0)))
 		return a, nil
 	case tir.IntrinCalloc:
 		a := rt.alloc.Calloc(t.id, int64(arg(0)), int64(arg(1)))
 		if a == 0 {
 			return 0, fmt.Errorf("core: out of memory")
 		}
+		rt.notifyAlloc(t, a, int64(arg(0))*int64(arg(1)))
 		return a, nil
 	case tir.IntrinFree:
-		return 0, rt.alloc.Free(t.id, arg(0))
+		if err := rt.alloc.Free(t.id, arg(0)); err != nil {
+			return 0, err
+		}
+		rt.notifyFree(t, arg(0))
+		return 0, nil
 	case tir.IntrinSelfTID:
 		return uint64(t.id), nil
 	case tir.IntrinYield:

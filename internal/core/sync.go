@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/hostrace"
 	"repro/internal/interp"
 	"repro/internal/record"
 )
@@ -88,6 +89,26 @@ func (s *syncVar) advanceTurn() {
 	s.turnCh.Broadcast()
 }
 
+// loadVarWord / storeVarWord access the shadow-index cache word inside the
+// variable. The plain fast path may race with a concurrent first-use
+// rewrite by another thread — harmless by design, varFor validates whatever
+// it reads — but under the host race detector the access is routed through
+// the serialized atomic path so the runtime's own accesses stay clean.
+func (rt *Runtime) loadVarWord(addr uint64) (uint64, error) {
+	if hostrace.Enabled {
+		return rt.mem.AtomicLoad64(addr)
+	}
+	return rt.mem.Load64(addr)
+}
+
+func (rt *Runtime) storeVarWord(addr uint64, v uint64) {
+	if hostrace.Enabled {
+		rt.mem.AtomicStore64(addr, v)
+		return
+	}
+	rt.mem.Store64(addr, v)
+}
+
 // varFor resolves the shadow object for the synchronization variable at
 // addr, creating it on first use. The shadow index is cached in the first
 // word of the variable itself; the address-keyed map guarantees that a
@@ -100,7 +121,7 @@ func (rt *Runtime) varFor(addr uint64) (*syncVar, error) {
 	if addr == superVarAddr {
 		return rt.superVar, nil
 	}
-	if w, err := rt.mem.Load64(addr); err == nil {
+	if w, err := rt.loadVarWord(addr); err == nil {
 		if idx := int64(w) - 1; idx >= 0 && idx < int64(len(rt.shadowList())) {
 			s := rt.shadowList()[idx]
 			if s.addr == addr {
@@ -115,22 +136,28 @@ func (rt *Runtime) varFor(addr uint64) (*syncVar, error) {
 	if s, ok := rt.shadows[addr]; ok {
 		// Known variable whose in-memory index word was rolled back; rewrite
 		// the cache word.
-		rt.mem.Store64(addr, uint64(s.id)+1)
+		rt.storeVarWord(addr, uint64(s.id)+1)
 		return s, nil
 	}
 	s := rt.newSyncVarLocked(addr)
-	rt.mem.Store64(addr, uint64(s.id)+1)
+	rt.storeVarWord(addr, uint64(s.id)+1)
 	return s, nil
 }
 
-// newSyncVarLocked allocates a shadow; rt.mu must be held.
+// newSyncVarLocked allocates a shadow; rt.mu must be held. The table is
+// republished copy-on-write so concurrent lock-free readers never observe a
+// partially updated slice.
 func (rt *Runtime) newSyncVarLocked(addr uint64) *syncVar {
+	cur := rt.shadowList()
 	s := &syncVar{
-		id:    int32(len(rt.shadowL)),
+		id:    int32(len(cur)),
 		addr:  addr,
 		order: record.NewVarList(rt.opts.VarCap),
 	}
-	rt.shadowL = append(rt.shadowL, s)
+	next := make([]*syncVar, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = s
+	rt.shadowL.Store(&next)
 	if addr != createVarAddr && addr != superVarAddr {
 		rt.shadows[addr] = s
 	}
@@ -216,6 +243,9 @@ func (t *Thread) acquire(s *syncVar) error {
 		if !s.locked {
 			s.locked = true
 			s.holder = t.id
+			// Notify under s.mu: acquisition callbacks for one variable are
+			// thereby delivered in true acquisition order.
+			rt.notifySync(t.id, SyncAcquire, s.addr)
 			s.mu.Unlock()
 			return nil
 		}
@@ -240,6 +270,9 @@ func (t *Thread) releaseInternal(s *syncVar) error {
 	}
 	s.locked = false
 	s.holder = -1
+	// Under s.mu, so the release is observed before any subsequent
+	// acquisition of the same variable.
+	t.rt.notifySync(t.id, SyncRelease, s.addr)
 	s.mu.Unlock()
 	s.changed.Broadcast()
 	return nil
@@ -357,6 +390,7 @@ func (t *Thread) mutexTryLock(addr uint64) (uint64, error) {
 		ret = 1
 		pos, _ = s.order.Append(t.id)
 		low = s.order.Cap()-s.order.Len() <= 2*rt.opts.Mem.MaxThreads+4
+		rt.notifySync(t.id, SyncAcquire, s.addr)
 	}
 	s.mu.Unlock()
 	t.appendEvent(record.Event{Kind: record.KMutexTry, Var: s.addr, Ret: ret, Pos: pos})
@@ -457,6 +491,7 @@ func (t *Thread) condConsume(c *syncVar, pos int32) error {
 		if turnOK && c.fuel > 0 {
 			c.fuel--
 			c.waiters--
+			rt.notifySync(t.id, SyncWake, c.addr)
 			c.mu.Unlock()
 			return nil
 		}
@@ -491,6 +526,9 @@ func (t *Thread) condSignal(addr uint64, broadcast bool) error {
 	} else if c.fuel < c.waiters {
 		c.fuel++
 	}
+	// A signal publishes the signaller's prior work to whichever waiter
+	// consumes the fuel; notify under c.mu so it precedes that wake.
+	t.rt.notifySync(t.id, SyncSignal, c.addr)
 	c.mu.Unlock()
 	c.changed.Broadcast()
 	return nil
@@ -559,11 +597,20 @@ func (t *Thread) barrierWait(addr uint64) (uint64, error) {
 	if !skipEntry {
 		s.arrived++
 	}
+	// Arrival publishes the thread's pre-barrier work; under s.mu, so every
+	// arrival of a generation is observed before its release.
+	rt.notifySync(t.id, SyncBarrierArrive, s.addr)
 	if s.arrived == s.parties {
 		s.arrived = 0
 		s.gen++
 		serial = 1
 		released = true
+		// Release and the serial thread's departure stay in the same
+		// critical section as its arrival: observers see arrivals* →
+		// release → departures, with no later-generation arrival in
+		// between.
+		rt.notifySync(t.id, SyncBarrierRelease, s.addr)
+		rt.notifySync(t.id, SyncBarrierDepart, s.addr)
 	}
 	s.mu.Unlock()
 	if released {
@@ -596,6 +643,9 @@ func (t *Thread) barrierSleep(s *syncVar, myGen int64) error {
 		}
 		s.mu.Lock()
 		if s.gen != myGen {
+			// Departure is observed under s.mu: sync callbacks for one
+			// variable are serialized in their true order.
+			rt.notifySync(t.id, SyncBarrierDepart, s.addr)
 			s.mu.Unlock()
 			return nil
 		}
@@ -647,6 +697,9 @@ func (t *Thread) threadCreate(fn int64, arg uint64) (uint64, error) {
 			// look quiescent, or a stop/rollback racing the release could
 			// restore state while the child starts executing against it.
 			child.entryArg = arg
+			// Before the hand-off, so the creation is observed before any of
+			// the child's own callbacks.
+			rt.notifyThreadCreate(t.id, child.id)
 			child.setState(tsRunning)
 			child.startCh <- startMsg{kind: smStart}
 			t.list.Advance()
@@ -663,6 +716,7 @@ func (t *Thread) threadCreate(fn int64, arg uint64) (uint64, error) {
 	pos := rt.appendVar(cv, t.id)
 	rt.createMu.Unlock()
 	t.appendEvent(record.Event{Kind: record.KCreate, Var: cv.addr, Aux: int64(child.id), Pos: pos})
+	rt.notifyThreadCreate(t.id, child.id)
 	go child.trampoline()
 	// Running-before-release, as in the replay arm: quiescence must not be
 	// observable between the hand-off and the child's first instruction.
@@ -697,6 +751,7 @@ func (t *Thread) threadJoin(tid uint64) (uint64, error) {
 			}
 			child.joined = true
 			t.list.Advance()
+			rt.notifyThreadJoin(t.id, child.id)
 			return child.exitVal, nil
 		}
 	}
@@ -708,6 +763,7 @@ func (t *Thread) threadJoin(tid uint64) (uint64, error) {
 	}
 	child.joined = true
 	t.appendEvent(record.Event{Kind: record.KJoin, Aux: int64(tid), Ret: child.exitVal, Pos: -1})
+	rt.notifyThreadJoin(t.id, child.id)
 	return child.exitVal, nil
 }
 

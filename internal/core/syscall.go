@@ -241,11 +241,13 @@ func (t *Thread) performSyscall(num int64, args []uint64, recData *[]byte) (uint
 		if addr == 0 {
 			return 0, t.trapf("mmap: arena exhausted")
 		}
+		rt.notifyAlloc(t, addr, int64(arg(0)))
 		return addr, nil
 	case vsys.SysMunmap:
 		if err := rt.alloc.Free(t.id, arg(0)); err != nil {
 			return 0, t.trapf("munmap: %v", err)
 		}
+		rt.notifyFree(t, arg(0))
 		return 0, nil
 	case vsys.SysFork:
 		return uint64(o.Fork()), nil

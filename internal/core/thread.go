@@ -214,6 +214,9 @@ func (t *Thread) exitPath(val uint64) {
 	default:
 		t.appendEvent(record.Event{Kind: record.KExit, Ret: val, Pos: -1})
 	}
+	// Before the exited state becomes visible, so a joiner's callbacks
+	// observe the exit first.
+	rt.notifyThreadExit(t.id)
 	t.setState(tsExited)
 	t.exitWake.Broadcast()
 	if t.id == 0 && !rt.phaseIs(phReplay) {

@@ -59,8 +59,10 @@ func (rc RootCause) String() string {
 	return sb.String()
 }
 
-// Detector plugs into core.Options and drives evidence scanning plus
-// watchpoint re-execution.
+// Detector plugs into the runtime's observer surface (it implements
+// core.EpochObserver) and drives evidence scanning plus watchpoint
+// re-execution. It shares the hook surface with the replay-time analyzers
+// of internal/analysis rather than using bespoke plumbing.
 type Detector struct {
 	cfg Config
 
@@ -102,14 +104,13 @@ func (d *Detector) Attach(rt *core.Runtime) error {
 	return nil
 }
 
-// Options returns core options wired to this detector; callers may further
-// customize the result before core.New.
+// Options returns core options with the detector attached as an epoch
+// observer; callers may further customize the result before core.New.
 func (d *Detector) Options() core.Options {
-	return core.Options{
-		OnEpochEnd:      d.OnEpochEnd,
-		OnReplayMatched: d.OnReplayMatched,
-	}
+	return core.Options{Observers: []core.Observer{d}}
 }
+
+var _ core.EpochObserver = (*Detector)(nil)
 
 // OnEpochEnd scans for corrupted canaries at the epoch boundary and, on
 // evidence, asks for an in-situ re-execution with watchpoints armed.

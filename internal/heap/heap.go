@@ -377,6 +377,20 @@ func (d *Deterministic) Lookup(addr uint64) (Object, bool) {
 	return o, ok
 }
 
+// LiveObjects returns every live allocation sorted by payload address — the
+// allocator-state half of a leak diff: a live object that no reachability
+// scan of the address space can find is leaked.
+func (d *Deterministic) LiveObjects() []Object {
+	d.metaMu.Lock()
+	out := make([]Object, 0, len(d.live))
+	for _, o := range d.live {
+		out = append(out, o)
+	}
+	d.metaMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
 // Stats returns (allocs, frees) per thread for diagnostics.
 func (d *Deterministic) Stats(tid int32) (allocs, frees int64) {
 	if th := d.heaps[tid]; th != nil {

@@ -1,0 +1,10 @@
+// Package hostrace reports whether the host Go race detector is active.
+//
+// vthreads are real goroutines and programs under test race on real byte
+// slices by design (see internal/mem): a ground-truth racy workload is a
+// genuine Go-level data race. Tests that deliberately run racy programs
+// consult Enabled and skip under `go test -race`, so the race job checks
+// the runtime's own synchronization — quiescence, rollback, observer
+// dispatch, the trace store and worker pools — without tripping over races
+// the corpus exists to contain.
+package hostrace

@@ -60,10 +60,11 @@ type Context struct {
 	Ret    uint64
 }
 
-// StackEntry is one level of a symbolized call stack.
+// StackEntry is one level of a symbolized call stack. The JSON tags are the
+// contract of machine-readable analysis findings (ir-trace analyze -json).
 type StackEntry struct {
-	Func string
-	PC   int
+	Func string `json:"func"`
+	PC   int    `json:"pc"`
 }
 
 // Trap is a fatal execution error (memory fault, division by zero, stack
@@ -102,6 +103,13 @@ type CPU struct {
 	// OnWatch, when set, receives watchpoint hits caused by this CPU's
 	// stores together with the current call stack.
 	OnWatch func(WatchHit)
+	// OnAccess, when set before Run, receives every data memory access this
+	// CPU performs — loads, stores, and the memory intrinsics (memset,
+	// memcpy, atomics). The top frame's PC is synced before the callback, so
+	// CallStack inside it symbolizes the accessing instruction precisely.
+	// It must be installed while the CPU is parked (before Run or between
+	// runs); the armed flag is sampled once per Run.
+	OnAccess func(addr uint64, size int, write, atomic bool)
 
 	frames    []Frame
 	sp        uint64
@@ -109,9 +117,10 @@ type CPU struct {
 	stackHigh uint64
 	ret       uint64
 
-	instrs     uint64
-	sincePoll  int
-	watchArmed bool
+	instrs      uint64
+	sincePoll   int
+	watchArmed  bool
+	accessArmed bool
 }
 
 // New creates a CPU whose virtual stack occupies [stackBase,
@@ -229,6 +238,7 @@ func (c *CPU) noteStore(addr uint64, size int) {
 // unwinds the thread. It may be called again after SetContext to resume.
 func (c *CPU) Run() error {
 	c.watchArmed = c.Mem.HasWatchpoints()
+	c.accessArmed = c.OnAccess != nil
 	for len(c.frames) > 0 {
 		top := &c.frames[len(c.frames)-1]
 		fn := c.Mod.Funcs[top.Fn]
@@ -356,19 +366,29 @@ func (c *CPU) Run() error {
 				c.pop(v)
 				break inner
 			case tir.Load8:
-				v, err := c.Mem.Load8(regs[in.B] + uint64(in.Imm))
+				addr := regs[in.B] + uint64(in.Imm)
+				v, err := c.Mem.Load8(addr)
 				if err != nil {
 					top.PC = pc
 					return c.trap(err)
 				}
 				regs[in.A] = v
+				if c.accessArmed {
+					top.PC = pc
+					c.OnAccess(addr, 1, false, false)
+				}
 			case tir.Load64:
-				v, err := c.Mem.Load64(regs[in.B] + uint64(in.Imm))
+				addr := regs[in.B] + uint64(in.Imm)
+				v, err := c.Mem.Load64(addr)
 				if err != nil {
 					top.PC = pc
 					return c.trap(err)
 				}
 				regs[in.A] = v
+				if c.accessArmed {
+					top.PC = pc
+					c.OnAccess(addr, 8, false, false)
+				}
 			case tir.Store8:
 				addr := regs[in.B] + uint64(in.Imm)
 				if err := c.Mem.Store8(addr, regs[in.A]); err != nil {
@@ -379,6 +399,10 @@ func (c *CPU) Run() error {
 					top.PC = pc
 					c.noteStore(addr, 1)
 				}
+				if c.accessArmed {
+					top.PC = pc
+					c.OnAccess(addr, 1, true, false)
+				}
 			case tir.Store64:
 				addr := regs[in.B] + uint64(in.Imm)
 				if err := c.Mem.Store64(addr, regs[in.A]); err != nil {
@@ -388,6 +412,10 @@ func (c *CPU) Run() error {
 				if c.watchArmed {
 					top.PC = pc
 					c.noteStore(addr, 8)
+				}
+				if c.accessArmed {
+					top.PC = pc
+					c.OnAccess(addr, 8, true, false)
 				}
 			case tir.FrameAddr:
 				regs[in.A] = top.FP + uint64(in.Imm)
@@ -471,24 +499,29 @@ func (c *CPU) intrinsic(id int64, args []uint64) (uint64, error) {
 			return 0, c.trap(err)
 		}
 		c.noteStore(args[0], int(args[2]))
+		c.noteAccess(args[0], int(args[2]), true, false)
 		return 0, nil
 	case tir.IntrinMemcpy:
 		if err := c.Mem.Memcpy(args[0], args[1], int(args[2])); err != nil {
 			return 0, c.trap(err)
 		}
 		c.noteStore(args[0], int(args[2]))
+		c.noteAccess(args[1], int(args[2]), false, false)
+		c.noteAccess(args[0], int(args[2]), true, false)
 		return 0, nil
 	case tir.IntrinAtomicLoad:
 		v, err := c.Mem.AtomicLoad64(args[0])
 		if err != nil {
 			return 0, c.trap(err)
 		}
+		c.noteAccess(args[0], 8, false, true)
 		return v, nil
 	case tir.IntrinAtomicStore:
 		if err := c.Mem.AtomicStore64(args[0], args[1]); err != nil {
 			return 0, c.trap(err)
 		}
 		c.noteStore(args[0], 8)
+		c.noteAccess(args[0], 8, true, true)
 		return 0, nil
 	case tir.IntrinAtomicAdd:
 		v, err := c.Mem.AtomicAdd64(args[0], args[1])
@@ -496,6 +529,7 @@ func (c *CPU) intrinsic(id int64, args []uint64) (uint64, error) {
 			return 0, c.trap(err)
 		}
 		c.noteStore(args[0], 8)
+		c.noteAccess(args[0], 8, true, true)
 		return v, nil
 	case tir.IntrinAtomicCAS:
 		v, err := c.Mem.AtomicCAS64(args[0], args[1], args[2])
@@ -505,6 +539,7 @@ func (c *CPU) intrinsic(id int64, args []uint64) (uint64, error) {
 		if v == 1 {
 			c.noteStore(args[0], 8)
 		}
+		c.noteAccess(args[0], 8, v == 1, true)
 		return v, nil
 	case tir.IntrinAtomicXchg:
 		v, err := c.Mem.AtomicXchg64(args[0], args[1])
@@ -512,9 +547,18 @@ func (c *CPU) intrinsic(id int64, args []uint64) (uint64, error) {
 			return 0, c.trap(err)
 		}
 		c.noteStore(args[0], 8)
+		c.noteAccess(args[0], 8, true, true)
 		return v, nil
 	default:
 		return c.Hooks.Intrinsic(id, args)
+	}
+}
+
+// noteAccess reports a memory intrinsic's access to the observer hook; the
+// Intrin dispatch already synced the top frame's PC.
+func (c *CPU) noteAccess(addr uint64, size int, write, atomic bool) {
+	if c.accessArmed {
+		c.OnAccess(addr, size, write, atomic)
 	}
 }
 

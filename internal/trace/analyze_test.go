@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/hostrace"
+	"repro/internal/record"
+	"repro/internal/tir"
+	"repro/internal/workloads"
+)
+
+// recordCorpusTrace records a ground-truth analysis-corpus program into a
+// decoded trace.
+func recordCorpusTrace(t testing.TB, name string) (*tir.Module, *Trace) {
+	t.Helper()
+	c, ok := workloads.AnalysisByName(name)
+	if !ok {
+		t.Fatalf("unknown analysis case %s", name)
+	}
+	mod := c.Build()
+	tr := &Trace{Header: Header{App: c.Name, ModuleHash: tir.Fingerprint(mod), Seed: 9}}
+	rt, err := core.New(mod, core.Options{
+		Seed: 9,
+		TraceSink: func(ep *record.EpochLog) error {
+			tr.Epochs = append(tr.Epochs, ep)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rt.Run()
+	if err != nil {
+		t.Fatalf("record %s: %v", name, err)
+	}
+	tr.Summary = &Summary{Exit: rep.Exit, Output: rep.Output}
+	return mod, tr
+}
+
+// TestAnalyzeBatch fans race and leak analyses across a mixed store of
+// corpus traces and checks the findings land on the right traces.
+func TestAnalyzeBatch(t *testing.T) {
+	if hostrace.Enabled {
+		t.Skip("batch includes deliberately racy corpus programs")
+	}
+	names := []string{"race-counter", "leak-dropped", "norace-locked"}
+	jobs := make([]AnalyzeJob, 0, len(names))
+	for _, n := range names {
+		mod, tr := recordCorpusTrace(t, n)
+		jobs = append(jobs, AnalyzeJob{
+			Job: Job{Name: n, Module: mod, Trace: tr, Opts: core.Options{DelayOnDivergence: true}},
+			NewAnalyzers: func() []analysis.Analyzer {
+				return []analysis.Analyzer{analysis.NewRaceDetector(), analysis.NewLeakDetector()}
+			},
+		})
+	}
+	results, stats := AnalyzeBatch(jobs, 2)
+	if stats.Failed != 0 {
+		t.Fatalf("batch failed: %+v", stats)
+	}
+	if stats.Matched != len(names) || stats.Events == 0 {
+		t.Fatalf("bad stats: %+v", stats)
+	}
+	byName := map[string][]analysis.Finding{}
+	for _, r := range results {
+		if !r.Matched {
+			t.Fatalf("%s did not match: %v", r.Name, r.Err)
+		}
+		byName[r.Name] = r.Findings
+	}
+	if len(byName["norace-locked"]) != 0 {
+		t.Errorf("clean trace produced findings: %v", byName["norace-locked"])
+	}
+	wantKind := func(name, kind string) {
+		t.Helper()
+		for _, f := range byName[name] {
+			if f.Kind == kind {
+				return
+			}
+		}
+		t.Errorf("%s: no %s finding in %v", name, kind, byName[name])
+	}
+	wantKind("race-counter", "data-race")
+	wantKind("leak-dropped", "memory-leak")
+	for _, f := range byName["leak-dropped"] {
+		if f.Kind == "data-race" {
+			t.Errorf("leak-dropped flagged for a race: %v", f)
+		}
+	}
+}
+
+// TestAnalyzeBatchValidation: malformed jobs fail cleanly, without running.
+func TestAnalyzeBatchValidation(t *testing.T) {
+	mod, tr := recordCorpusTrace(t, "noleak-freed")
+	jobs := []AnalyzeJob{
+		{Job: Job{Name: "no-factory", Module: mod, Trace: tr}},
+		{Job: Job{Name: "no-module", Trace: tr},
+			NewAnalyzers: func() []analysis.Analyzer { return nil }},
+	}
+	results, stats := AnalyzeBatch(jobs, 1)
+	if stats.Failed != 2 {
+		t.Fatalf("want 2 failures, got %+v", stats)
+	}
+	if results[0].Err == nil || !strings.Contains(results[0].Err.Error(), "analyzer factory") {
+		t.Errorf("missing-factory error: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Errorf("missing-module job did not fail")
+	}
+}

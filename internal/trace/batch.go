@@ -74,17 +74,16 @@ func Fanout(j Job, n int) []Job {
 	return out
 }
 
-// ReplayBatch fans jobs across a worker pool and blocks until every job
-// finished. workers <= 0 selects GOMAXPROCS. Results are returned in job
-// order.
-func ReplayBatch(jobs []Job, workers int) ([]Result, BatchStats) {
+// runPool shards n items across a bounded worker pool, invoking run for
+// each index, and returns the pool's wall-clock time. workers <= 0 selects
+// GOMAXPROCS. ReplayBatch and AnalyzeBatch share it.
+func runPool(n, workers int, run func(i int)) time.Duration {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > n {
+		workers = n
 	}
-	results := make([]Result, len(jobs))
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -93,17 +92,28 @@ func ReplayBatch(jobs []Job, workers int) ([]Result, BatchStats) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = runJob(&jobs[i])
+				run(i)
 			}
 		}()
 	}
-	for i := range jobs {
+	for i := 0; i < n; i++ {
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
+	return time.Since(start)
+}
 
-	stats := BatchStats{Jobs: len(jobs), Elapsed: time.Since(start)}
+// ReplayBatch fans jobs across a worker pool and blocks until every job
+// finished. workers <= 0 selects GOMAXPROCS. Results are returned in job
+// order.
+func ReplayBatch(jobs []Job, workers int) ([]Result, BatchStats) {
+	results := make([]Result, len(jobs))
+	elapsed := runPool(len(jobs), workers, func(i int) {
+		results[i] = runJob(&jobs[i])
+	})
+
+	stats := BatchStats{Jobs: len(jobs), Elapsed: elapsed}
 	for i := range results {
 		r := &results[i]
 		stats.Work += r.Wall
@@ -120,20 +130,44 @@ func ReplayBatch(jobs []Job, workers int) ([]Result, BatchStats) {
 	return results, stats
 }
 
+// validate checks that a job is runnable: module and trace present, module
+// fingerprint matching the recording.
+func (j *Job) validate() error {
+	if j.Module == nil || j.Trace == nil {
+		return fmt.Errorf("trace: job %q lacks a module or trace", j.Name)
+	}
+	if h := j.Trace.Header.ModuleHash; h != 0 {
+		if got := tir.Fingerprint(j.Module); got != h {
+			return fmt.Errorf("trace: job %q module fingerprint %#x does not match trace %#x",
+				j.Name, got, h)
+		}
+	}
+	return nil
+}
+
+// compareSummary checks a replayed report against the recorded oracle;
+// nil when the trace carries no summary frame.
+func (j *Job) compareSummary(rep *core.Report) error {
+	sum := j.Trace.Summary
+	if sum == nil {
+		return nil
+	}
+	if rep.Exit != sum.Exit {
+		return fmt.Errorf("trace: job %q replayed exit %d, recorded %d", j.Name, rep.Exit, sum.Exit)
+	}
+	if rep.Output != sum.Output {
+		return fmt.Errorf("trace: job %q replayed output differs from recording", j.Name)
+	}
+	return nil
+}
+
 func runJob(j *Job) (res Result) {
 	res = Result{Name: j.Name}
 	start := time.Now()
 	defer func() { res.Wall = time.Since(start) }()
-	if j.Module == nil || j.Trace == nil {
-		res.Err = fmt.Errorf("trace: job %q lacks a module or trace", j.Name)
+	if err := j.validate(); err != nil {
+		res.Err = err
 		return res
-	}
-	if h := j.Trace.Header.ModuleHash; h != 0 {
-		if got := tir.Fingerprint(j.Module); got != h {
-			res.Err = fmt.Errorf("trace: job %q module fingerprint %#x does not match trace %#x",
-				j.Name, got, h)
-			return res
-		}
 	}
 	rep, err := core.ReplayFromTrace(j.Module, j.Trace.Epochs, j.Opts, j.Setup)
 	res.Report = rep
@@ -144,14 +178,9 @@ func runJob(j *Job) (res Result) {
 	}
 	res.Matched = true
 	res.Err = err // a reproduced fault arrives here, alongside the report
-	if sum := j.Trace.Summary; sum != nil {
-		if rep.Exit != sum.Exit {
-			res.Matched = false
-			res.Err = fmt.Errorf("trace: job %q replayed exit %d, recorded %d", j.Name, rep.Exit, sum.Exit)
-		} else if rep.Output != sum.Output {
-			res.Matched = false
-			res.Err = fmt.Errorf("trace: job %q replayed output differs from recording", j.Name)
-		}
+	if serr := j.compareSummary(rep); serr != nil {
+		res.Matched = false
+		res.Err = serr
 	}
 	return res
 }

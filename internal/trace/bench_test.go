@@ -1,8 +1,10 @@
 package trace
 
 import (
+	"fmt"
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 )
 
@@ -26,5 +28,48 @@ func BenchmarkEncodeDecode(b *testing.B) {
 		if _, err := Decode(bs); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAnalyzeBatch measures parallel replay-time analysis throughput
+// (race + leak analyzers attached to every replay) by worker count;
+// events/sec is the recorded events re-executed under analysis per second
+// of batch wall time.
+func BenchmarkAnalyzeBatch(b *testing.B) {
+	spec := scaledSpec(b, "fluidanimate", 0.2)
+	tr := recordTrace(b, spec, core.Options{Seed: 17})
+	mod, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := AnalyzeJob{
+		Job: Job{
+			Name: spec.Name, Module: mod, Trace: tr,
+			Opts:  core.Options{DelayOnDivergence: true},
+			Setup: func(rt *core.Runtime) error { spec.SetupOS(rt.OS()); return nil },
+		},
+		NewAnalyzers: func() []analysis.Analyzer {
+			return []analysis.Analyzer{analysis.NewRaceDetector(), analysis.NewLeakDetector()}
+		},
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				jobs := make([]AnalyzeJob, 2*workers)
+				for j := range jobs {
+					jobs[j] = base
+					jobs[j].Name = fmt.Sprintf("%s#%d", spec.Name, j)
+				}
+				results, stats := AnalyzeBatch(jobs, workers)
+				if stats.Failed > 0 {
+					for _, r := range results {
+						if r.Err != nil {
+							b.Fatal(r.Err)
+						}
+					}
+				}
+				b.ReportMetric(float64(stats.Events)/stats.Elapsed.Seconds(), "events/sec")
+			}
+		})
 	}
 }

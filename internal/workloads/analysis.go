@@ -1,0 +1,467 @@
+package workloads
+
+// The ground-truth corpus for the replay-time analysis subsystem
+// (internal/analysis): small programs whose racing pairs and leak sites are
+// known by construction, so the analyzers can be held to "every known
+// defect blamed, zero findings on the clean controls".
+//
+// The racy programs race only on *data*: their control flow and
+// synchronization sequences are deterministic, so a recorded trace replays
+// on the first attempt and the analyzers see the whole execution. (A race
+// that altered the synchronization order would surface as replay divergence
+// instead — the §5.2 signal the analysis subsystem exists to sharpen.)
+
+import (
+	"repro/internal/tir"
+)
+
+// AnalysisCase is one ground-truth corpus entry.
+type AnalysisCase struct {
+	Name string
+	// RacePairs lists the racing function pairs (innermost frames of both
+	// sides) the race analyzer must blame; empty means the program is
+	// race-free and the analyzer must stay silent.
+	RacePairs [][2]string
+	// Leaks is the expected number of leaked objects; LeakSites the
+	// allocation-site functions the leak analyzer must blame.
+	Leaks     int
+	LeakSites []string
+	// Build synthesizes the program.
+	Build func() *tir.Module
+}
+
+// AnalysisCorpus returns the ground-truth corpus: three racy programs with
+// known pairs, three race-free controls, two leaky programs with known
+// sites, and one leak-free control.
+func AnalysisCorpus() []AnalysisCase {
+	return []AnalysisCase{
+		{
+			// Two threads increment a shared global without a lock: the
+			// classic lost-update write/write race (plus the read halves).
+			Name:      "race-counter",
+			RacePairs: [][2]string{{"racy_inc_a", "racy_inc_b"}},
+			Build:     buildRaceCounter,
+		},
+		{
+			// Two threads write the same cell of a heap object published
+			// through a global before thread creation: the create edge
+			// orders the publication, nothing orders the writes.
+			Name:      "race-heap",
+			RacePairs: [][2]string{{"heap_writer_a", "heap_writer_b"}},
+			Build:     buildRaceHeap,
+		},
+		{
+			// One writer, one reader, no synchronization at all.
+			Name:      "race-rw",
+			RacePairs: [][2]string{{"rw_writer", "rw_reader"}},
+			Build:     buildRaceRW,
+		},
+		{
+			// The same increments as race-counter, under a mutex: the
+			// release→acquire edges order every access.
+			Name:  "norace-locked",
+			Build: buildNoraceLocked,
+		},
+		{
+			// Parent and child write the same cell, ordered end to end by
+			// the create and join edges.
+			Name:  "norace-create-join",
+			Build: buildNoraceCreateJoin,
+		},
+		{
+			// Ad hoc synchronization: concurrent atomic increments. Atomics
+			// are synchronization, not race candidates.
+			Name:  "norace-atomic",
+			Build: buildNoraceAtomic,
+		},
+		{
+			// Four allocations whose pointers are dropped on the floor, next
+			// to a published allocation and a freed one.
+			Name:      "leak-dropped",
+			Leaks:     4,
+			LeakSites: []string{"leak_loop"},
+			Build:     buildLeakDropped,
+		},
+		{
+			// A cache slot overwritten without freeing the old entry: the
+			// first allocation becomes unreachable.
+			Name:      "leak-overwrite",
+			Leaks:     1,
+			LeakSites: []string{"make_cache_entry"},
+			Build:     buildLeakOverwrite,
+		},
+		{
+			// Everything freed or still published: the leak analyzer must
+			// stay silent.
+			Name:  "noleak-freed",
+			Build: buildNoleakFreed,
+		},
+	}
+}
+
+// AnalysisByName returns the named corpus entry.
+func AnalysisByName(name string) (AnalysisCase, bool) {
+	for _, c := range AnalysisCorpus() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return AnalysisCase{}, false
+}
+
+// AnalysisNames lists the corpus entries in declaration order.
+func AnalysisNames() []string {
+	cs := AnalysisCorpus()
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// emitTwoThreadMain emits a main that spawns fnA and fnB (one arg each,
+// ignored), joins both, and returns 0 — deterministic output regardless of
+// how the workers raced.
+func emitTwoThreadMain(mb *tir.ModuleBuilder, fnA, fnB int) {
+	m := mb.Func("main", 0)
+	fnr, argr := m.NewReg(), m.NewReg()
+	m.ConstI(fnr, int64(fnA))
+	m.ConstI(argr, 0)
+	t1 := m.NewReg()
+	m.Intrin(t1, tir.IntrinThreadCreate, fnr, argr)
+	m.ConstI(fnr, int64(fnB))
+	t2 := m.NewReg()
+	m.Intrin(t2, tir.IntrinThreadCreate, fnr, argr)
+	r := m.NewReg()
+	m.Intrin(r, tir.IntrinThreadJoin, t1)
+	m.Intrin(r, tir.IntrinThreadJoin, t2)
+	m.Ret(-1)
+	m.Seal()
+	mb.SetEntry("main")
+}
+
+// emitCellLoop emits a worker that runs `iters` load/add/store rounds on the
+// global cell gi.
+func emitCellLoop(mb *tir.ModuleBuilder, name string, gi, iters int) int {
+	fb := mb.Func(name, 1)
+	a, v, i, lim, cond := fb.NewReg(), fb.NewReg(), fb.NewReg(), fb.NewReg(), fb.NewReg()
+	fb.GlobalAddr(a, gi)
+	fb.ConstI(i, 0)
+	fb.ConstI(lim, int64(iters))
+	loop, done := fb.NewLabel(), fb.NewLabel()
+	fb.Bind(loop)
+	fb.Bin(tir.LtS, cond, i, lim)
+	fb.Brz(cond, done)
+	fb.Load64(v, a, 0)
+	fb.AddI(v, v, 1)
+	fb.Store64(v, a, 0)
+	fb.AddI(i, i, 1)
+	fb.Jmp(loop)
+	fb.Bind(done)
+	fb.Ret(-1)
+	fb.Seal()
+	return fb.Index()
+}
+
+func buildRaceCounter() *tir.Module {
+	mb := tir.NewModuleBuilder()
+	gC := mb.Global("counter", 8)
+	a := emitCellLoop(mb, "racy_inc_a", gC, 40)
+	b := emitCellLoop(mb, "racy_inc_b", gC, 40)
+	emitTwoThreadMain(mb, a, b)
+	return mb.MustBuild()
+}
+
+func buildRaceHeap() *tir.Module {
+	mb := tir.NewModuleBuilder()
+	gSlot := mb.Global("slot", 8)
+
+	writer := func(name string) int {
+		fb := mb.Func(name, 1)
+		sa, p, v, i, lim, cond := fb.NewReg(), fb.NewReg(), fb.NewReg(), fb.NewReg(), fb.NewReg(), fb.NewReg()
+		fb.GlobalAddr(sa, gSlot)
+		fb.Load64(p, sa, 0) // ordered before us by the create edge
+		fb.ConstI(i, 0)
+		fb.ConstI(lim, 24)
+		loop, done := fb.NewLabel(), fb.NewLabel()
+		fb.Bind(loop)
+		fb.Bin(tir.LtS, cond, i, lim)
+		fb.Brz(cond, done)
+		fb.Bin(tir.Add, v, i, i)
+		fb.Store64(v, p, 8) // the racing cell
+		fb.AddI(i, i, 1)
+		fb.Jmp(loop)
+		fb.Bind(done)
+		fb.Ret(-1)
+		fb.Seal()
+		return fb.Index()
+	}
+	a := writer("heap_writer_a")
+	b := writer("heap_writer_b")
+
+	m := mb.Func("main", 0)
+	sz, p, sa := m.NewReg(), m.NewReg(), m.NewReg()
+	m.ConstI(sz, 64)
+	m.Intrin(p, tir.IntrinMalloc, sz)
+	m.GlobalAddr(sa, gSlot)
+	m.Store64(p, sa, 0) // publish before creating the writers
+	fnr, argr := m.NewReg(), m.NewReg()
+	m.ConstI(fnr, int64(a))
+	m.ConstI(argr, 0)
+	t1 := m.NewReg()
+	m.Intrin(t1, tir.IntrinThreadCreate, fnr, argr)
+	m.ConstI(fnr, int64(b))
+	t2 := m.NewReg()
+	m.Intrin(t2, tir.IntrinThreadCreate, fnr, argr)
+	r := m.NewReg()
+	m.Intrin(r, tir.IntrinThreadJoin, t1)
+	m.Intrin(r, tir.IntrinThreadJoin, t2)
+	m.Intrin(-1, tir.IntrinFree, p)
+	m.Ret(-1)
+	m.Seal()
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+func buildRaceRW() *tir.Module {
+	mb := tir.NewModuleBuilder()
+	gC := mb.Global("cell", 8)
+
+	w := mb.Func("rw_writer", 1)
+	{
+		a, i, lim, cond := w.NewReg(), w.NewReg(), w.NewReg(), w.NewReg()
+		w.GlobalAddr(a, gC)
+		w.ConstI(i, 0)
+		w.ConstI(lim, 30)
+		loop, done := w.NewLabel(), w.NewLabel()
+		w.Bind(loop)
+		w.Bin(tir.LtS, cond, i, lim)
+		w.Brz(cond, done)
+		w.Store64(i, a, 0)
+		w.AddI(i, i, 1)
+		w.Jmp(loop)
+		w.Bind(done)
+		w.Ret(-1)
+		w.Seal()
+	}
+	r := mb.Func("rw_reader", 1)
+	{
+		a, v, acc, i, lim, cond := r.NewReg(), r.NewReg(), r.NewReg(), r.NewReg(), r.NewReg(), r.NewReg()
+		r.GlobalAddr(a, gC)
+		r.ConstI(acc, 0)
+		r.ConstI(i, 0)
+		r.ConstI(lim, 30)
+		loop, done := r.NewLabel(), r.NewLabel()
+		r.Bind(loop)
+		r.Bin(tir.LtS, cond, i, lim)
+		r.Brz(cond, done)
+		r.Load64(v, a, 0)
+		r.Bin(tir.Add, acc, acc, v)
+		r.AddI(i, i, 1)
+		r.Jmp(loop)
+		r.Bind(done)
+		r.Ret(-1) // the racy sum must not influence observable output
+		r.Seal()
+	}
+	emitTwoThreadMain(mb, w.Index(), r.Index())
+	return mb.MustBuild()
+}
+
+func buildNoraceLocked() *tir.Module {
+	mb := tir.NewModuleBuilder()
+	gM := mb.Global("mutex", 8)
+	gC := mb.Global("counter", 8)
+
+	worker := func(name string) int {
+		fb := mb.Func(name, 1)
+		ma, ca, v, i, lim, cond := fb.NewReg(), fb.NewReg(), fb.NewReg(), fb.NewReg(), fb.NewReg(), fb.NewReg()
+		fb.GlobalAddr(ma, gM)
+		fb.GlobalAddr(ca, gC)
+		fb.ConstI(i, 0)
+		fb.ConstI(lim, 40)
+		loop, done := fb.NewLabel(), fb.NewLabel()
+		fb.Bind(loop)
+		fb.Bin(tir.LtS, cond, i, lim)
+		fb.Brz(cond, done)
+		fb.Intrin(-1, tir.IntrinMutexLock, ma)
+		fb.Load64(v, ca, 0)
+		fb.AddI(v, v, 1)
+		fb.Store64(v, ca, 0)
+		fb.Intrin(-1, tir.IntrinMutexUnlock, ma)
+		fb.AddI(i, i, 1)
+		fb.Jmp(loop)
+		fb.Bind(done)
+		fb.Ret(-1)
+		fb.Seal()
+		return fb.Index()
+	}
+	a := worker("locked_inc_a")
+	b := worker("locked_inc_b")
+	emitTwoThreadMain(mb, a, b)
+	return mb.MustBuild()
+}
+
+func buildNoraceCreateJoin() *tir.Module {
+	mb := tir.NewModuleBuilder()
+	gC := mb.Global("cell", 8)
+
+	child := mb.Func("child_writer", 1)
+	{
+		a, v := child.NewReg(), child.NewReg()
+		child.GlobalAddr(a, gC)
+		child.Load64(v, a, 0)
+		child.AddI(v, v, 7)
+		child.Store64(v, a, 0)
+		child.Ret(-1)
+		child.Seal()
+	}
+
+	m := mb.Func("main", 0)
+	a, v := m.NewReg(), m.NewReg()
+	m.GlobalAddr(a, gC)
+	m.ConstI(v, 1)
+	m.Store64(v, a, 0) // before the create edge
+	fnr, argr := m.NewReg(), m.NewReg()
+	m.ConstI(fnr, int64(child.Index()))
+	m.ConstI(argr, 0)
+	t1 := m.NewReg()
+	m.Intrin(t1, tir.IntrinThreadCreate, fnr, argr)
+	r := m.NewReg()
+	m.Intrin(r, tir.IntrinThreadJoin, t1)
+	m.Load64(v, a, 0) // after the join edge
+	m.AddI(v, v, 1)
+	m.Store64(v, a, 0)
+	m.Ret(-1)
+	m.Seal()
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+func buildNoraceAtomic() *tir.Module {
+	mb := tir.NewModuleBuilder()
+	gA := mb.Global("acell", 8)
+
+	worker := func(name string) int {
+		fb := mb.Func(name, 1)
+		a, one, v, i, lim, cond := fb.NewReg(), fb.NewReg(), fb.NewReg(), fb.NewReg(), fb.NewReg(), fb.NewReg()
+		fb.GlobalAddr(a, gA)
+		fb.ConstI(one, 1)
+		fb.ConstI(i, 0)
+		fb.ConstI(lim, 30)
+		loop, done := fb.NewLabel(), fb.NewLabel()
+		fb.Bind(loop)
+		fb.Bin(tir.LtS, cond, i, lim)
+		fb.Brz(cond, done)
+		fb.Intrin(v, tir.IntrinAtomicAdd, a, one)
+		fb.AddI(i, i, 1)
+		fb.Jmp(loop)
+		fb.Bind(done)
+		fb.Ret(-1)
+		fb.Seal()
+		return fb.Index()
+	}
+	a := worker("atomic_inc_a")
+	b := worker("atomic_inc_b")
+	emitTwoThreadMain(mb, a, b)
+	return mb.MustBuild()
+}
+
+func buildLeakDropped() *tir.Module {
+	mb := tir.NewModuleBuilder()
+	gKeep := mb.Global("keepslot", 8)
+
+	leak := mb.Func("leak_loop", 0)
+	{
+		sz, p, i, lim, cond := leak.NewReg(), leak.NewReg(), leak.NewReg(), leak.NewReg(), leak.NewReg()
+		leak.ConstI(i, 0)
+		leak.ConstI(lim, 4)
+		loop, done := leak.NewLabel(), leak.NewLabel()
+		leak.Bind(loop)
+		leak.Bin(tir.LtS, cond, i, lim)
+		leak.Brz(cond, done)
+		leak.ConstI(sz, 48)
+		leak.Intrin(p, tir.IntrinMalloc, sz)
+		leak.Store64(i, p, 0) // touch it, then drop the only pointer
+		leak.AddI(i, i, 1)
+		leak.Jmp(loop)
+		leak.Bind(done)
+		leak.Ret(-1)
+		leak.Seal()
+	}
+	keep := mb.Func("keep_alive", 0)
+	{
+		sz, p, a := keep.NewReg(), keep.NewReg(), keep.NewReg()
+		keep.ConstI(sz, 64)
+		keep.Intrin(p, tir.IntrinMalloc, sz)
+		keep.GlobalAddr(a, gKeep)
+		keep.Store64(p, a, 0) // published: reachable, not a leak
+		keep.Ret(-1)
+		keep.Seal()
+	}
+	freed := mb.Func("freed_pair", 0)
+	{
+		sz, p := freed.NewReg(), freed.NewReg()
+		freed.ConstI(sz, 32)
+		freed.Intrin(p, tir.IntrinMalloc, sz)
+		freed.Intrin(-1, tir.IntrinFree, p)
+		freed.Ret(-1)
+		freed.Seal()
+	}
+
+	m := mb.Func("main", 0)
+	m.Call(-1, keep.Index())
+	m.Call(-1, freed.Index())
+	m.Call(-1, leak.Index())
+	m.Ret(-1)
+	m.Seal()
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+func buildLeakOverwrite() *tir.Module {
+	mb := tir.NewModuleBuilder()
+	gSlot := mb.Global("cacheslot", 8)
+
+	mk := mb.Func("make_cache_entry", 0)
+	{
+		sz, p, v := mk.NewReg(), mk.NewReg(), mk.NewReg()
+		mk.ConstI(sz, 40)
+		mk.Intrin(p, tir.IntrinMalloc, sz)
+		mk.ConstI(v, 0x11)
+		mk.Store64(v, p, 0)
+		mk.Ret(p)
+		mk.Seal()
+	}
+
+	m := mb.Func("main", 0)
+	a, p1, p2 := m.NewReg(), m.NewReg(), m.NewReg()
+	m.GlobalAddr(a, gSlot)
+	m.Call(p1, mk.Index())
+	m.Store64(p1, a, 0)
+	m.Call(p2, mk.Index())
+	m.Store64(p2, a, 0) // overwrites the only pointer to p1's entry
+	m.Ret(-1)
+	m.Seal()
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+func buildNoleakFreed() *tir.Module {
+	mb := tir.NewModuleBuilder()
+	gSlot := mb.Global("slot", 8)
+
+	m := mb.Func("main", 0)
+	a, sz, p1, p2 := m.NewReg(), m.NewReg(), m.NewReg(), m.NewReg()
+	m.GlobalAddr(a, gSlot)
+	m.ConstI(sz, 64)
+	m.Intrin(p1, tir.IntrinMalloc, sz)
+	m.Store64(p1, a, 0) // published for the whole run
+	m.ConstI(sz, 128)
+	m.Intrin(p2, tir.IntrinMalloc, sz)
+	m.Store64(sz, p2, 0)
+	m.Intrin(-1, tir.IntrinFree, p2)
+	m.Ret(-1)
+	m.Seal()
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}

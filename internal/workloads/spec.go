@@ -92,7 +92,10 @@ func (s Spec) Build() (*tir.Module, error) {
 	gCond := mb.Global("cond", 8)
 	gTokens := mb.Global("tokens", 8)
 	gAtomic := mb.Global("atomiccell", 16)
-	gScratch := mb.Global("scratch", 4096)
+	// One scratch slot per thread (IO buffers, library-work copies): real
+	// applications use private buffers for these, and a shared slot would
+	// manufacture data races the modeled programs do not have.
+	gScratch := mb.Global("scratch", scratchSlot*int64(s.Threads))
 	gPath := mb.GlobalInit("path", 32, []byte(s.Name+".dat"))
 	pathLen := len(s.Name) + 4
 
@@ -143,6 +146,11 @@ type workerGlobals struct {
 	pathLen int
 }
 
+// scratchSlot is each thread's private scratch region: big enough for the
+// largest library-work copy (source at offset 0, destination at half-slot)
+// and any IO read the specs issue.
+const scratchSlot = 8192
+
 // buildWorker emits the per-thread loop body.
 func (s Spec) buildWorker(mb *tir.ModuleBuilder, g workerGlobals) int {
 	fb := mb.Func("worker", 1)
@@ -152,6 +160,16 @@ func (s Spec) buildWorker(mb *tir.ModuleBuilder, g workerGlobals) int {
 	fb.ConstI(acc, 0)
 	one := fb.NewReg()
 	fb.ConstI(one, 1)
+
+	// This thread's scratch slot: scratch + self*scratchSlot.
+	scr := fb.NewReg()
+	{
+		sh, off := fb.NewReg(), fb.NewReg()
+		fb.GlobalAddr(scr, g.scratch)
+		fb.ConstI(sh, 13) // log2(scratchSlot)
+		fb.Bin(tir.Shl, off, self, sh)
+		fb.Bin(tir.Add, scr, scr, off)
+	}
 
 	// Live heap-resident working set: allocated once per thread, written
 	// every iteration, never freed (see Spec.WorkingSet).
@@ -233,12 +251,11 @@ func (s Spec) buildWorker(mb *tir.ModuleBuilder, g workerGlobals) int {
 
 	// --- uninstrumented library work (pbzip2 profile) ---
 	if s.LibraryWork > 0 {
-		src, dst, n := fb.NewReg(), fb.NewReg(), fb.NewReg()
-		fb.GlobalAddr(src, g.scratch)
-		fb.AddI(dst, src, 2048)
+		dst, n := fb.NewReg(), fb.NewReg()
+		fb.AddI(dst, scr, scratchSlot/2)
 		fb.ConstI(n, int64(s.LibraryWork))
-		fb.Intrin(-1, tir.IntrinMemcpy, dst, src, n)
-		fb.Intrin(-1, tir.IntrinMemcpy, src, dst, n)
+		fb.Intrin(-1, tir.IntrinMemcpy, dst, scr, n)
+		fb.Intrin(-1, tir.IntrinMemcpy, scr, dst, n)
 	}
 
 	// --- recorded lock traffic ---
@@ -300,7 +317,7 @@ func (s Spec) buildWorker(mb *tir.ModuleBuilder, g workerGlobals) int {
 	// --- file IO (revocable) ---
 	if s.FileIO > 0 {
 		buf, n, want := fb.NewReg(), fb.NewReg(), fb.NewReg()
-		fb.GlobalAddr(buf, g.scratch)
+		fb.Mov(buf, scr)
 		fb.ConstI(want, int64(s.FileIO))
 		fb.Syscall(n, vsys.SysRead, fd, buf, want)
 		reopen := fb.NewLabel()
@@ -317,7 +334,7 @@ func (s Spec) buildWorker(mb *tir.ModuleBuilder, g workerGlobals) int {
 	// --- socket IO (recordable) ---
 	if s.SocketIO > 0 {
 		buf, n, want := fb.NewReg(), fb.NewReg(), fb.NewReg()
-		fb.GlobalAddr(buf, g.scratch)
+		fb.Mov(buf, scr)
 		fb.ConstI(want, int64(s.SocketIO))
 		fb.Syscall(n, vsys.SysRead, sock, buf, want)
 		fb.Bin(tir.Add, acc, acc, n)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/detect"
+	"repro/internal/hostrace"
 	"repro/internal/interp"
 	"repro/internal/mem"
 	"repro/internal/tir"
@@ -104,6 +105,9 @@ func TestAppIdenticalReplayExceptCanneal(t *testing.T) {
 }
 
 func TestCrasherCrashesSometimes(t *testing.T) {
+	if hostrace.Enabled {
+		t.Skip("Crasher races on VM memory by design (§5.2.1)")
+	}
 	crashes := 0
 	runs := 20
 	for i := 0; i < runs; i++ {
@@ -126,6 +130,9 @@ func TestCrasherCrashesSometimes(t *testing.T) {
 }
 
 func TestCrasherRaceReproducedByReplaySearch(t *testing.T) {
+	if hostrace.Enabled {
+		t.Skip("Crasher races on VM memory by design (§5.2.1)")
+	}
 	// Table 2's protocol: when the crash occurs, replay until the schedule
 	// matches (the fault reproduces); count attempts.
 	reproduced := false

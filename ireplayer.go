@@ -23,6 +23,7 @@
 package ireplayer
 
 import (
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/record"
 	"repro/internal/tir"
@@ -109,3 +110,31 @@ var PrepareReplay = core.PrepareReplay
 // through the divergence-checking replay path: PrepareReplay + optional OS
 // setup + RunReplay.
 var ReplayFromTrace = core.ReplayFromTrace
+
+// --- replay-time analysis (internal/analysis) ---
+
+// Observer attaches a passive tool to an execution via Options.Observers;
+// capability interfaces (core.SyncObserver, core.AccessObserver, ...) are
+// discovered by assertion. The replay-time analyzers and the §4 detectors
+// share this surface.
+type Observer = core.Observer
+
+// Analyzer is one pluggable replay-time analysis (race, leak, profile).
+type Analyzer = analysis.Analyzer
+
+// Finding is a machine-checkable analysis result.
+type Finding = analysis.Finding
+
+// NewRaceDetector builds the vector-clock happens-before data-race
+// analyzer: it reports precise racing pairs (both access addresses, both
+// call stacks) from a single re-execution of a stored trace.
+var NewRaceDetector = analysis.NewRaceDetector
+
+// NewLeakDetector builds the memory-leak analyzer: it diffs allocator state
+// against conservative reachability scans and blames the leaking
+// allocation site.
+var NewLeakDetector = analysis.NewLeakDetector
+
+// Analyze re-executes a recorded epoch sequence once with the given
+// analyzers attached and collects their findings.
+var Analyze = analysis.Run
