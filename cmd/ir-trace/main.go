@@ -4,9 +4,11 @@
 // alone cannot offer:
 //
 //	ir-trace record -app pfscan -dir ./traces          # run + persist
+//	ir-trace record -app pfscan -checkpoint-every 2    # + checkpoint frames
 //	ir-trace ls -dir ./traces                          # inventory
 //	ir-trace replay -name pfscan -dir ./traces         # one offline replay
 //	ir-trace replay -name pfscan -n 16 -workers 4      # parallel fan-out
+//	ir-trace replay -name pfscan -segments -workers 4  # segment-parallel
 //	ir-trace verify -name pfscan -dir ./traces         # replay + compare
 //	ir-trace analyze -name race-counter -dir ./traces  # race+leak analysis
 //	ir-trace analyze -all -workers 4 -json             # whole store, JSON
@@ -67,8 +69,8 @@ func main() {
 func usage() {
 	fmt.Fprint(os.Stderr, `usage: ir-trace <record|replay|ls|verify|analyze> [flags]
 
-  record   -app NAME [-name N] [-dir D] [-scale S] [-seed N] [-eventcap N]
-  replay   -name N [-dir D] [-n COPIES] [-workers W] [-max-replays N] [-delay]
+  record   -app NAME [-name N] [-dir D] [-scale S] [-seed N] [-eventcap N] [-checkpoint-every N]
+  replay   -name N [-dir D] [-n COPIES] [-workers W] [-max-replays N] [-delay] [-segments]
   ls       [-dir D]
   verify   -name N [-dir D]
   analyze  -name N | -all [-dir D] [-analyzers race,leak] [-workers W] [-json]
@@ -92,6 +94,8 @@ func cmdRecord(args []string) error {
 	scale := fs.Float64("scale", 1.0, "iteration scale")
 	seed := fs.Int64("seed", 42, "external-nondeterminism seed")
 	eventCap := fs.Int("eventcap", 0, "per-thread event list size (0 = default)")
+	ckptEvery := fs.Int("checkpoint-every", 0,
+		"persist a checkpoint frame every N epochs (0 = none); checkpointed traces replay segment-parallel")
 	fs.Parse(args)
 	if *app == "" {
 		return fmt.Errorf("record: -app is required")
@@ -147,6 +151,10 @@ func cmdRecord(args []string) error {
 		return err
 	}
 	opts.TraceSink = w.Sink()
+	if *ckptEvery > 0 {
+		opts.CheckpointEvery = *ckptEvery
+		opts.CheckpointSink = w.CheckpointSink()
+	}
 	rt, err := core.New(mod, opts)
 	if err != nil {
 		return err
@@ -168,8 +176,8 @@ func cmdRecord(args []string) error {
 		fmt.Printf("recorded %s with fault: %v\n", *name, runErr)
 	}
 	fi, _ := f.Stat()
-	fmt.Printf("recorded %s: %d epochs, %d bytes, exit=%d, wall=%v -> %s\n",
-		*name, w.Epochs(), fi.Size(), rep.Exit, time.Since(start).Round(time.Millisecond),
+	fmt.Printf("recorded %s: %d epochs, %d checkpoints, %d bytes, exit=%d, wall=%v -> %s\n",
+		*name, w.Epochs(), w.Ckpts(), fi.Size(), rep.Exit, time.Since(start).Round(time.Millisecond),
 		st.Path(*name))
 	return nil
 }
@@ -248,6 +256,8 @@ func cmdReplay(args []string) error {
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	maxReplays := fs.Int("max-replays", 0, "divergence search bound (0 = default)")
 	delay := fs.Bool("delay", true, "randomized delays on divergence retries")
+	segments := fs.Bool("segments", false,
+		"split the trace at its checkpoint frames and replay the segments in parallel, verifying by stitching")
 	fs.Parse(args)
 	if *name == "" {
 		return fmt.Errorf("replay: -name is required")
@@ -261,6 +271,9 @@ func cmdReplay(args []string) error {
 	})
 	if err != nil {
 		return err
+	}
+	if *segments {
+		return replaySegments(job, *workers)
 	}
 	jobs := []trace.Job{job}
 	if *n > 1 {
@@ -284,6 +297,34 @@ func cmdReplay(args []string) error {
 		float64(stats.Work)/float64(stats.Elapsed+1))
 	if stats.Failed > 0 {
 		return fmt.Errorf("%d replay(s) failed to match", stats.Failed)
+	}
+	return nil
+}
+
+// replaySegments is the -segments arm of cmdReplay: checkpoint-split
+// parallel replay of one trace with stitching verification.
+func replaySegments(job trace.Job, workers int) error {
+	if len(job.Trace.Checkpoints) == 0 {
+		fmt.Printf("%s: no checkpoint frames (record with -checkpoint-every); replaying as one segment\n", job.Name)
+	}
+	results, stats, err := trace.ReplaySegments(job, workers)
+	for _, r := range results {
+		switch {
+		case r.Matched && r.Err == nil:
+			fmt.Printf("%-28s matched (attempts=%d, wall=%v)\n",
+				r.Name, r.Report.Stats.LastReplayAttempts, r.Wall.Round(time.Millisecond))
+		case r.Matched:
+			fmt.Printf("%-28s matched, reproduced fault: %v\n", r.Name, r.Err)
+		default:
+			fmt.Printf("%-28s FAILED: %v\n", r.Name, r.Err)
+		}
+	}
+	fmt.Printf("segments: %d/%d stitched, %d events replayed, work=%v elapsed=%v (x%.1f)\n",
+		stats.Matched, stats.Jobs, stats.Events,
+		stats.Work.Round(time.Millisecond), stats.Elapsed.Round(time.Millisecond),
+		float64(stats.Work)/float64(stats.Elapsed+1))
+	if err != nil {
+		return fmt.Errorf("segment replay: %w", err)
 	}
 	return nil
 }
@@ -413,14 +454,14 @@ func cmdLs(args []string) error {
 		return nil
 	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "NAME\tAPP\tMODULE\tEPOCHS\tEVENTS\tBYTES\tCOMPLETE")
+	fmt.Fprintln(tw, "NAME\tAPP\tMODULE\tEPOCHS\tEVENTS\tCKPTS\tBYTES\tCOMPLETE")
 	for _, e := range entries {
-		if e.Header.App == "" {
-			fmt.Fprintf(tw, "%s\t(unreadable)\t-\t-\t-\t-\t-\n", e.Name)
+		if e.Err != nil {
+			fmt.Fprintf(tw, "%s\t(unreadable: %v)\t-\t-\t-\t-\t-\t-\n", e.Name, e.Err)
 			continue
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%016x\t%d\t%d\t%d\t%v\n",
-			e.Name, e.Header.App, e.Header.ModuleHash, e.Epochs, e.Events, e.Size, e.Complete)
+		fmt.Fprintf(tw, "%s\t%s\t%016x\t%d\t%d\t%d\t%d\t%v\n",
+			e.Name, e.Header.App, e.Header.ModuleHash, e.Epochs, e.Events, e.Checkpoints, e.Size, e.Complete)
 	}
 	return tw.Flush()
 }

@@ -2,18 +2,21 @@ package bench
 
 // Machine-readable performance suite: the numbers `ir-bench -json` writes
 // to BENCH_<n>.json so the perf trajectory is tracked PR-over-PR. The suite
-// covers the three hot paths this system lives on: recording (events/sec
+// covers the four hot paths this system lives on: recording (events/sec
 // while the application runs), parallel offline replay (batch throughput by
-// worker count), and parallel replay-time analysis (ditto, with the race
-// and leak analyzers attached).
+// worker count), parallel replay-time analysis (ditto, with the race and
+// leak analyzers attached), and segment-parallel replay of one checkpointed
+// trace (the long-trace scale lever).
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/mem"
 	"repro/internal/record"
 	"repro/internal/tir"
 	"repro/internal/trace"
@@ -154,7 +157,88 @@ func Perf(scale float64) (*PerfReport, error) {
 			})
 		}
 	}
+
+	if err := perfSegments(rep, scale, workerSweep); err != nil {
+		return nil, err
+	}
 	return rep, nil
+}
+
+// perfSegments measures segment-parallel replay of one long checkpointed
+// recording against whole-program replay of the same trace. The workload is
+// a latency-bound service loop (think time dominates, as in the modeled
+// servers), so the wall-clock compression segment replay buys is visible
+// regardless of host core count.
+func perfSegments(rep *PerfReport, scale float64, workerSweep []int) error {
+	spec := workloads.Spec{
+		Name: "relay-service", Threads: 4, Iters: int(240 * scale),
+		Locks: 1, LockStride: 4, WritesPerLock: 1,
+		TimeCalls: 1, ThinkTime: 1000, WorkingSet: 16 << 10,
+	}
+	if spec.Iters < 32 {
+		spec.Iters = 32
+	}
+	memCfg := mem.Config{GlobalSize: 1 << 20, HeapSize: 2 << 20, StackSlot: 64 << 10, MaxThreads: 8}
+	mod, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, trace.Header{
+		App: spec.Name, ModuleHash: tir.Fingerprint(mod), Seed: 7, AppIters: spec.Iters, EventCap: 64,
+	})
+	if err != nil {
+		return err
+	}
+	opts := core.Options{Seed: 7, EventCap: 64, Mem: memCfg, CheckpointEvery: 1}
+	opts.TraceSink = w.Sink()
+	opts.CheckpointSink = w.CheckpointSink()
+	rt, err := core.New(mod, opts)
+	if err != nil {
+		return err
+	}
+	spec.SetupOS(rt.OS())
+	runRep, err := rt.Run()
+	if err != nil {
+		return fmt.Errorf("bench: recording %s: %w", spec.Name, err)
+	}
+	if err := w.Finish(&trace.Summary{Exit: runRep.Exit, Output: runRep.Output}); err != nil {
+		return err
+	}
+	tr, err := trace.Decode(buf.Bytes())
+	if err != nil {
+		return err
+	}
+
+	job := trace.Job{
+		Name: spec.Name, Module: mod, Trace: tr,
+		Opts:  core.Options{Seed: 7, EventCap: 64, Mem: memCfg, DelayOnDivergence: true},
+		Setup: func(rt *core.Runtime) error { spec.SetupOS(rt.OS()); return nil },
+	}
+	results, stats := trace.ReplayBatch([]trace.Job{job}, 1)
+	if stats.Failed > 0 {
+		return fmt.Errorf("bench: whole-program replay of %s: %v", spec.Name, firstErr(results))
+	}
+	rep.Results = append(rep.Results, PerfResult{
+		Name:         "replay-whole/" + spec.Name,
+		Ops:          1,
+		NsPerOp:      stats.Elapsed.Nanoseconds(),
+		EventsPerSec: perSec(stats.Events, stats.Elapsed),
+	})
+	for _, w := range workerSweep {
+		sres, sstats, err := trace.ReplaySegments(job, w)
+		if err != nil {
+			return fmt.Errorf("bench: segment replay of %s w=%d: %w (results %+v)", spec.Name, w, err, sres)
+		}
+		rep.Results = append(rep.Results, PerfResult{
+			Name:         "segment-replay/" + spec.Name,
+			Workers:      w,
+			Ops:          sstats.Jobs,
+			NsPerOp:      sstats.Elapsed.Nanoseconds(),
+			EventsPerSec: perSec(sstats.Events, sstats.Elapsed),
+		})
+	}
+	return nil
 }
 
 func perSec(n int64, d time.Duration) float64 {

@@ -335,7 +335,14 @@ func (rt *Runtime) handleEpochEnd() bool {
 		if reason == StopProgramEnd || reason == StopFault {
 			return true
 		}
-		rt.beginEpoch()
+		if err := rt.beginEpoch(); err != nil {
+			rt.errMu.Lock()
+			if rt.progErr == nil {
+				rt.progErr = err
+			}
+			rt.errMu.Unlock()
+			return true
+		}
 		return false
 	}
 }
@@ -383,6 +390,32 @@ func (rt *Runtime) captureEpochLog(reason StopReason) *record.EpochLog {
 	return ep
 }
 
+// replayStalled probes — without flagging divergence — whether the quiescent
+// world still holds unreplayed events while no thread observed a mismatch:
+// the state that is either a genuinely stuck schedule or, on an
+// oversubscribed host, a runnable thread the scheduler has not run yet.
+// Offline replay re-confirms a stall across a grace period before letting
+// replayMatched turn it into a divergence.
+func (rt *Runtime) replayStalled() bool {
+	rt.divMu.Lock()
+	diverged := rt.diverged
+	rt.divMu.Unlock()
+	if diverged {
+		return false
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, t := range rt.threads {
+		if t == nil || t.state.Load() == tsDead {
+			continue
+		}
+		if !t.list.Replayed() {
+			return true
+		}
+	}
+	return false
+}
+
 // replayMatched reports whether the finished re-execution reproduced the
 // recorded schedule: no divergence was flagged and every thread consumed its
 // entire per-thread list (§3.5.2).
@@ -415,18 +448,27 @@ func (rt *Runtime) replayMatched() bool {
 // beginEpoch performs §3.1: housekeeping (deferred syscalls, reclamation of
 // joined threads, log reset), then checkpoints memory, file positions,
 // allocator metadata, shadow synchronization state, and every thread's
-// context. The world resumes recording afterwards.
-func (rt *Runtime) beginEpoch() {
+// context — persisting the checkpoint through the configured sink at the
+// configured interval. The world resumes recording afterwards.
+func (rt *Runtime) beginEpoch() error {
 	rt.drainDeferred()
 	rt.reclaimJoined()
 	rt.clearLogs()
 	rt.epochSeq++
 	rt.stats.Epochs++
 	rt.takeCheckpoint()
+	if rt.checkpointDue() {
+		// Export while still quiescent: the VFS capture and the shared
+		// snapshot must not race resumed threads.
+		if err := rt.opts.CheckpointSink(rt.captureCheckpoint()); err != nil {
+			return fmt.Errorf("core: checkpoint sink: %w", err)
+		}
+	}
 	rt.stopMu.Lock()
 	rt.stopReason = StopNone
 	rt.stopMu.Unlock()
 	rt.setPhase(phRecord)
+	return nil
 }
 
 // takeCheckpoint captures the rollback state for the opening epoch.

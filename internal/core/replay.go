@@ -31,6 +31,8 @@ import (
 	"errors"
 	"fmt"
 
+	"time"
+
 	"repro/internal/record"
 	"repro/internal/tir"
 )
@@ -47,12 +49,26 @@ import (
 // the caveat that epoch observers never fire offline (there are no epoch
 // boundaries to re-enact).
 func PrepareReplay(mod *tir.Module, epochs []*record.EpochLog, opts Options) (*Runtime, error) {
+	return prepareReplay(mod, epochs, opts, nil)
+}
+
+// prepareReplay is PrepareReplay with an optional shadow-table seed: preVars,
+// when non-nil, is a checkpoint's creation-ordered shadow table, pre-created
+// so the replay assigns exactly the recording's shadow IDs. The IDs matter
+// because they are cached inside VM memory (the index word of each
+// synchronization variable): a segment whose end image is byte-compared
+// against a checkpoint must write the same index values the recording wrote.
+// Pre-creating from the per-variable order lists alone is not enough —
+// variables first touched by barrier_init or cond_signal never enter an
+// order list, yet consume a shadow ID at creation.
+func prepareReplay(mod *tir.Module, epochs []*record.EpochLog, opts Options, preVars []VarState) (*Runtime, error) {
 	if len(epochs) == 0 {
 		return nil, errors.New("core: replay of an empty trace")
 	}
 	opts.TraceSink = nil
 	opts.OnEpochEnd = nil
 	opts.OnReplayMatched = nil
+	opts.CheckpointSink = nil
 	opts.DisableRecording = false
 	rt, err := New(mod, opts)
 	if err != nil {
@@ -113,7 +129,12 @@ func PrepareReplay(mod *tir.Module, epochs []*record.EpochLog, opts Options) (*R
 
 	// Load the concatenated lists. Shadow variables are pre-created so their
 	// recorded orders are in place before first use; varFor finds them by
-	// address and rewrites the in-memory index word on demand.
+	// address and rewrites the in-memory index word on demand. A checkpoint
+	// shadow table, when provided, seeds creation order (and thereby IDs)
+	// exactly as the recording assigned them.
+	if err := rt.seedShadows(preVars); err != nil {
+		return fail(err)
+	}
 	rt.mu.Lock()
 	for i := range threads {
 		rt.threads[i].list = record.LoadThreadList(threads[i].Events)
@@ -126,6 +147,26 @@ func PrepareReplay(mod *tir.Module, epochs []*record.EpochLog, opts Options) (*R
 		s.mu.Unlock()
 	}
 	return rt, nil
+}
+
+// seedShadows pre-creates the shadow table from a checkpoint's
+// creation-ordered Vars list, verifying the IDs come out aligned (entries 0
+// and 1 are the runtime pseudo-variables every runtime pre-allocates).
+func (rt *Runtime) seedShadows(vars []VarState) error {
+	if len(vars) == 0 {
+		return nil
+	}
+	if len(vars) < 2 || vars[0].Addr != createVarAddr || vars[1].Addr != superVarAddr {
+		return errors.New("core: checkpoint shadow table lacks the runtime pseudo-variables")
+	}
+	for i := range vars {
+		sv := rt.replayVarFor(vars[i].Addr)
+		if int(sv.id) != i {
+			return fmt.Errorf("core: checkpoint shadow %#x materialized as id %d, want %d",
+				vars[i].Addr, sv.id, i)
+		}
+	}
+	return nil
 }
 
 // Shutdown reaps a runtime's thread goroutines. Run and RunReplay shut down
@@ -176,15 +217,34 @@ func (rt *Runtime) RunReplay() (*Report, error) {
 	rt.attempt = 1
 	rt.divMu.Unlock()
 	rt.stats.Replays++
-	rt.setPhase(phReplay)
-	// Mark main running before releasing it so quiescence detection cannot
-	// observe an all-parked world in the hand-off window.
-	main.setState(tsRunning)
-	main.startCh <- startMsg{kind: smStart}
+	if rt.segStart != nil {
+		// Mid-trace segment: seed the world from the restored checkpoint and
+		// resume every thread at its checkpointed context — the same path a
+		// divergence retry takes, pointed at the segment start.
+		rt.rollbackAndReplay()
+	} else {
+		rt.setPhase(phReplay)
+		// Mark main running before releasing it so quiescence detection
+		// cannot observe an all-parked world in the hand-off window.
+		main.setState(tsRunning)
+		main.startCh <- startMsg{kind: smStart}
+	}
 
 	attempt := 1
 	for {
 		rt.awaitQuiescence()
+		if rt.replayStalled() {
+			// Quiescent with unreplayed events but no thread-flagged
+			// divergence: on an oversubscribed host this is usually a
+			// runnable thread the scheduler has not run yet, not a wrong
+			// schedule. A false positive here is expensive offline — the
+			// retry re-executes the whole segment under delay injection — so
+			// give the scheduler a grace period before declaring divergence.
+			for wait := 0; wait < 200 && rt.replayStalled(); wait++ {
+				time.Sleep(500 * time.Microsecond)
+				rt.awaitQuiescence()
+			}
+		}
 		if rt.replayMatched() {
 			rt.stats.MatchedReplays++
 			rt.stats.LastReplayAttempts = attempt
@@ -203,6 +263,13 @@ func (rt *Runtime) RunReplay() (*Report, error) {
 		rt.diverged = false
 		rt.divMu.Unlock()
 		rt.rollbackAndReplay()
+	}
+
+	// Stitching check for segment replays: the matched schedule must also
+	// land on the next checkpoint's exact memory image and output budget.
+	if err := rt.verifySegmentEnd(); err != nil {
+		rt.shutdown()
+		return nil, err
 	}
 
 	rep := &Report{

@@ -59,6 +59,18 @@ type Options struct {
 	// log is a deep copy; the sink may retain it. A sink error terminates the
 	// run and surfaces from Run. Ignored with DisableRecording.
 	TraceSink func(*record.EpochLog) error
+	// CheckpointEvery, with CheckpointSink set, persists the epoch-boundary
+	// checkpoint the runtime already takes every N completed epochs: the
+	// sink receives the state at the beginning of epochs N+1, 2N+1, … Zero
+	// disables checkpoint persistence.
+	CheckpointEvery int
+	// CheckpointSink receives the exported checkpoint (memory snapshot,
+	// allocator metadata, thread contexts, shadow synchronization state,
+	// filesystem state) at the configured interval, while the world is
+	// quiescent, after the preceding epoch's TraceSink flush. The checkpoint
+	// is immutable; the sink may retain it. A sink error terminates the run.
+	// Ignored with DisableRecording; ignored by the replay constructors.
+	CheckpointSink func(*Checkpoint) error
 	// OnProbe receives instrumentation probes (Probe instructions inserted
 	// by IR passes); used by the CLAP and ASan baseline runtimes. Must be
 	// safe for concurrent calls from different thread IDs.
@@ -144,6 +156,12 @@ type Runtime struct {
 	// re-emitted (there is no original execution to duplicate) and recorded
 	// opens materialized through the virtual OS.
 	offline bool
+	// segStart/segEnd bound a segment replay built by PrepareReplayAt:
+	// segStart is the restored checkpoint RunReplay resumes from (nil when
+	// replaying from program start), segEnd the next checkpoint the end
+	// state must byte-match (nil for the trace's final segment).
+	segStart *Checkpoint
+	segEnd   *Checkpoint
 
 	deferredMu sync.Mutex
 	deferred   []deferredOp

@@ -279,6 +279,27 @@ func (t *Thread) intercept() error {
 	}
 }
 
+// parkBoundary parks a thread that reached its segment-end instruction
+// boundary during an offline segment replay (interp.CPU.OnBoundary): the
+// rest of its execution belongs to the next segment. It blocks until the
+// runtime decides — rollback on a divergence retry, shutdown after the
+// segment is verified — and returns the corresponding unwind error.
+func (t *Thread) parkBoundary() error {
+	rt := t.rt
+	for {
+		pch := rt.phaseCh.C()
+		switch rt.phase() {
+		case phRollback:
+			return interp.ErrUnwind
+		case phShutdown:
+			return errShutdown
+		}
+		t.setState(tsStopped)
+		<-pch
+		t.setState(tsRunning)
+	}
+}
+
 // parkReplayDone parks a thread whose per-thread list is exhausted during
 // replay: its next operation belongs to the epoch after the one being
 // replayed, so it waits for the world to switch back to recording (§3.5).

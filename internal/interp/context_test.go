@@ -1,0 +1,64 @@
+package interp
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestContextCodecRoundTrip: DecodeContext∘AppendContext is the identity.
+func TestContextCodecRoundTrip(t *testing.T) {
+	ctx := &Context{
+		SP:     0x7000_1234,
+		Ret:    99,
+		Instrs: 123456,
+		Frames: []Frame{
+			{Fn: 0, PC: 17, FP: 0x7000_2000, RetReg: -1, Regs: []uint64{1, 2, 3}},
+			{Fn: 3, PC: 0, FP: 0, RetReg: 2, Regs: []uint64{0xffffffffffffffff}},
+			{Fn: 1, PC: 5, RetReg: 0, Regs: nil},
+		},
+	}
+	b := AppendContext(nil, ctx)
+	got, rest, err := DecodeContext(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left over", len(rest))
+	}
+	// nil and empty register slices are equivalent after a round trip.
+	for i := range got.Frames {
+		if len(got.Frames[i].Regs) == 0 {
+			got.Frames[i].Regs = nil
+		}
+	}
+	if !reflect.DeepEqual(ctx, got) {
+		t.Fatalf("round trip: %+v != %+v", got, ctx)
+	}
+
+	if _, _, err := DecodeContext(b[:len(b)-2]); err == nil {
+		t.Fatal("truncated context accepted")
+	}
+}
+
+// TestContextInstrsAcrossGetSet: GetContext excludes the in-flight
+// instruction and SetContext restores the counter, so capture/resume cycles
+// keep per-thread instruction positions stable.
+func TestContextInstrsAcrossGetSet(t *testing.T) {
+	c := &CPU{}
+	c.instrs = 10
+	c.sincePoll = 4
+	ctx := c.GetContext()
+	if ctx.Instrs != 9 || ctx.SincePoll != 3 {
+		t.Fatalf("adjusted counters = %d/%d, want 9/3", ctx.Instrs, ctx.SincePoll)
+	}
+	c2 := &CPU{}
+	c2.SetContext(ctx)
+	if c2.instrs != 9 || c2.sincePoll != 3 {
+		t.Fatalf("restored counters = %d/%d, want 9/3", c2.instrs, c2.sincePoll)
+	}
+	// A CPU that never fetched has nothing in flight.
+	fresh := &CPU{}
+	if got := fresh.GetContext(); got.Instrs != 0 || got.SincePoll != 0 {
+		t.Fatalf("fresh context counters = %d/%d, want 0/0", got.Instrs, got.SincePoll)
+	}
+}

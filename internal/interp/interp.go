@@ -58,6 +58,17 @@ type Context struct {
 	Frames []Frame
 	SP     uint64
 	Ret    uint64
+	// Instrs is the number of instructions the thread had *completed* when
+	// the context was captured. Contexts are captured while a thread is
+	// parked inside a hook — the current instruction is fetched but not
+	// executed and re-executes on resume — so this excludes it. Restoring a
+	// context restores the count, which keeps per-thread instruction
+	// positions deterministic across rollbacks and is what segment-boundary
+	// stops (SetBoundary) are measured in.
+	Instrs uint64
+	// SincePoll preserves the poll-countdown phase so a resumed thread polls
+	// at the same instruction offsets as the original execution.
+	SincePoll int
 }
 
 // StackEntry is one level of a symbolized call stack. The JSON tags are the
@@ -121,6 +132,15 @@ type CPU struct {
 	sincePoll   int
 	watchArmed  bool
 	accessArmed bool
+
+	// boundary, when armed, stops Run before any instruction that would push
+	// the completed count past it; OnBoundary is invoked once at that point
+	// and its return value unwinds Run (segment-end parking).
+	boundary      uint64
+	boundaryArmed bool
+	// OnBoundary handles a boundary stop; it must block until the enclosing
+	// runtime decides (rollback or shutdown) and return the unwind error.
+	OnBoundary func() error
 }
 
 // New creates a CPU whose virtual stack occupies [stackBase,
@@ -136,11 +156,17 @@ func New(mod *tir.Module, m *mem.Memory, hooks Hooks, stackBase uint64, stackSiz
 	}
 }
 
-// Start initializes the CPU to begin executing function fn with args.
+// Start initializes the CPU to begin executing function fn with args. The
+// instruction counters restart at zero: a body run is a fresh deterministic
+// stream, and a thread re-released after rollback (its creation replayed)
+// must count from zero again for checkpointed instruction positions to be
+// reproducible.
 func (c *CPU) Start(fn int, args []uint64) {
 	c.frames = c.frames[:0]
 	c.sp = c.stackHigh
 	c.ret = 0
+	c.instrs = 0
+	c.sincePoll = 0
 	c.push(fn, args, -1)
 }
 
@@ -195,9 +221,17 @@ func (c *CPU) CallStack() []StackEntry {
 	return out
 }
 
-// GetContext deep-copies the execution state (the getcontext analogue).
+// GetContext deep-copies the execution state (the getcontext analogue). It
+// is called while the thread is parked inside a hook, where the current
+// instruction is fetched (already counted) but unexecuted; the completed
+// count therefore excludes it. A CPU that has not fetched anything yet
+// (program-start checkpoint) has nothing to exclude.
 func (c *CPU) GetContext() *Context {
 	ctx := &Context{SP: c.sp, Ret: c.ret, Frames: make([]Frame, len(c.frames))}
+	if c.instrs > 0 {
+		ctx.Instrs = c.instrs - 1
+		ctx.SincePoll = c.sincePoll - 1
+	}
 	for i, fr := range c.frames {
 		regs := make([]uint64, len(fr.Regs))
 		copy(regs, fr.Regs)
@@ -208,10 +242,15 @@ func (c *CPU) GetContext() *Context {
 }
 
 // SetContext restores a previously captured context (the setcontext
-// analogue); the next Run resumes mid-function at the checkpointed PCs.
+// analogue); the next Run resumes mid-function at the checkpointed PCs, and
+// the instruction counters resume at the checkpointed position (the re-fetch
+// of the parked instruction re-counts it, matching the capture-side
+// adjustment).
 func (c *CPU) SetContext(ctx *Context) {
 	c.sp = ctx.SP
 	c.ret = ctx.Ret
+	c.instrs = ctx.Instrs
+	c.sincePoll = ctx.SincePoll
 	c.frames = c.frames[:0]
 	for _, fr := range ctx.Frames {
 		regs := make([]uint64, len(fr.Regs))
@@ -255,6 +294,18 @@ func (c *CPU) Run() error {
 			in := code[pc]
 			c.instrs++
 			c.sincePoll++
+			if c.boundaryArmed && c.instrs > c.boundary {
+				// Segment end: executing this instruction would cross the
+				// recorded checkpoint boundary. Un-count the fetch (the parked
+				// position is "boundary instructions completed") and park.
+				c.instrs--
+				c.sincePoll--
+				top.PC = pc
+				if c.OnBoundary != nil {
+					return c.OnBoundary()
+				}
+				return ErrUnwind
+			}
 			if c.sincePoll >= PollInterval {
 				c.sincePoll = 0
 				top.PC = pc

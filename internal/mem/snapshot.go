@@ -1,5 +1,10 @@
 package mem
 
+import (
+	"encoding/binary"
+	"fmt"
+)
+
 // Snapshot is a full copy of the writable address space taken at an epoch
 // boundary (§3.1). All vthreads must be quiescent when a snapshot is taken or
 // restored; the epoch coordinator guarantees this.
@@ -30,6 +35,211 @@ func (m *Memory) Restore(s *Snapshot) {
 	copy(m.globals, s.globals)
 	copy(m.heap, s.heap)
 	copy(m.stacks, s.stacks)
+}
+
+// Lens returns the byte sizes of the snapshot's globals, heap, and stacks
+// images; a restore target must be configured identically.
+func (s *Snapshot) Lens() (globals, heap, stacks int) {
+	return len(s.globals), len(s.heap), len(s.stacks)
+}
+
+// Equal reports whether two snapshots are byte-identical — the segment
+// stitching check: a replayed segment's end state must match the next
+// recorded checkpoint exactly.
+func (s *Snapshot) Equal(o *Snapshot) bool {
+	return s.DiffCount(o) == 0
+}
+
+// DiffCount counts differing byte positions across all three segments
+// (diagnostics for a failed stitch).
+func (s *Snapshot) DiffCount(o *Snapshot) int {
+	if o == nil {
+		return len(s.globals) + len(s.heap) + len(s.stacks)
+	}
+	return DiffBytes(s.globals, o.globals) +
+		DiffBytes(s.heap, o.heap) +
+		DiffBytes(s.stacks, o.stacks)
+}
+
+// --- snapshot delta codec -------------------------------------------------
+//
+// Checkpoint frames persist snapshots delta-encoded against the previous
+// checkpoint: each segment is XORed with its predecessor image (zero when
+// there is none), and the XOR stream — overwhelmingly zero, because most of
+// the address space does not change between checkpoints — is run-length
+// encoded as alternating zero-run / literal-run pairs. Decoding folds the
+// delta back over the predecessor, so reconstructing checkpoint k costs the
+// deltas of checkpoints 1..k, not k full images.
+//
+//	delta   := glen:uvarint hlen:uvarint slen:uvarint seg seg seg
+//	seg     := run* (runs cover exactly the declared length)
+//	run     := zeros:uvarint lit:uvarint litbyte*lit
+//
+// The encoding is canonical: every zero run is maximal (a literal run never
+// contains 8 or more consecutive zero XOR bytes), so equal inputs produce
+// identical bytes.
+
+// minZeroRun is the shortest XOR zero run worth breaking a literal for: a
+// run header costs two varints, so runs shorter than this are cheaper left
+// inside the literal.
+const minZeroRun = 8
+
+// AppendSnapshotDelta appends the delta encoding of cur against prev. A nil
+// prev encodes against an all-zero image of the same geometry (the first
+// checkpoint of a trace). prev and cur must have identical segment lengths.
+func AppendSnapshotDelta(b []byte, prev, cur *Snapshot) ([]byte, error) {
+	if prev != nil {
+		pg, ph, ps := prev.Lens()
+		cg, ch, cs := cur.Lens()
+		if pg != cg || ph != ch || ps != cs {
+			return nil, fmt.Errorf("mem: snapshot delta across mismatched geometries (%d/%d/%d vs %d/%d/%d)",
+				pg, ph, ps, cg, ch, cs)
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(cur.globals)))
+	b = binary.AppendUvarint(b, uint64(len(cur.heap)))
+	b = binary.AppendUvarint(b, uint64(len(cur.stacks)))
+	segs := [3][2][]byte{
+		{curPrev(prev).globals, cur.globals},
+		{curPrev(prev).heap, cur.heap},
+		{curPrev(prev).stacks, cur.stacks},
+	}
+	for _, s := range segs {
+		b = appendSegDelta(b, s[0], s[1])
+	}
+	return b, nil
+}
+
+var zeroSnapshot Snapshot
+
+func curPrev(prev *Snapshot) *Snapshot {
+	if prev == nil {
+		return &zeroSnapshot
+	}
+	return prev
+}
+
+// xorAt returns cur[i] ^ prev[i], treating a short (or empty) prev as zero.
+func xorAt(prev, cur []byte, i int) byte {
+	if i < len(prev) {
+		return cur[i] ^ prev[i]
+	}
+	return cur[i]
+}
+
+func appendSegDelta(b []byte, prev, cur []byte) []byte {
+	i := 0
+	for i < len(cur) {
+		zs := i
+		for i < len(cur) && xorAt(prev, cur, i) == 0 {
+			i++
+		}
+		zeros := i - zs
+		ls := i
+		// A literal run extends until a maximal zero run of at least
+		// minZeroRun begins (or the segment ends).
+		for i < len(cur) {
+			if xorAt(prev, cur, i) != 0 {
+				i++
+				continue
+			}
+			j := i
+			for j < len(cur) && xorAt(prev, cur, j) == 0 {
+				j++
+			}
+			if j-i >= minZeroRun || j == len(cur) {
+				break
+			}
+			i = j
+		}
+		if zeros == 0 && i == ls {
+			break // nothing left
+		}
+		b = binary.AppendUvarint(b, uint64(zeros))
+		b = binary.AppendUvarint(b, uint64(i-ls))
+		for k := ls; k < i; k++ {
+			b = append(b, xorAt(prev, cur, k))
+		}
+	}
+	return b
+}
+
+// ApplySnapshotDelta reconstructs the snapshot a delta encodes by folding it
+// over prev (nil prev = all-zero base). It returns a fresh snapshot; prev is
+// not mutated.
+func ApplySnapshotDelta(prev *Snapshot, data []byte) (*Snapshot, error) {
+	var lens [3]int
+	rest := data
+	for i := range lens {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, fmt.Errorf("mem: truncated snapshot delta header")
+		}
+		const maxSeg = 1 << 32
+		if v > maxSeg {
+			return nil, fmt.Errorf("mem: implausible snapshot segment length %d", v)
+		}
+		lens[i] = int(v)
+		rest = rest[n:]
+	}
+	if prev != nil {
+		pg, ph, ps := prev.Lens()
+		if pg != lens[0] || ph != lens[1] || ps != lens[2] {
+			return nil, fmt.Errorf("mem: snapshot delta geometry %d/%d/%d does not match base %d/%d/%d",
+				lens[0], lens[1], lens[2], pg, ph, ps)
+		}
+	}
+	out := &Snapshot{
+		globals: make([]byte, lens[0]),
+		heap:    make([]byte, lens[1]),
+		stacks:  make([]byte, lens[2]),
+	}
+	base := curPrev(prev)
+	var err error
+	if rest, err = applySegDelta(out.globals, base.globals, rest); err != nil {
+		return nil, err
+	}
+	if rest, err = applySegDelta(out.heap, base.heap, rest); err != nil {
+		return nil, err
+	}
+	if rest, err = applySegDelta(out.stacks, base.stacks, rest); err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("mem: %d trailing bytes in snapshot delta", len(rest))
+	}
+	return out, nil
+}
+
+func applySegDelta(dst, prev, data []byte) ([]byte, error) {
+	copy(dst, prev)
+	pos := 0
+	for pos < len(dst) {
+		zeros, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("mem: truncated snapshot delta run at offset %d", pos)
+		}
+		data = data[n:]
+		lit, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("mem: truncated snapshot delta run at offset %d", pos)
+		}
+		data = data[n:]
+		if zeros > uint64(len(dst)-pos) || lit > uint64(len(dst)-pos)-zeros {
+			return nil, fmt.Errorf("mem: snapshot delta run overflows segment (%d+%d at %d/%d)",
+				zeros, lit, pos, len(dst))
+		}
+		if lit > uint64(len(data)) {
+			return nil, fmt.Errorf("mem: snapshot delta literal run of %d with %d bytes left", lit, len(data))
+		}
+		pos += int(zeros)
+		for i := 0; i < int(lit); i++ {
+			dst[pos] ^= data[i]
+			pos++
+		}
+		data = data[lit:]
+	}
+	return data, nil
 }
 
 // HeapImage returns a copy of the current heap arena, used by the Table 1

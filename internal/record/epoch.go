@@ -62,6 +62,26 @@ func (ep *EpochLog) EventCount() int {
 // thread's entry function must be consistent across epochs — both hold for
 // any log sequence the runtime produced.
 func FlattenEpochs(epochs []*EpochLog) (threads []ThreadLog, vars []VarLog, err error) {
+	threads, vars, err = FlattenEpochsAt(epochs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := range threads {
+		if threads[i].TID != int32(i) {
+			// The runtime allocates TIDs densely and captures threads in
+			// ascending order, so a gap means a corrupted or truncated log.
+			return nil, nil, fmt.Errorf("record: non-dense thread IDs in epoch logs (slot %d holds tid %d)",
+				i, threads[i].TID)
+		}
+	}
+	return threads, vars, nil
+}
+
+// FlattenEpochsAt is FlattenEpochs for a mid-trace epoch range (segment
+// replay from a checkpoint): thread IDs need not start at zero or be dense,
+// because threads reclaimed before the range leave permanent gaps. Threads
+// are returned in ascending TID order.
+func FlattenEpochsAt(epochs []*EpochLog) (threads []ThreadLog, vars []VarLog, err error) {
 	threadIdx := map[int32]int{}
 	varIdx := map[uint64]int{}
 	for _, ep := range epochs {
@@ -97,12 +117,13 @@ func FlattenEpochs(epochs []*EpochLog) (threads []ThreadLog, vars []VarLog, err 
 			}
 		}
 	}
-	for i := range threads {
-		if threads[i].TID != int32(i) {
-			// The runtime allocates TIDs densely and captures threads in
-			// ascending order, so a gap means a corrupted or truncated log.
-			return nil, nil, fmt.Errorf("record: non-dense thread IDs in epoch logs (slot %d holds tid %d)",
-				i, threads[i].TID)
+	for i := 1; i < len(threads); i++ {
+		if threads[i].TID <= threads[i-1].TID {
+			// TIDs are allocated monotonically and epochs list threads in
+			// ascending order, so first appearances are already sorted; a
+			// violation means a corrupted log.
+			return nil, nil, fmt.Errorf("record: unordered thread IDs in epoch logs (%d after %d)",
+				threads[i].TID, threads[i-1].TID)
 		}
 	}
 	return threads, vars, nil

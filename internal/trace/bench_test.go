@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/workloads"
 )
 
 // BenchmarkEncodeDecode times the serialization round-trip on a realistic
@@ -28,6 +30,73 @@ func BenchmarkEncodeDecode(b *testing.B) {
 		if _, err := Decode(bs); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// segmentBenchSpec is the workload BenchmarkSegmentReplay records: a
+// latency-bound service loop (the aget/apache/memcached shape — each
+// request computes briefly, then waits on backend/network think time).
+// Replay re-executes the waits, so a long recording's replay wall is
+// latency-, not CPU-, bound — exactly the case where splitting the trace at
+// its checkpoints and overlapping segments compresses wall-clock on any
+// host, single-core CI included.
+func segmentBenchSpec() workloads.Spec {
+	return workloads.Spec{
+		Name: "relay-service", Threads: 4, Iters: 336,
+		Locks: 1, LockStride: 4, WritesPerLock: 1,
+		TimeCalls: 1, ThinkTime: 1500, WorkingSet: 16 << 10,
+	}
+}
+
+// segmentBenchMem keeps checkpoint images proportional to the workload
+// instead of the laptop-scale default arena.
+func segmentBenchMem() mem.Config {
+	return mem.Config{GlobalSize: 1 << 20, HeapSize: 2 << 20, StackSlot: 64 << 10, MaxThreads: 8}
+}
+
+// BenchmarkSegmentReplay is the scale lever this layer exists for: one long
+// checkpointed recording (>= 8 epochs) replayed whole-program vs split at
+// its checkpoints and replayed segment-parallel. events/sec is recorded
+// events replayed per second of wall time; the "speedup" metric on the
+// segment runs is whole-program wall time over segment-parallel wall time
+// for the same trace.
+func BenchmarkSegmentReplay(b *testing.B) {
+	spec := segmentBenchSpec()
+	opts := core.Options{Seed: 9, EventCap: 64, Mem: segmentBenchMem()}
+	tr := recordCheckpointed(b, spec, opts, 1)
+	if len(tr.Epochs) < 8 {
+		b.Fatalf("want >= 8 epochs, got %d", len(tr.Epochs))
+	}
+	job := segmentJob(b, spec, tr, core.Options{
+		Seed: opts.Seed, EventCap: opts.EventCap, Mem: opts.Mem, DelayOnDivergence: true,
+	})
+
+	var wholeWall float64
+	b.Run("whole-program", func(b *testing.B) {
+		var total float64
+		for i := 0; i < b.N; i++ {
+			results, stats := ReplayBatch([]Job{job}, 1)
+			if stats.Failed > 0 {
+				b.Fatal(results[0].Err)
+			}
+			b.ReportMetric(float64(stats.Events)/stats.Elapsed.Seconds(), "events/sec")
+			total += stats.Elapsed.Seconds()
+		}
+		wholeWall = total / float64(b.N)
+	})
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("segments/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, stats, err := ReplaySegments(job, workers)
+				if err != nil {
+					b.Fatalf("%v (results %+v)", err, results)
+				}
+				b.ReportMetric(float64(stats.Events)/stats.Elapsed.Seconds(), "events/sec")
+				if wholeWall > 0 {
+					b.ReportMetric(wholeWall/stats.Elapsed.Seconds(), "speedup")
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,424 @@
+package trace
+
+// Corrupt-trace corpus: every way a stored trace can rot — truncated
+// mid-frame, flipped CRC, trailing garbage, implausible frame length — with
+// the required behavior of Load (error), List (degraded entry that hides
+// nothing), and scanFile (error) asserted for each.
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/record"
+)
+
+// corpusTrace builds a small, fully valid two-epoch trace.
+func corpusTrace(t *testing.T) []byte {
+	t.Helper()
+	tr := &Trace{
+		Header: Header{App: "corpus", ModuleHash: 7, EventCap: 16, VarCap: 16},
+		Epochs: []*record.EpochLog{
+			{
+				Epoch: 1,
+				Threads: []record.ThreadLog{{TID: 0, Events: []record.Event{
+					{Kind: record.KMutexLock, Var: 0x1000, Pos: 0},
+				}}},
+				Vars: []record.VarLog{{Addr: 0x1000, Order: []int32{0}}},
+			},
+			{
+				Epoch: 2,
+				Threads: []record.ThreadLog{{TID: 0, Events: []record.Event{
+					{Kind: record.KExit, Pos: -1},
+				}}},
+			},
+		},
+		Summary: &Summary{Exit: 3, Output: "1\n"},
+	}
+	b, err := Encode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// corruptions returns the corpus: name -> mutated bytes.
+func corruptions(t *testing.T, valid []byte) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+
+	// Truncated mid-frame: cut inside the last frame's payload.
+	out["truncated-mid-frame"] = append([]byte(nil), valid[:len(valid)-3]...)
+
+	// Flipped CRC: invert one bit of the final frame's checksum.
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-1] ^= 0x01
+	out["flipped-crc"] = flipped
+
+	// Trailing garbage after the summary frame.
+	out["trailing-garbage"] = append(append([]byte(nil), valid...), 0xde, 0xad, 0xbe, 0xef)
+
+	// A trailing *valid* frame after the summary: decodes frame-wise but is
+	// corruption, because Reader.Next never reads past the end marker.
+	var epPayload []byte
+	epPayload = appendEpoch(nil, &record.EpochLog{Epoch: 3, Threads: []record.ThreadLog{{TID: 0}}})
+	trailing := append([]byte(nil), valid...)
+	trailing = append(trailing, frameEpoch)
+	trailing = binary.AppendUvarint(trailing, uint64(len(epPayload)))
+	trailing = append(trailing, epPayload...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32ieee(epPayload))
+	out["trailing-frame"] = append(trailing, crc[:]...)
+
+	// Truncated right after a frame's length varint: zero payload bytes
+	// present where the length promises some. A bare io.EOF here must not
+	// pass for a clean frame-boundary truncation.
+	afterLen := append([]byte(nil), valid...)
+	afterLen = append(afterLen, frameEpoch)
+	afterLen = binary.AppendUvarint(afterLen, 5)
+	out["truncated-after-length"] = afterLen
+
+	// Implausible frame length: a huge length varint right after the header
+	// frame. Must be rejected by the size bound before any allocation.
+	hdrEnd := headerFrameEnd(t, valid)
+	huge := append([]byte(nil), valid[:hdrEnd]...)
+	huge = append(huge, frameEpoch)
+	huge = binary.AppendUvarint(huge, 1<<40)
+	huge = append(huge, 0x01, 0x02)
+	out["implausible-length"] = huge
+
+	return out
+}
+
+func crc32ieee(b []byte) uint32 {
+	// mirrors the writer's framing checksum
+	return crc32.ChecksumIEEE(b)
+}
+
+// headerFrameEnd returns the offset just past the header frame.
+func headerFrameEnd(t *testing.T, b []byte) int {
+	t.Helper()
+	off := len(Magic) + 1 // magic + kind
+	n, w := binary.Uvarint(b[off:])
+	if w <= 0 {
+		t.Fatal("malformed corpus bytes")
+	}
+	return off + w + int(n) + 4
+}
+
+// TestV1TraceLoads: a format-v1 file (what every pre-checkpoint writer
+// produced — same framing, header version 1, no checkpoint frames) still
+// decodes, replays whole-program via ReplaySegments' single-segment
+// fallback, and scans.
+func TestV1TraceLoads(t *testing.T) {
+	valid := corpusTrace(t)
+	// Patch the header payload's leading version varint from 2 to 1 and
+	// recompute the frame CRC — byte-for-byte what a v1 writer emitted.
+	v1 := append([]byte(nil), valid...)
+	off := len(Magic) + 1
+	n, w := binary.Uvarint(v1[off:])
+	payload := v1[off+w : off+w+int(n)]
+	if payload[0] != Version {
+		t.Fatalf("header does not lead with the version varint: %d", payload[0])
+	}
+	payload[0] = 1
+	binary.LittleEndian.PutUint32(v1[off+w+int(n):], crc32ieee(payload))
+
+	tr, err := Decode(v1)
+	if err != nil {
+		t.Fatalf("v1 trace failed to load: %v", err)
+	}
+	if len(tr.Epochs) != 2 || tr.Summary == nil || len(tr.Checkpoints) != 0 {
+		t.Fatalf("v1 decode = %d epochs, summary %v, %d checkpoints",
+			len(tr.Epochs), tr.Summary, len(tr.Checkpoints))
+	}
+	if _, _, _, _, _, err := func() (Header, int, int64, int, bool, error) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "v1.irt")
+		if err := os.WriteFile(path, v1, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return scanFile(path)
+	}(); err != nil {
+		t.Fatalf("v1 trace failed to scan: %v", err)
+	}
+
+	// An unknown future version is refused.
+	payload[0] = Version + 1
+	binary.LittleEndian.PutUint32(v1[off+w+int(n):], crc32ieee(payload))
+	if _, err := Decode(v1); err == nil {
+		t.Fatal("future header version accepted")
+	}
+}
+
+func TestCorruptTraceCorpus(t *testing.T) {
+	valid := corpusTrace(t)
+	if _, err := Decode(valid); err != nil {
+		t.Fatalf("pristine corpus trace failed to decode: %v", err)
+	}
+
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One healthy neighbour that corruption must never hide.
+	if err := os.WriteFile(st.Path("healthy"), valid, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, mut := range corruptions(t, valid) {
+		t.Run(name, func(t *testing.T) {
+			// Decode rejects the bytes.
+			if _, err := Decode(mut); err == nil {
+				t.Fatal("corrupt trace decoded without error")
+			}
+			// Load rejects the file.
+			if err := os.WriteFile(st.Path(name), mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.Load(name); err == nil {
+				t.Fatal("Load served a corrupt trace")
+			}
+			// scanFile errors.
+			if _, _, _, _, _, err := scanFile(st.Path(name)); err == nil {
+				t.Fatal("scanFile accepted a corrupt trace")
+			}
+			// List degrades the entry and keeps the healthy neighbour whole.
+			entries, err := st.List()
+			if err != nil {
+				t.Fatalf("List aborted on a corrupt file: %v", err)
+			}
+			var sawBad, sawHealthy bool
+			for _, e := range entries {
+				switch e.Name {
+				case name:
+					sawBad = true
+					if e.Err == nil || e.Header.App != "" {
+						t.Fatalf("corrupt entry not degraded: %+v", e)
+					}
+				case "healthy":
+					sawHealthy = true
+					if e.Err != nil || e.Header.App != "corpus" || !e.Complete || e.Epochs != 2 {
+						t.Fatalf("healthy entry damaged by neighbour: %+v", e)
+					}
+				}
+			}
+			if !sawBad || !sawHealthy {
+				t.Fatalf("List hid entries: %+v", entries)
+			}
+			os.Remove(st.Path(name))
+		})
+	}
+}
+
+// TestImplausibleLengthDoesNotAllocate: the corrupted length must be caught
+// by the remaining-size bound (file) and the generic cap (unsized reader)
+// without a gigabyte allocation. The allocation bound is observable through
+// the error text naming the remaining bytes.
+func TestImplausibleLengthDoesNotAllocate(t *testing.T) {
+	valid := corpusTrace(t)
+	hdrEnd := headerFrameEnd(t, valid)
+	mut := append([]byte(nil), valid[:hdrEnd]...)
+	mut = append(mut, frameEpoch)
+	mut = binary.AppendUvarint(mut, 512<<20) // 512 MiB claim, under the generic cap
+	mut = append(mut, 0x00)
+
+	path := filepath.Join(t.TempDir(), "big.irt")
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("half-gigabyte frame in a 100-byte file accepted")
+	}
+
+	// From a bytes.Reader the size is known too.
+	if _, err := Decode(mut); err == nil {
+		t.Fatal("half-gigabyte frame in a 100-byte buffer accepted")
+	}
+}
+
+// sliceReader is an io.Reader over bytes without bytes.Reader's Size method:
+// the reader cannot bound frame lengths by a known stream size (network or
+// pipe ingestion) and must still tell torn frames from clean prefixes.
+type sliceReader struct{ b []byte }
+
+func (s *sliceReader) Read(p []byte) (int, error) {
+	if len(s.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, s.b)
+	s.b = s.b[n:]
+	return n, nil
+}
+
+// TestTornFrameFromUnsizedStream: a stream that dies right after a frame's
+// length varint is torn, not a clean prefix — even when the reader cannot
+// know the stream size up front. (io.ReadFull returns a bare io.EOF when no
+// payload bytes are available at all; that must not read as a clean end.)
+func TestTornFrameFromUnsizedStream(t *testing.T) {
+	valid := corpusTrace(t)
+	hdrEnd := headerFrameEnd(t, valid)
+	mut := append([]byte(nil), valid[:hdrEnd]...)
+	mut = append(mut, frameEpoch)
+	mut = binary.AppendUvarint(mut, 5) // promises 5 payload bytes, delivers none
+
+	r, err := NewReader(&sliceReader{b: mut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("torn frame from unsized stream read as clean end: %v", err)
+	}
+
+	// The same bytes cut at the frame boundary are a clean prefix.
+	r2, err := NewReader(&sliceReader{b: valid[:hdrEnd]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("clean prefix misread: %v", err)
+	}
+}
+
+// TestStoreLoadDetectsSameSizeRewrite: a rewrite that preserves file size
+// (and possibly lands within mtime granularity) must not be served from the
+// decode cache.
+func TestStoreLoadDetectsSameSizeRewrite(t *testing.T) {
+	st, err := OpenStore(filepath.Join(t.TempDir(), "traces"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(exit uint64) *Trace {
+		return &Trace{
+			Header: Header{App: "rw", ModuleHash: 7},
+			Epochs: []*record.EpochLog{{
+				Epoch: 1,
+				Threads: []record.ThreadLog{{TID: 0, Events: []record.Event{
+					{Kind: record.KExit, Ret: exit, Pos: -1},
+				}}},
+			}},
+			Summary: &Summary{Exit: exit},
+		}
+	}
+	b1, err := Encode(mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Encode(mk(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1) != len(b2) {
+		t.Fatalf("rewrite does not preserve size (%d vs %d); fix the fixture", len(b1), len(b2))
+	}
+
+	if err := os.WriteFile(st.Path("rw"), b1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fi1, err := os.Stat(st.Path("rw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Load("rw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Summary.Exit != 1 {
+		t.Fatalf("first load exit = %d", got.Summary.Exit)
+	}
+
+	// Same-size rewrite; force the stat to look unchanged by restoring the
+	// original mtime (the pathological window the content check closes).
+	if err := os.WriteFile(st.Path("rw"), b2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(st.Path("rw"), fi1.ModTime(), fi1.ModTime()); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := st.Load("rw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Summary.Exit != 2 {
+		t.Fatalf("stale cache served after same-size rewrite (exit = %d, want 2)", got2.Summary.Exit)
+	}
+}
+
+// TestSegmentJobValidation: malformed segment schedules are refused before
+// any replay work.
+func TestSegmentJobValidation(t *testing.T) {
+	valid := corpusTrace(t)
+	tr, err := Decode(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No module.
+	if _, _, err := ReplaySegments(Job{Name: "x", Trace: tr}, 1); err == nil {
+		t.Fatal("job without module accepted")
+	}
+	_ = core.Options{} // keep the core import honest if assertions change
+}
+
+// blockingTail returns its bytes, then fails loudly if read again — the
+// shape of a live pipe whose writer holds the descriptor open: a reader
+// that probes past the summary frame would surface errProbe (a regression
+// that, on a real pipe, is a hang).
+type blockingTail struct {
+	b      []byte
+	probed bool
+}
+
+var errProbe = errors.New("probe past end marker")
+
+func (s *blockingTail) Read(p []byte) (int, error) {
+	if len(s.b) == 0 {
+		s.probed = true
+		return 0, errProbe
+	}
+	n := copy(p, s.b)
+	s.b = s.b[n:]
+	return n, nil
+}
+
+// TestStreamingSummaryDoesNotProbe: on an unbounded stream, Next returns
+// io.EOF at the summary frame without reading past it.
+func TestStreamingSummaryDoesNotProbe(t *testing.T) {
+	valid := corpusTrace(t)
+	src := &blockingTail{b: valid}
+	r, err := NewReader(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		n++
+	}
+	if src.probed {
+		t.Fatal("reader probed past the summary frame on a streaming input")
+	}
+	if n != 2 || r.Summary() == nil {
+		t.Fatalf("streamed %d epochs, summary %v", n, r.Summary())
+	}
+}

@@ -10,7 +10,11 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/interp"
 	"repro/internal/record"
+	"repro/internal/vsys"
 )
 
 func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
@@ -103,8 +107,8 @@ func decodeHeader(payload []byte) (Header, error) {
 	if err != nil {
 		return h, err
 	}
-	if ver != Version {
-		return h, fmt.Errorf("trace: unsupported header version %d (have %d)", ver, Version)
+	if ver < MinVersion || ver > Version {
+		return h, fmt.Errorf("trace: unsupported header version %d (supported %d..%d)", ver, MinVersion, Version)
 	}
 	if h.App, err = d.str(); err != nil {
 		return h, err
@@ -319,6 +323,272 @@ func peekEpochMeta(payload []byte) (epoch int64, events int64, err error) {
 		return 0, 0, err
 	}
 	return int64(seq), int64(n), nil
+}
+
+// --- checkpoint frame (format v2) ---
+
+// Thread flag bits in a checkpoint frame.
+const (
+	ckThreadExited = 1 << 0
+	ckThreadJoined = 1 << 1
+	ckThreadHasCtx = 1 << 2
+)
+
+// appendCheckpoint serializes a checkpoint whose memory image has already
+// been delta-encoded (memDelta) by the caller.
+func appendCheckpoint(b []byte, ck *core.Checkpoint, memDelta []byte) ([]byte, error) {
+	b = putUvarint(b, uint64(ck.Epoch))
+	b = putUvarint(b, uint64(uint32(ck.NextTID)))
+	b = putUvarint(b, uint64(ck.OutputLen))
+	alloc, err := heap.AppendSnapshot(nil, ck.Alloc)
+	if err != nil {
+		return nil, err
+	}
+	b = putUvarint(b, uint64(len(alloc)))
+	b = append(b, alloc...)
+	b = putUvarint(b, uint64(len(memDelta)))
+	b = append(b, memDelta...)
+	fs := ck.FS
+	if fs == nil {
+		fs = &vsys.State{}
+	}
+	b = putUvarint(b, uint64(len(fs.Files)))
+	for _, f := range fs.Files {
+		b = putString(b, f.Name)
+		b = putUvarint(b, uint64(len(f.Data)))
+		b = append(b, f.Data...)
+	}
+	b = putUvarint(b, uint64(len(fs.FDs)))
+	for _, fd := range fs.FDs {
+		b = putUvarint(b, uint64(fd.FD))
+		b = putString(b, fd.Path)
+		b = putUvarint(b, uint64(fd.Pos))
+	}
+	b = putUvarint(b, uint64(len(ck.Threads)))
+	for i := range ck.Threads {
+		ts := &ck.Threads[i]
+		b = putUvarint(b, uint64(uint32(ts.TID)))
+		b = putUvarint(b, uint64(uint32(ts.EntryFn)))
+		var flags uint64
+		if ts.Exited {
+			flags |= ckThreadExited
+		}
+		if ts.Joined {
+			flags |= ckThreadJoined
+		}
+		if ts.Ctx != nil {
+			flags |= ckThreadHasCtx
+		}
+		b = putUvarint(b, flags)
+		b = putUvarint(b, ts.ExitVal)
+		b = putUvarint(b, uint64(uint32(ts.Block.Kind)))
+		b = putUvarint(b, ts.Block.VAddr)
+		b = putUvarint(b, ts.Block.MAddr)
+		if ts.Ctx != nil {
+			ctx := interp.AppendContext(nil, ts.Ctx)
+			b = putUvarint(b, uint64(len(ctx)))
+			b = append(b, ctx...)
+		}
+	}
+	b = putUvarint(b, uint64(len(ck.Vars)))
+	for i := range ck.Vars {
+		vs := &ck.Vars[i]
+		b = putUvarint(b, vs.Addr)
+		var locked uint64
+		if vs.Locked {
+			locked = 1
+		}
+		b = putUvarint(b, locked)
+		b = putVarint(b, int64(vs.Holder))
+		b = putUvarint(b, uint64(vs.Waiters))
+		b = putUvarint(b, uint64(vs.Fuel))
+		b = putUvarint(b, uint64(vs.Parties))
+		b = putUvarint(b, uint64(vs.Arrived))
+		b = putUvarint(b, uint64(vs.Gen))
+	}
+	return b, nil
+}
+
+func decodeCheckpoint(payload []byte) (*Checkpoint, error) {
+	d := &decoder{b: payload}
+	st := &core.Checkpoint{FS: &vsys.State{}}
+	epoch, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	st.Epoch = int64(epoch)
+	ntid, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	st.NextTID = int32(uint32(ntid))
+	outLen, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	st.OutputLen = int(outLen)
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	allocB, err := d.bytes(n)
+	if err != nil {
+		return nil, err
+	}
+	if st.Alloc, err = heap.DecodeSnapshot(allocB); err != nil {
+		return nil, err
+	}
+	if n, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	memDelta, err := d.bytes(n)
+	if err != nil {
+		return nil, err
+	}
+	nFiles, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nFiles; i++ {
+		name, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		if n, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		data, err := d.bytes(n)
+		if err != nil {
+			return nil, err
+		}
+		st.FS.Files = append(st.FS.Files, vsys.File{Name: name, Data: append([]byte(nil), data...)})
+	}
+	nFDs, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nFDs; i++ {
+		var fd vsys.FDState
+		v, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		fd.FD = int64(v)
+		if fd.Path, err = d.str(); err != nil {
+			return nil, err
+		}
+		if v, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		fd.Pos = int64(v)
+		st.FS.FDs = append(st.FS.FDs, fd)
+	}
+	nThreads, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nThreads; i++ {
+		var ts core.ThreadState
+		v, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		ts.TID = int32(uint32(v))
+		if v, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		ts.EntryFn = int32(uint32(v))
+		flags, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		ts.Exited = flags&ckThreadExited != 0
+		ts.Joined = flags&ckThreadJoined != 0
+		if ts.ExitVal, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		if v, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		ts.Block.Kind = int32(uint32(v))
+		if ts.Block.VAddr, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		if ts.Block.MAddr, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		if flags&ckThreadHasCtx != 0 {
+			if v, err = d.uvarint(); err != nil {
+				return nil, err
+			}
+			ctxB, err := d.bytes(v)
+			if err != nil {
+				return nil, err
+			}
+			ctx, rest, err := interp.DecodeContext(ctxB)
+			if err != nil {
+				return nil, err
+			}
+			if len(rest) != 0 {
+				return nil, fmt.Errorf("trace: %d trailing bytes in thread %d context", len(rest), ts.TID)
+			}
+			ts.Ctx = ctx
+		}
+		st.Threads = append(st.Threads, ts)
+	}
+	nVars, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nVars; i++ {
+		var vs core.VarState
+		if vs.Addr, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		locked, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		vs.Locked = locked != 0
+		h, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		vs.Holder = int32(h)
+		v, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		vs.Waiters = int(v)
+		if v, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		vs.Fuel = int(v)
+		if v, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		vs.Parties = int64(v)
+		if v, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		vs.Arrived = int64(v)
+		if v, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		vs.Gen = int64(v)
+		st.Vars = append(st.Vars, vs)
+	}
+	if !d.done() {
+		return nil, fmt.Errorf("trace: %d trailing bytes in checkpoint frame", len(d.b)-d.off)
+	}
+	return &Checkpoint{State: st, memDelta: append([]byte(nil), memDelta...)}, nil
+}
+
+// peekCheckpointEpoch reads only the leading epoch field (inventory scans).
+func peekCheckpointEpoch(payload []byte) (int64, error) {
+	d := &decoder{b: payload}
+	v, err := d.uvarint()
+	return int64(v), err
 }
 
 // --- summary frame ---

@@ -2,7 +2,7 @@ package trace
 
 import (
 	"bufio"
-	"encoding/binary"
+	"bytes"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -15,25 +15,42 @@ import (
 // Reader decodes a trace stream frame by frame, validating the magic, the
 // header version, and every frame's CRC. A stream that ends cleanly after
 // any whole frame is valid — a recorder killed mid-run leaves a usable
-// prefix — but a torn or corrupted frame is an error.
+// prefix — but a torn or corrupted frame, or any frame after the summary
+// end marker, is an error.
 type Reader struct {
 	br   *bufio.Reader
 	hdr  Header
 	sum  *Summary
+	cks  []*Checkpoint
 	done bool
+	// size is the total stream length when known (-1 otherwise); consumed
+	// tracks logical bytes read, so a corrupt length varint cannot drive an
+	// allocation larger than what the stream could still hold.
+	size     int64
+	consumed int64
 }
 
-// NewReader validates the magic and decodes the header frame.
+// NewReader validates the magic and decodes the header frame. When r's total
+// size is discoverable (an *os.File or a *bytes.Reader), frame lengths are
+// bounded by the bytes actually remaining instead of only the generic cap.
 func NewReader(r io.Reader) (*Reader, error) {
-	br := bufio.NewReader(r)
+	tr := &Reader{br: bufio.NewReader(r), size: -1}
+	switch s := r.(type) {
+	case *os.File:
+		if fi, err := s.Stat(); err == nil && fi.Mode().IsRegular() {
+			tr.size = fi.Size()
+		}
+	case *bytes.Reader:
+		tr.size = s.Size()
+	}
 	magic := make([]byte, len(Magic))
-	if _, err := io.ReadFull(br, magic); err != nil {
+	if _, err := io.ReadFull(tr.br, magic); err != nil {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
+	tr.consumed += int64(len(Magic))
 	if string(magic) != Magic {
 		return nil, fmt.Errorf("trace: bad magic %q", magic)
 	}
-	tr := &Reader{br: br}
 	kind, payload, err := tr.readFrame()
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading header frame: %w", err)
@@ -50,71 +67,155 @@ func NewReader(r io.Reader) (*Reader, error) {
 // Header returns the decoded header.
 func (r *Reader) Header() Header { return r.hdr }
 
+// readByte reads one byte, tracking consumption.
+func (r *Reader) readByte() (byte, error) {
+	b, err := r.br.ReadByte()
+	if err == nil {
+		r.consumed++
+	}
+	return b, err
+}
+
+// readUvarint is binary.ReadUvarint with consumption tracking. It never
+// returns a bare io.EOF: it only runs after a frame's kind byte, so running
+// out of bytes mid-varint is a torn frame, not a clean stream end — callers
+// match io.EOF through wrapped errors and must not mistake one for the
+// other.
+func (r *Reader) readUvarint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		b, err := r.readByte()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, err
+		}
+		if b < 0x80 {
+			if shift == 63 && b > 1 {
+				break
+			}
+			return v | uint64(b)<<shift, nil
+		}
+		v |= uint64(b&0x7f) << shift
+	}
+	return 0, errors.New("varint overflows a 64-bit integer")
+}
+
 // readFrame reads one frame and verifies its CRC. io.EOF is returned only
 // at a clean frame boundary.
 func (r *Reader) readFrame() (byte, []byte, error) {
-	kind, err := r.br.ReadByte()
+	kind, err := r.readByte()
 	if err != nil {
 		if errors.Is(err, io.EOF) {
 			return 0, nil, io.EOF
 		}
 		return 0, nil, err
 	}
-	n, err := binary.ReadUvarint(r.br)
+	n, err := r.readUvarint()
 	if err != nil {
 		return 0, nil, fmt.Errorf("trace: torn frame length: %w", err)
 	}
+	// Bound the allocation before trusting the length: never beyond what the
+	// stream can still hold (when its size is known), and never beyond the
+	// generic cap. A flipped bit in the length varint must not allocate
+	// gigabytes before the CRC check ever runs.
 	const maxFrame = 1 << 30
+	if r.size >= 0 {
+		if remaining := r.size - r.consumed; int64(n)+4 > remaining {
+			return 0, nil, fmt.Errorf("trace: implausible frame length %d with %d bytes left", n, remaining)
+		}
+	}
 	if n > maxFrame {
 		return 0, nil, fmt.Errorf("trace: implausible frame length %d", n)
 	}
+	// Inside a frame a bare io.EOF is still a torn frame; do not let it
+	// masquerade as a clean stream end through error wrapping.
+	noEOF := func(err error) error {
+		if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			return io.ErrUnexpectedEOF
+		}
+		return err
+	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r.br, payload); err != nil {
-		return 0, nil, fmt.Errorf("trace: torn frame payload: %w", err)
+		return 0, nil, fmt.Errorf("trace: torn frame payload: %w", noEOF(err))
 	}
 	var crcb [4]byte
 	if _, err := io.ReadFull(r.br, crcb[:]); err != nil {
-		return 0, nil, fmt.Errorf("trace: torn frame checksum: %w", err)
+		return 0, nil, fmt.Errorf("trace: torn frame checksum: %w", noEOF(err))
 	}
-	want := binary.LittleEndian.Uint32(crcb[:])
+	r.consumed += int64(n) + 4
+	want := uint32(crcb[0]) | uint32(crcb[1])<<8 | uint32(crcb[2])<<16 | uint32(crcb[3])<<24
 	if got := crc32.ChecksumIEEE(payload); got != want {
 		return 0, nil, fmt.Errorf("trace: frame checksum mismatch (%#x != %#x)", got, want)
 	}
 	return kind, payload, nil
 }
 
+// checkTrailing verifies the stream ends cleanly after the summary frame: a
+// complete trace has exactly one end marker, so trailing data — whole frames
+// or garbage — marks a corrupt or tampered file. The check applies to
+// finite inputs only (files, byte slices), where it needs no read; probing
+// an unbounded stream (pipe, socket) would block Next on a live writer
+// that holds the descriptor open after Finish.
+func (r *Reader) checkTrailing() error {
+	if r.size >= 0 {
+		if rem := r.size - r.consumed; rem > 0 {
+			return fmt.Errorf("trace: %d trailing bytes after summary frame", rem)
+		}
+	}
+	return nil
+}
+
 // Next returns the next epoch, or io.EOF after the last one (whether the
-// stream ended with a summary frame or a clean truncation). Use Summary
-// afterwards to retrieve the end marker, if present.
+// stream ended with a summary frame or a clean truncation). Checkpoint
+// frames are collected transparently (Checkpoints). Use Summary afterwards
+// to retrieve the end marker, if present.
 func (r *Reader) Next() (*record.EpochLog, error) {
 	if r.done {
 		return nil, io.EOF
 	}
-	kind, payload, err := r.readFrame()
-	if err != nil {
-		if errors.Is(err, io.EOF) {
-			r.done = true
-			return nil, io.EOF
-		}
-		return nil, err
-	}
-	switch kind {
-	case frameEpoch:
-		return decodeEpoch(payload)
-	case frameSum:
-		if r.sum, err = decodeSummary(payload); err != nil {
+	for {
+		kind, payload, err := r.readFrame()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				r.done = true
+				return nil, io.EOF
+			}
 			return nil, err
 		}
-		r.done = true
-		return nil, io.EOF
-	default:
-		return nil, fmt.Errorf("trace: unexpected frame kind %d", kind)
+		switch kind {
+		case frameEpoch:
+			return decodeEpoch(payload)
+		case frameCkpt:
+			ck, err := decodeCheckpoint(payload)
+			if err != nil {
+				return nil, err
+			}
+			r.cks = append(r.cks, ck)
+		case frameSum:
+			if r.sum, err = decodeSummary(payload); err != nil {
+				return nil, err
+			}
+			if err := r.checkTrailing(); err != nil {
+				return nil, err
+			}
+			r.done = true
+			return nil, io.EOF
+		default:
+			return nil, fmt.Errorf("trace: unexpected frame kind %d", kind)
+		}
 	}
 }
 
 // Summary returns the end marker, or nil when the stream had none (or Next
 // has not yet consumed it).
 func (r *Reader) Summary() *Summary { return r.sum }
+
+// Checkpoints returns the checkpoint frames read so far (all of them once
+// Next has returned io.EOF).
+func (r *Reader) Checkpoints() []*Checkpoint { return r.cks }
 
 // ReadTrace fully decodes a trace stream.
 func ReadTrace(r io.Reader) (*Trace, error) {
@@ -134,44 +235,65 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 		out.Epochs = append(out.Epochs, ep)
 	}
 	out.Summary = tr.Summary()
+	// A checkpoint frame precedes the epoch it begins; a recorder killed
+	// after flushing the checkpoint but before its epoch leaves a trailing
+	// checkpoint that pins nothing. Drop it — the prefix stays usable, for
+	// segment replay and re-encoding alike.
+	cks := tr.Checkpoints()
+	for len(cks) > 0 &&
+		(len(out.Epochs) == 0 || cks[len(cks)-1].Epoch() > out.Epochs[len(out.Epochs)-1].Epoch) {
+		cks = cks[:len(cks)-1]
+	}
+	out.Checkpoints = cks
 	return out, nil
 }
 
-// scanFile reads a trace's inventory statistics — header, epoch and event
-// counts, completeness — touching only each frame's leading fields. Every
-// frame's CRC is still verified, but the thread lists are never
-// materialized, so scanning a corpus costs IO, not decode.
-func scanFile(path string) (hdr Header, epochs int, events int64, complete bool, err error) {
+// scanFile reads a trace's inventory statistics — header, epoch, event and
+// checkpoint counts, completeness — touching only each frame's leading
+// fields. Every frame's CRC is still verified, but the thread lists and
+// checkpoint images are never materialized, so scanning a corpus costs IO,
+// not decode. Like Reader.Next, it rejects frames after the summary.
+func scanFile(path string) (hdr Header, epochs int, events int64, ckpts int, complete bool, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return hdr, 0, 0, false, err
+		return hdr, 0, 0, 0, false, err
 	}
 	defer f.Close()
 	r, err := NewReader(f)
 	if err != nil {
-		return hdr, 0, 0, false, err
+		return hdr, 0, 0, 0, false, err
 	}
 	hdr = r.Header()
 	for {
 		kind, payload, err := r.readFrame()
 		if errors.Is(err, io.EOF) {
-			return hdr, epochs, events, complete, nil
+			return hdr, epochs, events, ckpts, complete, nil
 		}
 		if err != nil {
-			return hdr, 0, 0, false, err
+			return hdr, 0, 0, 0, false, err
+		}
+		if complete {
+			// Reader.Next stops at the summary; a scan that kept counting
+			// here would report statistics no decode can reproduce.
+			return hdr, 0, 0, 0, false, errors.New("trace: data after summary frame")
 		}
 		switch kind {
 		case frameEpoch:
 			_, n, err := peekEpochMeta(payload)
 			if err != nil {
-				return hdr, 0, 0, false, err
+				return hdr, 0, 0, 0, false, err
 			}
 			epochs++
 			events += n
+		case frameCkpt:
+			if _, err := peekCheckpointEpoch(payload); err != nil {
+				return hdr, 0, 0, 0, false, err
+			}
+			ckpts++
 		case frameSum:
 			complete = true
 		default:
-			return hdr, 0, 0, false, fmt.Errorf("trace: unexpected frame kind %d", kind)
+			return hdr, 0, 0, 0, false, fmt.Errorf("trace: unexpected frame kind %d", kind)
 		}
 	}
 }

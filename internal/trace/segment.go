@@ -1,0 +1,188 @@
+package trace
+
+// Segment-parallel replay of one checkpointed trace. A format-v2 trace with
+// m checkpoint frames splits into m+1 independently replayable segments:
+//
+//	segment 0: program start      .. checkpoint 1   (PrepareReplay + Setup)
+//	segment i: checkpoint i       .. checkpoint i+1 (PrepareReplayAt)
+//	segment m: checkpoint m       .. program end
+//
+// Segments replay concurrently on the shared worker pool, each with the
+// paper's one-segment divergence-retry bound (a retry rolls back to the
+// segment's start checkpoint, not to program start). Verification is by
+// stitching: every interior segment's end memory image must byte-match the
+// next checkpoint and its output volume the checkpoint's attribution; the
+// final segment checks the recorded exit/output oracle, with the re-emitted
+// outputs of all segments concatenated in order.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/record"
+)
+
+// SegmentResult is one segment's replay outcome.
+type SegmentResult struct {
+	// Name is "<job>@<first>-<last>" (1-based epoch range).
+	Name string
+	// Seg is the segment index (0 = from program start).
+	Seg int
+	// FirstEpoch/LastEpoch bound the replayed epoch range, inclusive.
+	FirstEpoch, LastEpoch int64
+	// Report is the segment's replay report; Output holds only the output
+	// attributed to this segment.
+	Report *core.Report
+	// Matched reports schedule reproduction plus the segment's stitching
+	// check (interior) or oracle check (final).
+	Matched bool
+	Err     error
+	Wall    time.Duration
+}
+
+// segment is one scheduled slice of the trace.
+type segment struct {
+	first, last int64 // epoch range, inclusive
+	epochs      []*record.EpochLog
+	start       *core.Checkpoint // nil for segment 0
+	end         *core.Checkpoint // nil for the final segment
+}
+
+// splitSegments partitions a trace's epochs at its checkpoints.
+func splitSegments(tr *Trace) ([]segment, error) {
+	states, err := tr.CheckpointStates()
+	if err != nil {
+		return nil, err
+	}
+	segs := make([]segment, 0, len(states)+1)
+	cur := segment{}
+	ci := 0
+	for _, ep := range tr.Epochs {
+		for ci < len(states) && states[ci].Epoch == ep.Epoch {
+			if len(cur.epochs) == 0 {
+				return nil, fmt.Errorf("trace: empty segment before checkpoint at epoch %d", ep.Epoch)
+			}
+			cur.end = states[ci]
+			segs = append(segs, cur)
+			cur = segment{start: states[ci]}
+			ci++
+		}
+		if len(cur.epochs) == 0 {
+			cur.first = ep.Epoch
+		} else if ep.Epoch != cur.last+1 {
+			return nil, fmt.Errorf("trace: non-contiguous epochs %d..%d", cur.last, ep.Epoch)
+		}
+		cur.last = ep.Epoch
+		cur.epochs = append(cur.epochs, ep)
+	}
+	if ci != len(states) {
+		return nil, fmt.Errorf("trace: checkpoint at epoch %d beyond the last epoch frame", states[ci].Epoch)
+	}
+	if len(cur.epochs) == 0 {
+		return nil, fmt.Errorf("trace: trace has no epochs")
+	}
+	segs = append(segs, cur)
+	return segs, nil
+}
+
+// ReplaySegments replays one checkpointed trace segment-parallel: the trace
+// is split at its checkpoint frames, the segments fan out across the worker
+// pool (workers <= 0 selects GOMAXPROCS), and the results are stitched. A
+// trace without checkpoint frames yields a single whole-program segment —
+// identical to an ordinary replay. Results are in segment order; the error
+// reports the first stitching failure, if any.
+func ReplaySegments(j Job, workers int) ([]SegmentResult, BatchStats, error) {
+	if err := j.validate(); err != nil {
+		return nil, BatchStats{}, err
+	}
+	segs, err := splitSegments(j.Trace)
+	if err != nil {
+		return nil, BatchStats{}, err
+	}
+
+	results := make([]SegmentResult, len(segs))
+	elapsed := runPool(len(segs), workers, func(i int) {
+		results[i] = runSegment(&j, i, &segs[i])
+	})
+
+	stats := BatchStats{Jobs: len(segs), Elapsed: elapsed}
+	var firstErr error
+	outputs := make([]string, len(segs))
+	for i := range results {
+		r := &results[i]
+		stats.Work += r.Wall
+		if !r.Matched {
+			stats.Failed++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("segment %s: %w", r.Name, r.Err)
+			}
+			continue
+		}
+		stats.Matched++
+		for _, ep := range segs[i].epochs {
+			stats.Events += int64(ep.EventCount())
+		}
+		if r.Report != nil {
+			stats.Attempts += int64(r.Report.Stats.LastReplayAttempts)
+			outputs[i] = r.Report.Output
+		}
+	}
+	// Final stitch: the segments' re-emitted outputs, concatenated in order,
+	// must reproduce the recorded program output exactly. (Each segment's
+	// volume was already checked against its end checkpoint's attribution;
+	// this catches content-level mismatches across the whole run.)
+	if firstErr == nil && j.Trace.Summary != nil {
+		if got := strings.Join(outputs, ""); got != j.Trace.Summary.Output {
+			firstErr = fmt.Errorf("trace: stitched output (%d bytes) differs from recording (%d bytes)",
+				len(got), len(j.Trace.Summary.Output))
+			stats.Failed++
+		}
+	}
+	return results, stats, firstErr
+}
+
+// runSegment replays one segment through the divergence-checking replay path.
+func runSegment(j *Job, i int, sg *segment) (res SegmentResult) {
+	res = SegmentResult{
+		Name:       fmt.Sprintf("%s@%d-%d", j.Name, sg.first, sg.last),
+		Seg:        i,
+		FirstEpoch: sg.first,
+		LastEpoch:  sg.last,
+	}
+	start := time.Now()
+	defer func() { res.Wall = time.Since(start) }()
+
+	rt, err := core.PrepareReplayAt(j.Module, sg.start, sg.epochs, sg.end, j.Opts)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	if sg.start == nil && j.Setup != nil {
+		// Only the first segment recreates recording-time OS state; later
+		// segments restore it from their checkpoint.
+		if err := j.Setup(rt); err != nil {
+			rt.Shutdown()
+			res.Err = err
+			return res
+		}
+	}
+	rep, err := rt.RunReplay()
+	res.Report = rep
+	if rep == nil {
+		res.Err = err
+		return res
+	}
+	res.Matched = true
+	res.Err = err // a reproduced fault arrives here, alongside the report
+	if sg.end == nil {
+		// Final segment: the recorded exit value is the oracle (output is
+		// stitched across all segments by the caller).
+		if sum := j.Trace.Summary; sum != nil && rep.Exit != sum.Exit {
+			res.Matched = false
+			res.Err = fmt.Errorf("trace: final segment replayed exit %d, recorded %d", rep.Exit, sum.Exit)
+		}
+	}
+	return res
+}

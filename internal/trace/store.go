@@ -1,7 +1,9 @@
 package trace
 
 import (
+	"encoding/binary"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -27,6 +29,14 @@ type cachedTrace struct {
 	tr    *Trace
 	size  int64
 	mtime time.Time
+	// headCRC/tail fingerprint the file's content cheaply: the header
+	// frame's stored CRC and the file's final bytes (the last frame's CRC
+	// lives there). A same-size rewrite landing within the filesystem's
+	// mtime granularity still differs in one of them unless it is
+	// byte-identical in both ends — in which case the cached decode is the
+	// same trace for any content this store writes.
+	headCRC uint32
+	tail    [8]byte
 }
 
 // Entry describes one stored trace.
@@ -36,11 +46,17 @@ type Entry struct {
 	Header Header
 	Epochs int
 	Events int64
+	// Checkpoints counts the trace's checkpoint frames (format v2).
+	Checkpoints int
 	// Size is the file size in bytes.
 	Size int64
 	// Complete reports whether the trace ends with its summary frame (false
 	// for a recording that was cut off).
 	Complete bool
+	// Err is set when the file could not be scanned (torn, corrupt, or
+	// foreign); such an entry is degraded — only Name and Path are valid —
+	// but it never hides the store's healthy traces.
+	Err error
 }
 
 // Ext is the trace file extension.
@@ -101,8 +117,45 @@ func (s *Store) Save(name string, tr *Trace) (string, error) {
 	return path, nil
 }
 
+// contentMark reads the cheap content fingerprint of the trace file at
+// path: the header frame's stored CRC and the file's final bytes. Two small
+// reads — no decode, no full-file IO.
+func contentMark(path string, size int64) (headCRC uint32, tail [8]byte, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, tail, err
+	}
+	defer f.Close()
+	// Header frame: kind(1) + len(uvarint) + payload + crc(4), after magic.
+	var head [19]byte // magic + kind + a full-width length varint
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return 0, tail, err
+	}
+	n, w := binary.Uvarint(head[len(Magic)+1:])
+	if w <= 0 || head[len(Magic)] != frameHeader {
+		return 0, tail, fmt.Errorf("trace: malformed header frame in %s", path)
+	}
+	crcOff := int64(len(Magic)) + 1 + int64(w) + int64(n)
+	var crcb [4]byte
+	if _, err := f.ReadAt(crcb[:], crcOff); err != nil {
+		return 0, tail, err
+	}
+	headCRC = binary.LittleEndian.Uint32(crcb[:])
+	tailOff := size - int64(len(tail))
+	if tailOff < 0 {
+		tailOff = 0
+	}
+	if _, err := f.ReadAt(tail[:size-tailOff], tailOff); err != nil {
+		return 0, tail, err
+	}
+	return headCRC, tail, nil
+}
+
 // Load returns the named trace, from the decode cache when the file is
-// unchanged since the cached decode.
+// unchanged since the cached decode. Size and mtime alone cannot prove
+// that — a same-size rewrite can land within the filesystem's mtime
+// granularity — so a cache hit also re-checks a cheap content fingerprint
+// (header-frame CRC plus the file's final bytes) before being served.
 func (s *Store) Load(name string) (*Trace, error) {
 	if err := validateName(name); err != nil {
 		return nil, err
@@ -113,17 +166,28 @@ func (s *Store) Load(name string) (*Trace, error) {
 		return nil, fmt.Errorf("trace: no trace %q in %s: %w", name, s.dir, err)
 	}
 	s.mu.Lock()
-	if c, ok := s.cache[name]; ok && c.size == fi.Size() && c.mtime.Equal(fi.ModTime()) {
-		s.mu.Unlock()
-		return c.tr, nil
-	}
+	c, ok := s.cache[name]
 	s.mu.Unlock()
+	if ok && c.size == fi.Size() && c.mtime.Equal(fi.ModTime()) {
+		if head, tail, err := contentMark(path, fi.Size()); err == nil &&
+			head == c.headCRC && tail == c.tail {
+			return c.tr, nil
+		}
+		// Content changed under an unchanged stat (or became unreadable):
+		// fall through to a fresh decode.
+	}
 	tr, err := ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
+	head, tail, err := contentMark(path, fi.Size())
+	if err != nil {
+		// Decoded but no longer fingerprintable (concurrent rewrite):
+		// serve the decode, skip caching it.
+		return tr, nil
+	}
 	s.mu.Lock()
-	s.cache[name] = &cachedTrace{tr: tr, size: fi.Size(), mtime: fi.ModTime()}
+	s.cache[name] = &cachedTrace{tr: tr, size: fi.Size(), mtime: fi.ModTime(), headCRC: head, tail: tail}
 	s.mu.Unlock()
 	return tr, nil
 }
@@ -143,25 +207,30 @@ func (s *Store) List() ([]Entry, error) {
 			continue
 		}
 		name := strings.TrimSuffix(de.Name(), Ext)
-		hdr, epochs, events, complete, err := scanFile(s.Path(name))
+		hdr, epochs, events, ckpts, complete, err := scanFile(s.Path(name))
 		if err != nil {
 			// A torn or foreign file must not hide the healthy traces; it is
-			// reported as an entry with no header.
-			out = append(out, Entry{Name: name, Path: s.Path(name)})
+			// reported as a degraded entry carrying the scan error.
+			out = append(out, Entry{Name: name, Path: s.Path(name), Err: err})
 			continue
 		}
 		fi, err := de.Info()
 		if err != nil {
-			return nil, err
+			// The file scanned but its metadata vanished (e.g. deleted
+			// between ReadDir and Info): degrade this entry like a torn
+			// file instead of aborting the whole listing.
+			out = append(out, Entry{Name: name, Path: s.Path(name), Err: err})
+			continue
 		}
 		out = append(out, Entry{
-			Name:     name,
-			Path:     s.Path(name),
-			Header:   hdr,
-			Epochs:   epochs,
-			Events:   events,
-			Size:     fi.Size(),
-			Complete: complete,
+			Name:        name,
+			Path:        s.Path(name),
+			Header:      hdr,
+			Epochs:      epochs,
+			Events:      events,
+			Checkpoints: ckpts,
+			Size:        fi.Size(),
+			Complete:    complete,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

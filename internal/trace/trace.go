@@ -10,7 +10,7 @@
 //	file    := magic frame*
 //	magic   := "IRTRACE1" (8 bytes)
 //	frame   := kind:1 len:uvarint payload:len crc32(payload):4 (LE, IEEE)
-//	kinds   := 1 header | 2 epoch | 3 summary (end marker)
+//	kinds   := 1 header | 2 epoch | 3 summary (end marker) | 4 checkpoint
 //
 // The header frame carries the format version, an application label, the
 // recorded module's fingerprint (tir.Fingerprint), and the recording
@@ -21,19 +21,31 @@
 // thread-ID deltas. The summary frame stores the recorded exit value and
 // program output, giving offline verification something to compare against;
 // a trace without one (recorder killed mid-run) still loads, up to its last
-// intact frame.
+// intact frame. Frames after the summary are a corruption error.
+//
+// Format v2 adds the optional checkpoint frame (core.Checkpoint serialized):
+// the epoch-boundary state the runtime already captures — memory snapshot,
+// allocator metadata, vCPU contexts, shadow synchronization state, VFS
+// state — persisted at a configurable epoch interval. A checkpoint frame
+// precedes the epoch it begins, and its memory image is delta/zero-run
+// encoded against the previous checkpoint's (Trace.CheckpointStates folds
+// the chain back). Checkpoints split a long trace into independently
+// replayable segments (segment.go); v1 traces, which have none, still load.
 //
 // Writer streams epochs as the runtime flushes them (Writer.Sink plugs
-// directly into core.Options.TraceSink); Reader validates and decodes.
-// Store manages a directory of traces indexed by module fingerprint with an
-// in-memory decode cache, and batch.go fans stored traces across a worker
-// pool for parallel offline replay.
+// directly into core.Options.TraceSink, Writer.CheckpointSink into
+// core.Options.CheckpointSink); Reader validates and decodes. Store manages
+// a directory of traces indexed by module fingerprint with an in-memory
+// decode cache, and batch.go fans stored traces across a worker pool for
+// parallel offline replay.
 package trace
 
 import (
 	"bytes"
 	"fmt"
 
+	"repro/internal/core"
+	"repro/internal/mem"
 	"repro/internal/record"
 )
 
@@ -42,14 +54,19 @@ import (
 // version covers compatible revisions).
 const Magic = "IRTRACE1"
 
-// Version is the current header version.
-const Version = 1
+// Version is the current header version. Version 2 added checkpoint frames;
+// version-1 traces (no checkpoints) load unchanged.
+const Version = 2
+
+// MinVersion is the oldest header version the reader accepts.
+const MinVersion = 1
 
 // Frame kinds.
 const (
 	frameHeader byte = 1
 	frameEpoch  byte = 2
 	frameSum    byte = 3
+	frameCkpt   byte = 4
 )
 
 // Header describes a recording. EventCap, VarCap, and Seed are the
@@ -81,11 +98,50 @@ type Summary struct {
 	Output string
 }
 
+// Checkpoint is one decoded checkpoint frame. State carries everything but
+// the memory image, which stays in delta form (memDelta) until
+// Trace.CheckpointStates folds the chain — decoding a long trace must not
+// materialize one full address-space image per checkpoint.
+type Checkpoint struct {
+	// State is the checkpoint with State.Snap == nil. Immutable: segment
+	// replays running in parallel share it.
+	State *core.Checkpoint
+	// memDelta is the raw delta/zero-run encoding of the memory image
+	// against the previous checkpoint's (nil base for the first).
+	memDelta []byte
+}
+
+// Epoch returns the 1-based epoch the checkpoint begins.
+func (c *Checkpoint) Epoch() int64 { return c.State.Epoch }
+
 // Trace is a fully decoded trace.
 type Trace struct {
 	Header  Header
 	Epochs  []*record.EpochLog
 	Summary *Summary
+	// Checkpoints are the trace's checkpoint frames in file order (empty for
+	// v1 traces or recordings without checkpointing).
+	Checkpoints []*Checkpoint
+}
+
+// CheckpointStates folds the delta chain and returns every checkpoint with
+// its full memory image materialized. The returned checkpoints (and their
+// snapshots) are fresh per call except for the shared immutable State
+// fields; callers must not mutate them.
+func (t *Trace) CheckpointStates() ([]*core.Checkpoint, error) {
+	var prev *mem.Snapshot
+	out := make([]*core.Checkpoint, len(t.Checkpoints))
+	for i, ck := range t.Checkpoints {
+		snap, err := mem.ApplySnapshotDelta(prev, ck.memDelta)
+		if err != nil {
+			return nil, fmt.Errorf("trace: checkpoint %d (epoch %d): %w", i, ck.Epoch(), err)
+		}
+		st := *ck.State
+		st.Snap = snap
+		out[i] = &st
+		prev = snap
+	}
+	return out, nil
 }
 
 // EventCount sums events across all epochs.
@@ -97,19 +153,37 @@ func (t *Trace) EventCount() int64 {
 	return n
 }
 
-// Encode serializes a whole trace. The encoding is canonical: equal traces
+// Encode serializes a whole trace, interleaving each checkpoint frame
+// before the epoch it begins. The encoding is canonical: equal traces
 // produce identical bytes, and Encode∘Decode∘Encode is the identity on
-// bytes.
+// bytes (decoded checkpoints re-emit their stored delta verbatim).
 func Encode(tr *Trace) ([]byte, error) {
 	var buf bytes.Buffer
 	w, err := NewWriter(&buf, tr.Header)
 	if err != nil {
 		return nil, err
 	}
+	ci := 0
 	for _, ep := range tr.Epochs {
+		for ci < len(tr.Checkpoints) && tr.Checkpoints[ci].Epoch() == ep.Epoch {
+			ck := tr.Checkpoints[ci]
+			if ck.memDelta != nil {
+				err = w.writeRawCheckpoint(ck)
+			} else {
+				err = w.WriteCheckpoint(ck.State)
+			}
+			if err != nil {
+				return nil, err
+			}
+			ci++
+		}
 		if err := w.WriteEpoch(ep); err != nil {
 			return nil, err
 		}
+	}
+	if ci != len(tr.Checkpoints) {
+		return nil, fmt.Errorf("trace: checkpoint at epoch %d has no matching epoch frame",
+			tr.Checkpoints[ci].Epoch())
 	}
 	if err := w.Finish(tr.Summary); err != nil {
 		return nil, err

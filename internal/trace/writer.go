@@ -6,11 +6,14 @@ import (
 	"hash/crc32"
 	"io"
 
+	"repro/internal/core"
+	"repro/internal/mem"
 	"repro/internal/record"
 )
 
 // Writer streams a trace: header first, then one frame per epoch as the
-// runtime flushes them, then the summary end marker. It buffers only one
+// runtime flushes them — interleaved with checkpoint frames when the
+// recording checkpoints — then the summary end marker. It buffers only one
 // frame at a time, so recording overhead stays proportional to epoch size,
 // not trace size.
 type Writer struct {
@@ -18,7 +21,15 @@ type Writer struct {
 	err      error
 	finished bool
 	epochs   int
+	ckpts    int
 	scratch  []byte
+
+	// prevSnap is the previous checkpoint's memory image, the delta base for
+	// the next one. prevRaw marks that a pre-encoded delta was re-emitted
+	// (Encode of a decoded trace), after which fresh snapshots cannot be
+	// chained.
+	prevSnap *mem.Snapshot
+	prevRaw  bool
 }
 
 // NewWriter writes the magic and header frame and returns a streaming
@@ -69,8 +80,63 @@ func (tw *Writer) Sink() func(*record.EpochLog) error {
 	return tw.WriteEpoch
 }
 
+// WriteCheckpoint appends one checkpoint frame, delta-encoding its memory
+// image against the previously written checkpoint's. Call it before the
+// epoch frame of ck.Epoch — which is the order core's sinks produce.
+func (tw *Writer) WriteCheckpoint(ck *core.Checkpoint) error {
+	if tw.finished {
+		return fmt.Errorf("trace: WriteCheckpoint after Finish")
+	}
+	if ck.Snap == nil {
+		return fmt.Errorf("trace: checkpoint at epoch %d has no memory snapshot", ck.Epoch)
+	}
+	if tw.prevRaw {
+		return fmt.Errorf("trace: cannot chain a fresh checkpoint after a re-emitted delta")
+	}
+	delta, err := mem.AppendSnapshotDelta(nil, tw.prevSnap, ck.Snap)
+	if err != nil {
+		return err
+	}
+	payload, err := appendCheckpoint(nil, ck, delta)
+	if err != nil {
+		return err
+	}
+	if err := tw.frame(frameCkpt, payload); err != nil {
+		return err
+	}
+	tw.prevSnap = ck.Snap
+	tw.ckpts++
+	return nil
+}
+
+// writeRawCheckpoint re-emits a decoded checkpoint frame verbatim (its
+// stored delta already chains against the previously emitted one).
+func (tw *Writer) writeRawCheckpoint(ck *Checkpoint) error {
+	if tw.finished {
+		return fmt.Errorf("trace: WriteCheckpoint after Finish")
+	}
+	payload, err := appendCheckpoint(nil, ck.State, ck.memDelta)
+	if err != nil {
+		return err
+	}
+	if err := tw.frame(frameCkpt, payload); err != nil {
+		return err
+	}
+	tw.prevRaw = true
+	tw.ckpts++
+	return nil
+}
+
+// CheckpointSink adapts the writer to core.Options.CheckpointSink.
+func (tw *Writer) CheckpointSink() func(*core.Checkpoint) error {
+	return tw.WriteCheckpoint
+}
+
 // Epochs returns how many epoch frames have been written.
 func (tw *Writer) Epochs() int { return tw.epochs }
+
+// Ckpts returns how many checkpoint frames have been written.
+func (tw *Writer) Ckpts() int { return tw.ckpts }
 
 // Finish writes the summary end marker (an empty summary when sum is nil)
 // and seals the writer. It does not close the underlying io.Writer.

@@ -486,6 +486,82 @@ func (o *OS) RestorePositions(pos map[int64]int64) {
 	}
 }
 
+// FDState is one open file descriptor's checkpointed identity: which VFS
+// file it refers to and its position.
+type FDState struct {
+	FD   int64
+	Path string
+	Pos  int64
+}
+
+// State is the virtual filesystem's checkpoint: file contents plus the open
+// file-descriptor table. It is what a mid-trace replay resume needs beyond
+// the recorded event log — revocable IO re-issues against these files at
+// these positions. Socket descriptors are excluded: socket IO is recordable
+// and replays from the log without touching the descriptor table.
+type State struct {
+	Files []File
+	FDs   []FDState
+}
+
+// CheckpointState deep-copies the VFS for a persisted checkpoint. Files are
+// emitted sorted by name and descriptors ascending, so the state is
+// encode-stable. Call only while the world is quiescent.
+func (o *OS) CheckpointState() *State {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	st := &State{}
+	names := make([]string, 0, len(o.files))
+	for n := range o.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := o.files[n]
+		st.Files = append(st.Files, File{Name: n, Data: append([]byte(nil), f.Data...)})
+	}
+	fdns := make([]int64, 0, len(o.fds))
+	for n, f := range o.fds {
+		if f.kind == FDFile {
+			fdns = append(fdns, n)
+		}
+	}
+	sort.Slice(fdns, func(i, j int) bool { return fdns[i] < fdns[j] })
+	for _, n := range fdns {
+		f := o.fds[n]
+		st.FDs = append(st.FDs, FDState{FD: n, Path: f.file.Name, Pos: f.pos})
+	}
+	return st
+}
+
+// RestoreState replaces the VFS contents and file-descriptor table with a
+// checkpointed state (mid-trace replay resume). Existing files and file
+// descriptors are discarded; st is not retained.
+func (o *OS) RestoreState(st *State) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.files = make(map[string]*File, len(st.Files))
+	for _, f := range st.Files {
+		o.files[f.Name] = &File{Name: f.Name, Data: append([]byte(nil), f.Data...)}
+	}
+	for n, f := range o.fds {
+		if f.kind == FDFile {
+			delete(o.fds, n)
+		}
+	}
+	for _, fs := range st.FDs {
+		f, ok := o.files[fs.Path]
+		if !ok {
+			return fmt.Errorf("vsys: checkpointed fd %d refers to unknown file %q", fs.FD, fs.Path)
+		}
+		if fs.FD < 3 || fs.FD >= int64(o.maxFDs) {
+			return fmt.Errorf("vsys: checkpointed fd %d out of range", fs.FD)
+		}
+		o.fds[fs.FD] = &fd{kind: FDFile, file: f, pos: fs.Pos}
+	}
+	return nil
+}
+
 // OpenFDs lists open descriptors in ascending order (diagnostics, tests).
 func (o *OS) OpenFDs() []int64 {
 	o.mu.Lock()

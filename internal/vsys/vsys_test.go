@@ -257,3 +257,59 @@ func TestQuickRevocableReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCheckpointRestoreState(t *testing.T) {
+	o := New(1, 7)
+	o.AddFile("in.txt", []byte("hello world"))
+	fd, err := o.Open("in.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Read(fd, 6); err != nil {
+		t.Fatal(err)
+	}
+	wfd, err := o.Open("out.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Write(wfd, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Socket(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := o.CheckpointState()
+	if len(st.Files) != 2 || len(st.FDs) != 2 {
+		t.Fatalf("state = %d files, %d fds", len(st.Files), len(st.FDs))
+	}
+
+	// A fresh OS restored from the state resumes identically: same file
+	// contents, same descriptors at the same positions.
+	o2 := New(1, 99)
+	o2.RaiseFDLimit(4096)
+	if err := o2.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	b, err := o2.Read(fd, 5)
+	if err != nil || string(b) != "world" {
+		t.Fatalf("restored read = %q, %v", b, err)
+	}
+	data, ok := o2.FileData("out.txt")
+	if !ok || string(data) != "abc" {
+		t.Fatalf("restored out.txt = %q, %v", data, ok)
+	}
+
+	// The capture is a deep copy: mutating the original afterwards must not
+	// leak into the state.
+	o.Write(wfd, []byte("MORE"))
+	if string(st.Files[1].Data) != "abc" {
+		t.Fatalf("checkpoint state aliased live file data: %q", st.Files[1].Data)
+	}
+
+	// A descriptor referring to an unknown file is rejected.
+	bad := &State{FDs: []FDState{{FD: 5, Path: "nope", Pos: 0}}}
+	if err := o2.RestoreState(bad); err == nil {
+		t.Fatal("restore with dangling fd accepted")
+	}
+}

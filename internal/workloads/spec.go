@@ -54,6 +54,14 @@ type Spec struct {
 	SocketIO int
 	// TimeCalls is gettimeofday queries per iteration (recordable).
 	TimeCalls int
+	// ThinkTime is microseconds of per-iteration usleep — the request
+	// latency / backend-wait profile of the modeled servers (aget, apache,
+	// memcached block on network and disk far longer than they compute).
+	// Replay re-executes the sleep, so a think-time recording's replay wall
+	// is latency-bound, which is exactly what segment-parallel replay
+	// overlaps. Zero (the default, and every standard app profile) leaves
+	// timing untouched.
+	ThinkTime int
 	// BarrierEvery makes every thread wait at a shared barrier each N
 	// iterations (0 disables).
 	BarrierEvery int
@@ -348,6 +356,13 @@ func (s Spec) buildWorker(mb *tir.ModuleBuilder, g workerGlobals) int {
 			fb.Syscall(tv, vsys.SysGettimeofday)
 			fb.Bin(tir.Xor, acc, acc, tv)
 		}
+	}
+
+	// --- request latency / backend wait (server profile) ---
+	if s.ThinkTime > 0 {
+		us := fb.NewReg()
+		fb.ConstI(us, int64(s.ThinkTime))
+		fb.Intrin(-1, tir.IntrinUsleep, us)
 	}
 
 	// --- ad hoc synchronization (canneal profile) ---

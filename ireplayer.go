@@ -111,6 +111,20 @@ var PrepareReplay = core.PrepareReplay
 // setup + RunReplay.
 var ReplayFromTrace = core.ReplayFromTrace
 
+// Checkpoint is a persisted epoch-boundary checkpoint (trace format v2):
+// the memory snapshot, allocator metadata, vCPU contexts, shadow
+// synchronization state, and filesystem state the runtime captures at every
+// epoch begin, exported so one long trace becomes independently replayable
+// segments. Produce them with Options.CheckpointEvery/CheckpointSink;
+// consume them with PrepareReplayAt.
+type Checkpoint = core.Checkpoint
+
+// PrepareReplayAt builds a runtime primed to resume a trace mid-way from a
+// persisted checkpoint, replaying one segment of epochs with divergence
+// retries bounded to the segment; when the next checkpoint is supplied, the
+// segment's end memory image is verified byte-identical against it.
+var PrepareReplayAt = core.PrepareReplayAt
+
 // --- replay-time analysis (internal/analysis) ---
 
 // Observer attaches a passive tool to an execution via Options.Observers;
