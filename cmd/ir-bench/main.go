@@ -8,7 +8,8 @@
 //	ir-bench -detection      bug-corpus effectiveness (§5.4.1)
 //	ir-bench -all            everything
 //	ir-bench -json BENCH_2.json   machine-readable perf suite (record /
-//	                              replay-batch / analyze-batch throughput)
+//	                              replay-batch / analyze-batch / segment-replay
+//	                              / serve-analyze throughput)
 //
 // -scale shrinks/grows the workloads, -rounds controls timing repetitions,
 // and -runs sizes the Crasher experiment. -json writes ns/op, events/sec,

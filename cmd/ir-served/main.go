@@ -1,0 +1,104 @@
+// Command ir-served is the trace service daemon: it serves one trace store
+// over a local HTTP/JSON API so many clients can share a machine's
+// recording, replay, and analysis capacity. All work funnels through a
+// priority scheduler with a bounded worker pool and bounded queue — excess
+// load is refused with 429, not buffered without limit — and SIGINT/SIGTERM
+// drain gracefully: intake stops, accepted jobs finish (up to
+// -drain-timeout, then they are canceled), and the process exits with no
+// work abandoned silently.
+//
+//	ir-served -dir ./traces                        # serve on :7077
+//	ir-served -addr 127.0.0.1:9000 -workers 8      # bigger pool
+//	ir-served -queue-depth 64 -cache-mb 128        # tighter bounds
+//
+// Driving it (see docs/CLI.md for the full API):
+//
+//	curl -s localhost:7077/api/v1/traces
+//	curl -s -X POST localhost:7077/api/v1/jobs \
+//	     -d '{"kind":"record","record":{"app":"pfscan","seed":42}}'
+//	curl -s -X POST localhost:7077/api/v1/jobs \
+//	     -d '{"kind":"analyze","trace":"pfscan","analyzers":"race,leak"}'
+//	curl -s localhost:7077/api/v1/jobs/2/stream    # watch it run
+//	curl -s localhost:7077/metrics                 # queue depth, throughput
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+func main() {
+	addr := flag.String("addr", ":7077", "listen address")
+	dir := flag.String("dir", "traces", "trace store directory")
+	workers := flag.Int("workers", 0, "job worker pool size (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 0, "max queued jobs before 429 (0 = default)")
+	cacheMB := flag.Int64("cache-mb", 0, "decode cache budget in MiB (0 = default 256)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"how long shutdown waits for accepted jobs before canceling them")
+	flag.Parse()
+
+	if err := run(*addr, *dir, *workers, *queueDepth, *cacheMB, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "ir-served:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dir string, workers, queueDepth int, cacheMB int64, drainTimeout time.Duration) error {
+	st, err := trace.OpenStore(dir)
+	if err != nil {
+		return err
+	}
+	if cacheMB > 0 {
+		st.SetCacheLimit(cacheMB << 20)
+	}
+	srv, err := server.New(server.Config{Store: st, Workers: workers, QueueDepth: queueDepth})
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("ir-served: serving %s on %s", st.Dir(), addr)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	select {
+	case err := <-errCh:
+		return err // listen failed before any signal
+	case <-ctx.Done():
+	}
+
+	log.Printf("ir-served: draining (timeout %v)", drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		log.Printf("ir-served: %v", err)
+	}
+	// The scheduler is down; close the listener and in-flight handlers
+	// (status streams end once their jobs went terminal above).
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		httpSrv.Close()
+	}
+	<-errCh
+	log.Printf("ir-served: stopped")
+	return nil
+}

@@ -30,7 +30,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
-	"repro/internal/tir"
+	"repro/internal/server"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -100,152 +100,37 @@ func cmdRecord(args []string) error {
 	if *app == "" {
 		return fmt.Errorf("record: -app is required")
 	}
-	var (
-		mod      *tir.Module
-		setupOS  func(rt *core.Runtime)
-		appIters int
-	)
-	if spec, ok := workloads.ByName(*app); ok {
-		if *scale != 1.0 {
-			spec.Iters = int(float64(spec.Iters) * *scale)
-			if spec.Iters < 3 {
-				spec.Iters = 3
-			}
-		}
-		m, err := spec.Build()
-		if err != nil {
-			return err
-		}
-		mod, appIters = m, spec.Iters
-		setupOS = func(rt *core.Runtime) { spec.SetupOS(rt.OS()) }
-	} else if c, ok := workloads.AnalysisByName(*app); ok {
-		// Ground-truth corpus programs take no OS setup and no scaling.
-		mod = c.Build()
-	} else {
-		return fmt.Errorf("record: unknown app %q (run `ir-trace help` for the list)", *app)
-	}
-	if *name == "" {
-		*name = *app
-	}
 	st, err := trace.OpenStore(*dir)
 	if err != nil {
 		return err
 	}
-
-	// Stream epoch frames straight to the file as the runtime flushes them.
-	f, err := st.Create(*name)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	opts := core.Options{Seed: *seed, EventCap: *eventCap}
-	w, err := trace.NewWriter(f, trace.Header{
-		App:        *app,
-		ModuleHash: tir.Fingerprint(mod),
-		EventCap:   *eventCap,
-		VarCap:     0,
-		Seed:       *seed,
-		AppIters:   appIters,
-	})
-	if err != nil {
-		return err
-	}
-	opts.TraceSink = w.Sink()
-	if *ckptEvery > 0 {
-		opts.CheckpointEvery = *ckptEvery
-		opts.CheckpointSink = w.CheckpointSink()
-	}
-	rt, err := core.New(mod, opts)
-	if err != nil {
-		return err
-	}
-	if setupOS != nil {
-		setupOS(rt)
-	}
 	start := time.Now()
-	rep, runErr := rt.Run()
-	if rep == nil {
-		return runErr
-	}
-	if err := w.Finish(&trace.Summary{Exit: rep.Exit, Output: rep.Output}); err != nil {
+	res, err := server.RecordTrace(st, server.RecordRequest{
+		App:             *app,
+		Name:            *name,
+		Scale:           *scale,
+		Seed:            *seed,
+		EventCap:        *eventCap,
+		CheckpointEvery: *ckptEvery,
+	}, nil)
+	if err != nil {
 		return err
 	}
-	if runErr != nil {
+	if res.Fault != "" {
 		// A faulting run still leaves a valid trace (the bug-reproduction
 		// use case); report both.
-		fmt.Printf("recorded %s with fault: %v\n", *name, runErr)
+		fmt.Printf("recorded %s with fault: %s\n", res.Trace, res.Fault)
 	}
-	fi, _ := f.Stat()
 	fmt.Printf("recorded %s: %d epochs, %d checkpoints, %d bytes, exit=%d, wall=%v -> %s\n",
-		*name, w.Epochs(), w.Ckpts(), fi.Size(), rep.Exit, time.Since(start).Round(time.Millisecond),
-		st.Path(*name))
+		res.Trace, res.Epochs, res.Checkpoints, res.Bytes, res.Exit,
+		time.Since(start).Round(time.Millisecond), res.Path)
 	return nil
 }
 
-// loadJob resolves a stored trace back to a runnable replay job.
+// loadJob resolves a stored trace back to a runnable replay job through the
+// service layer's resolver — the same path ir-served jobs take.
 func loadJob(st *trace.Store, name string, opts core.Options) (trace.Job, error) {
-	tr, err := st.Load(name)
-	if err != nil {
-		return trace.Job{}, err
-	}
-	spec, ok := workloads.ByName(tr.Header.App)
-	if !ok {
-		if c, okc := workloads.AnalysisByName(tr.Header.App); okc {
-			// A ground-truth corpus recording: the module is parameterless.
-			mod := c.Build()
-			if h := tr.Header.ModuleHash; h != 0 && tir.Fingerprint(mod) != h {
-				return trace.Job{}, fmt.Errorf(
-					"trace %s: corpus program %q no longer matches the recorded fingerprint %#x",
-					name, c.Name, h)
-			}
-			opts.Seed = tr.Header.Seed
-			opts.EventCap = tr.Header.EventCap
-			return trace.Job{Name: name, Module: mod, Trace: tr, Opts: opts}, nil
-		}
-		return trace.Job{}, fmt.Errorf("trace %s was recorded from unknown app %q", name, tr.Header.App)
-	}
-	// The header records the iteration count the module was built with;
-	// older traces without it fall back to a fingerprint search over
-	// iteration scales (the only module-shaping knob the recorder exposes).
-	if tr.Header.AppIters > 0 {
-		spec.Iters = tr.Header.AppIters
-	}
-	mod, err := buildMatching(spec, tr.Header.ModuleHash)
-	if err != nil {
-		return trace.Job{}, fmt.Errorf("trace %s: %v", name, err)
-	}
-	opts.Seed = tr.Header.Seed
-	opts.EventCap = tr.Header.EventCap
-	return trace.Job{
-		Name: name, Module: mod, Trace: tr, Opts: opts,
-		Setup: func(rt *core.Runtime) error { spec.SetupOS(rt.OS()); return nil },
-	}, nil
-}
-
-// buildMatching finds the iteration count whose module matches hash: the
-// spec's iteration knob is the only module-shaping parameter the record
-// subcommand exposes.
-func buildMatching(spec workloads.Spec, hash uint64) (*tir.Module, error) {
-	mod, err := spec.Build()
-	if err != nil {
-		return nil, err
-	}
-	if hash == 0 || tir.Fingerprint(mod) == hash {
-		return mod, nil
-	}
-	base := spec
-	for iters := 3; iters <= base.Iters*4+16; iters++ {
-		s := base
-		s.Iters = iters
-		m, err := s.Build()
-		if err != nil {
-			return nil, err
-		}
-		if tir.Fingerprint(m) == hash {
-			return m, nil
-		}
-	}
-	return nil, fmt.Errorf("no iteration scale of %q matches the recorded module fingerprint %#x (recorded with different parameters?)", spec.Name, hash)
+	return server.ResolveJob(st, name, opts)
 }
 
 func cmdReplay(args []string) error {

@@ -1,5 +1,5 @@
-// Asm: write a multithreaded program in textual TIR assembly, run it under
-// the recorder, and verify an identical in-situ replay — the complete
+// Command asm writes a multithreaded program in textual TIR assembly,
+// runs it under the recorder, and verifies an identical in-situ replay — the complete
 // toolchain (assembler → validator → interpreter → record/replay) in one
 // file.
 package main

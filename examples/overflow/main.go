@@ -1,4 +1,4 @@
-// Overflow: run a memcached-like workload carrying the paper's Figure 1
+// Command overflow runs a memcached-like workload carrying the paper's Figure 1
 // scenario — a heap buffer overflow that corrupts the neighbouring object —
 // and let the always-on detector find it, roll the epoch back, and report
 // the exact faulting call stack via watchpoints (§4.1), with no human in

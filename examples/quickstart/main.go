@@ -1,6 +1,6 @@
-// Quickstart: build a small multithreaded TIR program through the public
-// API, record it, trigger an in-situ replay of the final epoch, and verify
-// byte-identical heap images — the paper's core claim in ~100 lines.
+// Command quickstart builds a small multithreaded TIR program through the
+// public API, records it, triggers an in-situ replay of the final epoch,
+// and verifies byte-identical heap images — the paper's core claim in ~100 lines.
 package main
 
 import (

@@ -1,4 +1,4 @@
-// Racecheck: record a racy workload once, then let the replay-time race
+// Command racecheck records a racy workload once, then lets the replay-time race
 // analyzer name the racing pair. During recording the race is invisible —
 // the program's synchronization sequence is deterministic, so nothing
 // diverges — but a single offline re-execution of the stored trace with the

@@ -1,4 +1,4 @@
-// Racereplay: reproduce a real data race. The Crasher program (§5.2.1)
+// Command racereplay reproduces a real data race. The Crasher program (§5.2.1)
 // races a pointer-nulling thread against a dereferencing thread; when the
 // crash fires, the runtime rolls back and searches re-executions until one
 // reproduces the recorded schedule — and the crash — exactly (Table 2: the

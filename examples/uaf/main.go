@@ -1,4 +1,4 @@
-// UAF: detect a use-after-free with the quarantine detector (§4.2). A
+// Command uaf detects a use-after-free with the quarantine detector (§4.2). A
 // cache-like workload frees an entry and later writes through the stale
 // pointer; freed objects sit canary-filled in per-thread quarantine lists,
 // the corruption is discovered at the epoch boundary, and a watchpoint

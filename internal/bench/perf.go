@@ -2,22 +2,30 @@ package bench
 
 // Machine-readable performance suite: the numbers `ir-bench -json` writes
 // to BENCH_<n>.json so the perf trajectory is tracked PR-over-PR. The suite
-// covers the four hot paths this system lives on: recording (events/sec
+// covers the five hot paths this system lives on: recording (events/sec
 // while the application runs), parallel offline replay (batch throughput by
 // worker count), parallel replay-time analysis (ditto, with the race and
-// leak analyzers attached), and segment-parallel replay of one checkpointed
-// trace (the long-trace scale lever).
+// leak analyzers attached), segment-parallel replay of one checkpointed
+// trace (the long-trace scale lever), and the trace service daemon
+// sustaining concurrent analyze jobs end to end through its HTTP API (the
+// multi-client scale lever).
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/record"
+	"repro/internal/server"
 	"repro/internal/tir"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -161,6 +169,9 @@ func Perf(scale float64) (*PerfReport, error) {
 	if err := perfSegments(rep, scale, workerSweep); err != nil {
 		return nil, err
 	}
+	if err := perfServe(rep, scale); err != nil {
+		return nil, err
+	}
 	return rep, nil
 }
 
@@ -170,11 +181,8 @@ func Perf(scale float64) (*PerfReport, error) {
 // servers), so the wall-clock compression segment replay buys is visible
 // regardless of host core count.
 func perfSegments(rep *PerfReport, scale float64, workerSweep []int) error {
-	spec := workloads.Spec{
-		Name: "relay-service", Threads: 4, Iters: int(240 * scale),
-		Locks: 1, LockStride: 4, WritesPerLock: 1,
-		TimeCalls: 1, ThinkTime: 1000, WorkingSet: 16 << 10,
-	}
+	spec := workloads.RelayService()
+	spec.Iters = int(float64(spec.Iters) * scale)
 	if spec.Iters < 32 {
 		spec.Iters = 32
 	}
@@ -238,6 +246,121 @@ func perfSegments(rep *PerfReport, scale float64, workerSweep []int) error {
 			EventsPerSec: perSec(sstats.Events, sstats.Elapsed),
 		})
 	}
+	return nil
+}
+
+// perfServe measures the trace service end to end: a daemon over a seeded
+// corpus store, driven through its HTTP API by concurrent clients, with 16
+// analyze jobs multiplexed across 8 workers — the acceptance shape for
+// "sustains >= 8 concurrent analyze jobs with bounded queue depth". The
+// events/sec reported is recorded events re-executed under analysis per
+// second of wall time, submission to last terminal state.
+func perfServe(rep *PerfReport, scale float64) error {
+	const serveWorkers = 8
+	const serveJobs = 16
+
+	dir, err := os.MkdirTemp("", "ir-served-bench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	st, err := trace.OpenStore(dir)
+	if err != nil {
+		return err
+	}
+	// The corpus: the ground-truth analysis programs (scale-independent).
+	names := workloads.AnalysisNames()
+	for _, name := range names {
+		if _, err := server.RecordTrace(st, server.RecordRequest{App: name}, nil); err != nil {
+			return fmt.Errorf("bench: recording %s: %w", name, err)
+		}
+	}
+	_ = scale // corpus programs are fixed-size
+
+	srv, err := server.New(server.Config{Store: st, Workers: serveWorkers, QueueDepth: serveJobs})
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Scheduler().Shutdown()
+
+	submit := func(name string) (uint64, error) {
+		body := fmt.Sprintf(`{"kind":"analyze","trace":%q}`, name)
+		resp, err := ts.Client().Post(ts.URL+"/api/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			return 0, fmt.Errorf("bench: serve submit %s: status %d", name, resp.StatusCode)
+		}
+		var info struct {
+			ID uint64 `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			return 0, err
+		}
+		return info.ID, nil
+	}
+	wait := func(id uint64) (int64, error) {
+		resp, err := ts.Client().Get(fmt.Sprintf("%s/api/v1/jobs/%d/stream", ts.URL, id))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		dec := json.NewDecoder(resp.Body)
+		var last struct {
+			State  string `json:"state"`
+			Err    string `json:"error"`
+			Result struct {
+				Events int64 `json:"events"`
+			} `json:"result"`
+		}
+		for {
+			var cur struct {
+				State  string `json:"state"`
+				Err    string `json:"error"`
+				Result struct {
+					Events int64 `json:"events"`
+				} `json:"result"`
+			}
+			if err := dec.Decode(&cur); err != nil {
+				break
+			}
+			last = cur
+		}
+		if last.State != "done" {
+			return 0, fmt.Errorf("bench: serve job %d: %s (%s)", id, last.State, last.Err)
+		}
+		return last.Result.Events, nil
+	}
+
+	start := time.Now()
+	ids := make([]uint64, 0, serveJobs)
+	for i := 0; i < serveJobs; i++ {
+		id, err := submit(names[i%len(names)])
+		if err != nil {
+			return err
+		}
+		ids = append(ids, id)
+	}
+	var events int64
+	for _, id := range ids {
+		ev, err := wait(id)
+		if err != nil {
+			return err
+		}
+		events += ev
+	}
+	elapsed := time.Since(start)
+	rep.Results = append(rep.Results, PerfResult{
+		Name:         "serve-analyze/corpus",
+		Workers:      serveWorkers,
+		Ops:          serveJobs,
+		NsPerOp:      elapsed.Nanoseconds() / serveJobs,
+		EventsPerSec: perSec(events, elapsed),
+	})
 	return nil
 }
 

@@ -261,6 +261,17 @@ func (rt *Runtime) noneRunning() bool {
 // (possibly many times, §3.5.2), or terminate. Returns true when the
 // program is over.
 func (rt *Runtime) handleEpochEnd() bool {
+	// A caller-interrupted run terminates at this boundary: the final
+	// epoch's log is deliberately not flushed (a canceled recording is an
+	// incomplete trace, and the store reports it as such).
+	if err := rt.pollInterrupt(); err != nil {
+		rt.errMu.Lock()
+		if rt.progErr == nil {
+			rt.progErr = fmt.Errorf("core: run interrupted: %w", err)
+		}
+		rt.errMu.Unlock()
+		return true
+	}
 	// stopReason/stopTID are written by requestStop under stopMu from
 	// arbitrary goroutines (tools call RequestEpochEnd); take the lock for
 	// the read — the captured reason is persisted into trace files and must

@@ -233,6 +233,13 @@ func (rt *Runtime) RunReplay() (*Report, error) {
 	attempt := 1
 	for {
 		rt.awaitQuiescence()
+		// A caller-interrupted replay stops here: interception sites have
+		// already unwound the running threads (intercept returns errShutdown
+		// once the interrupt latches), so quiescence arrives promptly.
+		if err := rt.pollInterrupt(); err != nil {
+			rt.shutdown()
+			return nil, fmt.Errorf("core: replay interrupted: %w", err)
+		}
 		if rt.replayStalled() {
 			// Quiescent with unreplayed events but no thread-flagged
 			// divergence: on an oversubscribed host this is usually a
@@ -241,8 +248,15 @@ func (rt *Runtime) RunReplay() (*Report, error) {
 			// retry re-executes the whole segment under delay injection — so
 			// give the scheduler a grace period before declaring divergence.
 			for wait := 0; wait < 200 && rt.replayStalled(); wait++ {
+				if rt.pollInterrupt() != nil {
+					break // the check below reports the cause
+				}
 				time.Sleep(500 * time.Microsecond)
 				rt.awaitQuiescence()
+			}
+			if err := rt.pollInterrupt(); err != nil {
+				rt.shutdown()
+				return nil, fmt.Errorf("core: replay interrupted: %w", err)
 			}
 		}
 		if rt.replayMatched() {

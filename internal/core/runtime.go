@@ -71,6 +71,18 @@ type Options struct {
 	// is immutable; the sink may retain it. A sink error terminates the run.
 	// Ignored with DisableRecording; ignored by the replay constructors.
 	CheckpointSink func(*Checkpoint) error
+	// Interrupt, when set, lets a caller cancel a run in flight: it is
+	// polled at gated points (thread interception sites and quiescent
+	// boundaries) and the first non-nil error it returns becomes the run's
+	// terminating cause. A recording stops at the next epoch boundary
+	// without flushing the final epoch (the trace is left incomplete, which
+	// the store reports); an offline replay unwinds as soon as its threads
+	// reach gated points and RunReplay returns the cause. Pass a context's
+	// Err method to bind a run to that context — the trace service daemon
+	// binds every job this way. The function must be safe for concurrent
+	// calls from multiple threads. A deadlocked program whose threads never
+	// reach another gated point cannot observe the interrupt.
+	Interrupt func() error
 	// OnProbe receives instrumentation probes (Probe instructions inserted
 	// by IR passes); used by the CLAP and ASan baseline runtimes. Must be
 	// safe for concurrent calls from different thread IDs.
@@ -147,6 +159,12 @@ type Runtime struct {
 	diverged bool
 	divInfo  string
 	attempt  int
+
+	// intr latches the first non-nil error Options.Interrupt returned; the
+	// flag is the lock-free fast path for the per-interception poll.
+	intr      atomic.Bool
+	intrMu    sync.Mutex
+	intrCause error
 
 	epochSeq int64
 	ckpt     *checkpoint
@@ -410,6 +428,31 @@ func (rt *Runtime) WatchHits() []interp.WatchHit {
 // an epoch boundary is already in progress.
 func (rt *Runtime) RequestEpochEnd() bool {
 	return rt.requestStop(StopTool, -1)
+}
+
+// pollInterrupt consults Options.Interrupt, latching and returning the
+// first non-nil cause. Once latched it no longer calls the hook, so a
+// context's Err is polled at most once per gated point and every caller
+// sees the same cause.
+func (rt *Runtime) pollInterrupt() error {
+	if rt.opts.Interrupt == nil {
+		return nil
+	}
+	if !rt.intr.Load() {
+		err := rt.opts.Interrupt()
+		if err == nil {
+			return nil
+		}
+		rt.intrMu.Lock()
+		if !rt.intr.Load() {
+			rt.intrCause = err
+			rt.intr.Store(true)
+		}
+		rt.intrMu.Unlock()
+	}
+	rt.intrMu.Lock()
+	defer rt.intrMu.Unlock()
+	return rt.intrCause
 }
 
 // DivergenceInfo describes the most recent divergence (diagnostics).

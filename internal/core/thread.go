@@ -257,6 +257,17 @@ func (t *Thread) parkExited() {
 // changing the recorded order (§3.5.2).
 func (t *Thread) intercept() error {
 	rt := t.rt
+	if rt.opts.Interrupt != nil && rt.pollInterrupt() != nil {
+		// A caller canceled the run. Offline the world is ours alone: unwind
+		// this thread outright; RunReplay notices at quiescence and shuts
+		// down. In situ, drive the world to an epoch boundary instead —
+		// handleEpochEnd terminates there — so the stop protocol stays the
+		// one the paper defines.
+		if rt.offline {
+			return errShutdown
+		}
+		rt.requestStop(StopTool, t.id)
+	}
 	if rt.phase() == phReplay && rt.replayAttempt() > 1 && rt.opts.DelayOnDivergence {
 		if t.delayRng.Intn(4) == 0 {
 			time.Sleep(time.Duration(t.delayRng.Intn(50)+1) * time.Microsecond)

@@ -1,0 +1,66 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RunPool shards n items across a transient scheduler, invoking run for each
+// index, and returns the batch's wall-clock time. workers <= 0 selects
+// GOMAXPROCS; the pool never exceeds n workers. It blocks until every item
+// finished and every worker goroutine exited — the one-shot batch shape the
+// trace layer's ReplayBatch/AnalyzeBatch/ReplaySegments fan-outs use, built
+// on the same scheduler the daemon runs so both paths share dispatch,
+// bounded-pool, and drain semantics.
+//
+// A panic in run propagates out of RunPool (after the remaining items
+// finish), preserving the crash-loudly semantics of a plain worker pool:
+// the batch CLIs fail visibly, and a daemon job running a batch has the
+// panic converted to a job failure by its own scheduler — never reported
+// as success with a zero-value result.
+func RunPool(n, workers int, run func(i int)) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	s := New(Options{Workers: workers, QueueDepth: n, Retain: 1})
+	start := time.Now()
+	var panicMu sync.Mutex
+	var firstPanic error
+	for i := 0; i < n; i++ {
+		if _, err := s.Submit(Job{
+			Name: fmt.Sprintf("pool#%d", i),
+			Run: func(context.Context) (any, error) {
+				defer func() {
+					if r := recover(); r != nil {
+						panicMu.Lock()
+						if firstPanic == nil {
+							firstPanic = fmt.Errorf("sched: pool item %d panicked: %v", i, r)
+						}
+						panicMu.Unlock()
+					}
+				}()
+				run(i)
+				return nil, nil
+			},
+		}); err != nil {
+			// Unreachable by construction: the queue is sized to n and the
+			// scheduler is not draining. Run the item inline rather than
+			// silently dropping it.
+			run(i)
+		}
+	}
+	_ = s.Drain(context.Background())
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
+	return time.Since(start)
+}

@@ -1,0 +1,706 @@
+// Package sched is the job scheduler every execution path shares: the
+// one-shot batch fan-outs of the trace layer (trace.ReplayBatch,
+// trace.AnalyzeBatch, trace.ReplaySegments, via RunPool) and the
+// long-running trace service daemon (internal/server, cmd/ir-served)
+// multiplex their work through the same bounded worker pool.
+//
+// The scheduler is deliberately generic — a job is a name, a priority, and
+// a closure — so it stays import-free of the runtime packages it schedules.
+// What it adds over a plain pool:
+//
+//   - Priorities with FIFO fairness: higher-priority jobs dispatch first;
+//     within one priority, jobs dispatch in submission order, so no client
+//     can starve an earlier equal-priority client.
+//   - Backpressure: Submit fails fast with ErrQueueFull once QueueDepth jobs
+//     are waiting, instead of queueing unboundedly. The HTTP layer maps this
+//     to 429 Too Many Requests.
+//   - Per-job cancellation: every job runs under its own context; Cancel
+//     removes a queued job outright and cancels a running job's context (the
+//     runtime layers cooperate through core.Options.Interrupt).
+//   - Observability: Info snapshots per job, Watch streams every state
+//     transition, Metrics aggregates queue depth and jobs by state.
+//   - Graceful drain: Drain stops intake, lets accepted work finish, and
+//     returns only when every worker goroutine has exited — the property the
+//     daemon's shutdown path (and the -race leak tests) rely on.
+//
+// Job lifecycle:
+//
+//	Submit ──► queued ──► running ──► done      (Run returned nil)
+//	              │           ├─────► failed    (Run returned an error)
+//	              └───────────┴─────► canceled  (Cancel, or Run returned the
+//	                                             canceled context's error)
+//
+// Terminal jobs are retained for inspection, bounded by Options.Retain.
+package sched
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Priority orders dispatch: higher runs first; equal priorities are FIFO.
+type Priority int
+
+const (
+	// Low yields to everything else — bulk re-verification sweeps.
+	Low Priority = -1
+	// Normal is the default.
+	Normal Priority = 0
+	// High jumps the queue — an operator chasing a live defect.
+	High Priority = 1
+)
+
+func (p Priority) String() string {
+	switch p {
+	case Low:
+		return "low"
+	case High:
+		return "high"
+	default:
+		return "normal"
+	}
+}
+
+// MarshalJSON encodes the symbolic name ("low", "normal", "high").
+func (p Priority) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + p.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the symbolic names; empty means Normal.
+func (p *Priority) UnmarshalJSON(b []byte) error {
+	v, err := ParsePriority(string(trimQuotes(b)))
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
+func trimQuotes(b []byte) []byte {
+	if len(b) >= 2 && b[0] == '"' && b[len(b)-1] == '"' {
+		return b[1 : len(b)-1]
+	}
+	return b
+}
+
+// ParsePriority maps "low", "normal", "high" (or "") to a Priority.
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "low":
+		return Low, nil
+	case "", "normal":
+		return Normal, nil
+	case "high":
+		return High, nil
+	}
+	return Normal, fmt.Errorf("sched: unknown priority %q (low, normal, high)", s)
+}
+
+// State is a job's position in the lifecycle.
+type State int
+
+const (
+	// Queued: accepted, waiting for a worker.
+	Queued State = iota
+	// Running: a worker is executing the job's closure.
+	Running
+	// Done: the closure returned nil.
+	Done
+	// Failed: the closure returned a non-cancellation error.
+	Failed
+	// Canceled: removed from the queue, or the closure returned its
+	// canceled context's error.
+	Canceled
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s >= Done }
+
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Canceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// MarshalJSON encodes the symbolic name ("queued", "running", ...).
+func (s State) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the symbolic names.
+func (s *State) UnmarshalJSON(b []byte) error {
+	switch string(trimQuotes(b)) {
+	case "queued":
+		*s = Queued
+	case "running":
+		*s = Running
+	case "done":
+		*s = Done
+	case "failed":
+		*s = Failed
+	case "canceled":
+		*s = Canceled
+	default:
+		return fmt.Errorf("sched: unknown state %q", b)
+	}
+	return nil
+}
+
+var (
+	// ErrQueueFull rejects a Submit once QueueDepth jobs are waiting — the
+	// backpressure signal (HTTP 429).
+	ErrQueueFull = errors.New("sched: queue is full")
+	// ErrDraining rejects a Submit after Drain/Shutdown began (HTTP 503).
+	ErrDraining = errors.New("sched: scheduler is draining")
+	// ErrUnknownJob reports an ID that was never submitted or has been
+	// evicted from the retention window.
+	ErrUnknownJob = errors.New("sched: unknown job")
+)
+
+// Job is one unit of submitted work.
+type Job struct {
+	// Name labels the job in Info and metrics; it need not be unique.
+	Name string
+	// Priority orders dispatch (default Normal).
+	Priority Priority
+	// Run executes the job. The context is canceled by Cancel and by a
+	// forced drain; long-running work must observe it (the replay layers
+	// plumb it through core.Options.Interrupt). The returned value is
+	// retained as Info.Result.
+	Run func(ctx context.Context) (any, error)
+}
+
+// Info is a point-in-time snapshot of one job.
+type Info struct {
+	ID       uint64   `json:"id"`
+	Name     string   `json:"name"`
+	Priority Priority `json:"priority"`
+	State    State    `json:"state"`
+	// Err carries the failure (or cancellation cause) once terminal.
+	Err string `json:"error,omitempty"`
+	// Result is Run's return value once the job is Done (also kept for
+	// Failed jobs that returned a partial result).
+	Result   any       `json:"result,omitempty"`
+	Enqueued time.Time `json:"enqueued"`
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+}
+
+// Wall returns the job's execution time so far (zero before it starts).
+func (i Info) Wall() time.Duration {
+	switch {
+	case i.Started.IsZero():
+		return 0
+	case i.Finished.IsZero():
+		return time.Since(i.Started)
+	}
+	return i.Finished.Sub(i.Started)
+}
+
+// Options configures a Scheduler.
+type Options struct {
+	// Workers is the pool size; <= 0 selects GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of queued (not yet running) jobs; Submit
+	// past it fails with ErrQueueFull. <= 0 selects DefaultQueueDepth.
+	QueueDepth int
+	// Retain bounds how many terminal jobs stay inspectable; <= 0 selects
+	// DefaultRetain. Oldest terminal jobs are evicted first.
+	Retain int
+}
+
+// Defaults for Options fields left zero.
+const (
+	DefaultQueueDepth = 256
+	DefaultRetain     = 1024
+)
+
+// Metrics is an aggregate snapshot for the /metrics endpoint.
+type Metrics struct {
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+	QueueLimit int `json:"queue_limit"`
+	Running    int `json:"running"`
+	// Cumulative counters since construction.
+	Submitted uint64 `json:"submitted"`
+	Rejected  uint64 `json:"rejected"`
+	Done      uint64 `json:"done"`
+	Failed    uint64 `json:"failed"`
+	Canceled  uint64 `json:"canceled"`
+}
+
+const (
+	stAccepting = iota
+	stDraining
+	stClosed
+)
+
+type job struct {
+	Job
+	id       uint64
+	seq      uint64 // submission order, the FIFO tiebreak
+	heapIdx  int    // position in the priority queue, -1 once dequeued
+	state    State
+	err      error
+	result   any
+	enqueued time.Time
+	started  time.Time
+	finished time.Time
+
+	ctx          context.Context
+	cancel       context.CancelFunc
+	cancelAsked  bool
+	watchers     []chan Info
+	doneCh       chan struct{} // closed at terminal state
+}
+
+// Scheduler dispatches submitted jobs across a fixed worker pool.
+type Scheduler struct {
+	opts Options
+
+	mu       sync.Mutex
+	cond     *sync.Cond // wakes workers: queue non-empty or state change
+	pq       jobPQ
+	jobs     map[uint64]*job
+	terminal []uint64 // terminal IDs, oldest first (retention ring)
+	nextID   uint64
+	nextSeq  uint64
+	state    int
+	running  int
+
+	submitted, rejected uint64
+	doneN, failedN      uint64
+	canceledN           uint64
+
+	change  chan struct{} // pulsed on every completion/dequeue (Drain waits on it)
+	drained chan struct{} // closed when Drain finished
+	drainMu sync.Mutex    // serializes Drain callers
+
+	wg sync.WaitGroup
+}
+
+// New builds a scheduler and starts its workers.
+func New(opts Options) *Scheduler {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = DefaultQueueDepth
+	}
+	if opts.Retain <= 0 {
+		opts.Retain = DefaultRetain
+	}
+	s := &Scheduler{
+		opts:    opts,
+		jobs:    make(map[uint64]*job),
+		change:  make(chan struct{}, 1),
+		drained: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit enqueues a job. It fails fast with ErrQueueFull at the queue-depth
+// bound and ErrDraining once shutdown began; on success the returned Info is
+// the job's initial (queued) snapshot.
+func (s *Scheduler) Submit(j Job) (Info, error) {
+	if j.Run == nil {
+		return Info{}, errors.New("sched: job has no Run function")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != stAccepting {
+		return Info{}, ErrDraining
+	}
+	if s.pq.Len() >= s.opts.QueueDepth {
+		s.rejected++
+		return Info{}, ErrQueueFull
+	}
+	s.nextID++
+	s.nextSeq++
+	ctx, cancel := context.WithCancel(context.Background())
+	jb := &job{
+		Job:      j,
+		id:       s.nextID,
+		seq:      s.nextSeq,
+		state:    Queued,
+		enqueued: time.Now(),
+		ctx:      ctx,
+		cancel:   cancel,
+		doneCh:   make(chan struct{}),
+	}
+	heap.Push(&s.pq, jb)
+	s.jobs[jb.id] = jb
+	s.submitted++
+	s.cond.Signal()
+	return jb.snapshotLocked(), nil
+}
+
+// worker is one pool goroutine: dequeue by priority, run, finalize.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for s.pq.Len() == 0 && s.state == stAccepting {
+			s.cond.Wait()
+		}
+		if s.pq.Len() == 0 {
+			// Draining (or closed) with nothing left to run.
+			s.mu.Unlock()
+			return
+		}
+		jb := heap.Pop(&s.pq).(*job)
+		jb.state = Running
+		jb.started = time.Now()
+		s.running++
+		jb.notifyLocked()
+		s.pulseLocked()
+		s.mu.Unlock()
+
+		res, err := runGuarded(jb)
+
+		s.mu.Lock()
+		s.running--
+		jb.finished = time.Now()
+		jb.result = res
+		jb.err = err
+		switch {
+		case err == nil:
+			jb.state = Done
+			s.doneN++
+		case jb.cancelAsked || errors.Is(err, context.Canceled):
+			jb.state = Canceled
+			s.canceledN++
+		default:
+			jb.state = Failed
+			s.failedN++
+		}
+		s.finalizeLocked(jb)
+		s.mu.Unlock()
+	}
+}
+
+// runGuarded executes a job's closure, translating a panic into an error so
+// one bad job cannot take a worker (or the daemon) down.
+func runGuarded(jb *job) (res any, err error) {
+	defer jb.cancel()
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sched: job %d (%s) panicked: %v", jb.id, jb.Name, r)
+		}
+	}()
+	return jb.Run(jb.ctx)
+}
+
+// finalizeLocked publishes a terminal transition: watchers, waiters,
+// retention, and the drain pulse. Caller holds s.mu and has set the state.
+func (s *Scheduler) finalizeLocked(jb *job) {
+	// The closure is never invoked again; dropping it releases whatever it
+	// captured (the daemon's jobs capture decoded traces and rebuilt
+	// modules, which must not stay pinned for the whole retention window).
+	jb.Run = nil
+	close(jb.doneCh)
+	jb.notifyLocked()
+	for _, ch := range jb.watchers {
+		close(ch)
+	}
+	jb.watchers = nil
+	s.terminal = append(s.terminal, jb.id)
+	for len(s.terminal) > s.opts.Retain {
+		delete(s.jobs, s.terminal[0])
+		s.terminal = s.terminal[1:]
+	}
+	s.pulseLocked()
+}
+
+// pulseLocked pokes Drain's wait loop without blocking.
+func (s *Scheduler) pulseLocked() {
+	select {
+	case s.change <- struct{}{}:
+	default:
+	}
+}
+
+// Cancel cancels a job: a queued job is removed and terminal immediately; a
+// running job has its context canceled and reaches Canceled when its closure
+// returns. Canceling a terminal job is a no-op. The returned Info is the
+// job's state after the cancel took effect at the scheduler level.
+func (s *Scheduler) Cancel(id uint64) (Info, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jb := s.jobs[id]
+	if jb == nil {
+		return Info{}, ErrUnknownJob
+	}
+	switch jb.state {
+	case Queued:
+		heap.Remove(&s.pq, jb.heapIdx)
+		jb.cancel()
+		jb.cancelAsked = true
+		jb.state = Canceled
+		jb.finished = time.Now()
+		jb.err = context.Canceled
+		s.canceledN++
+		s.finalizeLocked(jb)
+	case Running:
+		jb.cancelAsked = true
+		jb.cancel()
+	}
+	return jb.snapshotLocked(), nil
+}
+
+// Info returns a snapshot of one job.
+func (s *Scheduler) Info(id uint64) (Info, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jb := s.jobs[id]
+	if jb == nil {
+		return Info{}, ErrUnknownJob
+	}
+	return jb.snapshotLocked(), nil
+}
+
+// Jobs snapshots every retained job, ordered by ID.
+func (s *Scheduler) Jobs() []Info {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Info, 0, len(s.jobs))
+	for _, jb := range s.jobs {
+		out = append(out, jb.snapshotLocked())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Wait blocks until the job is terminal (or ctx expires) and returns its
+// final snapshot.
+func (s *Scheduler) Wait(ctx context.Context, id uint64) (Info, error) {
+	s.mu.Lock()
+	jb := s.jobs[id]
+	if jb == nil {
+		s.mu.Unlock()
+		return Info{}, ErrUnknownJob
+	}
+	done := jb.doneCh
+	s.mu.Unlock()
+	select {
+	case <-done:
+		// Snapshot through the held pointer, not a map re-lookup: the
+		// retention window may have evicted the ID between the doneCh close
+		// and this read, and a finished job must not report ErrUnknownJob.
+		s.mu.Lock()
+		info := jb.snapshotLocked()
+		s.mu.Unlock()
+		return info, nil
+	case <-ctx.Done():
+		return Info{}, ctx.Err()
+	}
+}
+
+// Watch returns a channel that carries the job's current snapshot followed
+// by one snapshot per state transition, and closes after the terminal one.
+// The channel is buffered for the full lifecycle; the caller need not drain
+// it promptly. Watching a terminal job yields its final snapshot and closes.
+func (s *Scheduler) Watch(id uint64) (<-chan Info, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jb := s.jobs[id]
+	if jb == nil {
+		return nil, ErrUnknownJob
+	}
+	// A job has at most 3 lifecycle snapshots (queued, running, terminal);
+	// capacity 4 covers the initial snapshot plus every transition, so the
+	// notifier can always send without blocking.
+	ch := make(chan Info, 4)
+	ch <- jb.snapshotLocked()
+	if jb.state.Terminal() {
+		close(ch)
+		return ch, nil
+	}
+	jb.watchers = append(jb.watchers, ch)
+	return ch, nil
+}
+
+// Metrics snapshots the aggregate counters.
+func (s *Scheduler) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Metrics{
+		Workers:    s.opts.Workers,
+		QueueDepth: s.pq.Len(),
+		QueueLimit: s.opts.QueueDepth,
+		Running:    s.running,
+		Submitted:  s.submitted,
+		Rejected:   s.rejected,
+		Done:       s.doneN,
+		Failed:     s.failedN,
+		Canceled:   s.canceledN,
+	}
+}
+
+// Drain shuts the scheduler down gracefully: new submissions are refused,
+// already-accepted jobs (queued and running) run to completion, and Drain
+// returns once every worker goroutine has exited. If ctx expires first, the
+// remaining queue is canceled, running jobs' contexts are canceled, and
+// Drain still waits for the workers to come home — a job that ignores its
+// context delays shutdown rather than leaking. Concurrent and repeated
+// calls are safe; later callers wait for the first drain to finish.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	select {
+	case <-s.drained:
+		return nil // already fully drained
+	default:
+	}
+
+	s.mu.Lock()
+	if s.state == stAccepting {
+		s.state = stDraining
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+
+	forced := false
+	var ctxErr error
+	for {
+		s.mu.Lock()
+		idle := s.pq.Len() == 0 && s.running == 0
+		s.mu.Unlock()
+		if idle {
+			break
+		}
+		if forced {
+			<-s.change
+			continue
+		}
+		select {
+		case <-s.change:
+		case <-ctx.Done():
+			forced = true
+			ctxErr = ctx.Err()
+			s.cancelPending()
+		}
+	}
+
+	s.mu.Lock()
+	s.state = stClosed
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+	close(s.drained)
+	if forced {
+		return fmt.Errorf("sched: drain deadline hit, outstanding jobs canceled: %w", ctxErr)
+	}
+	return nil
+}
+
+// Shutdown cancels everything outstanding and waits for the workers to
+// exit — Drain with an already-expired deadline.
+func (s *Scheduler) Shutdown() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = s.Drain(ctx)
+}
+
+// cancelPending cancels every queued job and every running job's context.
+func (s *Scheduler) cancelPending() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.pq.Len() > 0 {
+		jb := heap.Pop(&s.pq).(*job)
+		jb.cancel()
+		jb.cancelAsked = true
+		jb.state = Canceled
+		jb.finished = time.Now()
+		jb.err = context.Canceled
+		s.canceledN++
+		s.finalizeLocked(jb)
+	}
+	for _, jb := range s.jobs {
+		if jb.state == Running {
+			jb.cancelAsked = true
+			jb.cancel()
+		}
+	}
+}
+
+// snapshotLocked builds an Info; caller holds s.mu.
+func (jb *job) snapshotLocked() Info {
+	info := Info{
+		ID:       jb.id,
+		Name:     jb.Name,
+		Priority: jb.Priority,
+		State:    jb.state,
+		Result:   jb.result,
+		Enqueued: jb.enqueued,
+		Started:  jb.started,
+		Finished: jb.finished,
+	}
+	if jb.err != nil {
+		info.Err = jb.err.Error()
+	}
+	return info
+}
+
+// notifyLocked fans the current snapshot out to watchers; caller holds s.mu.
+// Watcher channels are sized for the full lifecycle, so sends cannot block.
+func (jb *job) notifyLocked() {
+	if len(jb.watchers) == 0 {
+		return
+	}
+	info := jb.snapshotLocked()
+	for _, ch := range jb.watchers {
+		ch <- info
+	}
+}
+
+// jobPQ is the priority queue: higher Priority first, then FIFO by seq.
+type jobPQ []*job
+
+func (q jobPQ) Len() int { return len(q) }
+func (q jobPQ) Less(i, j int) bool {
+	if q[i].Priority != q[j].Priority {
+		return q[i].Priority > q[j].Priority
+	}
+	return q[i].seq < q[j].seq
+}
+func (q jobPQ) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].heapIdx = i
+	q[j].heapIdx = j
+}
+func (q *jobPQ) Push(x any) {
+	jb := x.(*job)
+	jb.heapIdx = len(*q)
+	*q = append(*q, jb)
+}
+func (q *jobPQ) Pop() any {
+	old := *q
+	n := len(old)
+	jb := old[n-1]
+	old[n-1] = nil
+	jb.heapIdx = -1
+	*q = old[:n-1]
+	return jb
+}

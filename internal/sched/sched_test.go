@@ -1,0 +1,354 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPriorityAndFIFOOrder: with one worker held busy, later high-priority
+// jobs dispatch before earlier normal ones, and equal priorities dispatch in
+// submission order.
+func TestPriorityAndFIFOOrder(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 16})
+	defer s.Shutdown()
+
+	gate := make(chan struct{})
+	var mu sync.Mutex
+	var order []string
+	noteJob := func(name string) Job {
+		return Job{Name: name, Priority: Normal, Run: func(context.Context) (any, error) {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			return nil, nil
+		}}
+	}
+
+	// Occupy the only worker so subsequent submissions stack in the queue.
+	if _, err := s.Submit(Job{Name: "gate", Run: func(context.Context) (any, error) {
+		<-gate
+		return nil, nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"n1", "n2", "n3"} {
+		if _, err := s.Submit(noteJob(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hi := noteJob("hi")
+	hi.Priority = High
+	lo := noteJob("lo")
+	lo.Priority = Low
+	if _, err := s.Submit(lo); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(hi); err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	got := strings.Join(order, ",")
+	want := "hi,n1,n2,n3,lo"
+	if got != want {
+		t.Fatalf("dispatch order %q, want %q", got, want)
+	}
+}
+
+// TestQueueDepthBackpressure: submissions beyond QueueDepth fail fast with
+// ErrQueueFull and count as rejected.
+func TestQueueDepthBackpressure(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 2})
+	defer s.Shutdown()
+
+	gate := make(chan struct{})
+	defer close(gate)
+	block := Job{Name: "block", Run: func(context.Context) (any, error) {
+		<-gate
+		return nil, nil
+	}}
+	if _, err := s.Submit(block); err != nil { // runs, occupies the worker
+		t.Fatal(err)
+	}
+	// Wait until the worker picked it up so the queue is empty again.
+	waitFor(t, func() bool { return s.Metrics().Running == 1 })
+
+	for i := 0; i < 2; i++ { // fills the queue
+		if _, err := s.Submit(block); err != nil {
+			t.Fatalf("queued submit %d: %v", i, err)
+		}
+	}
+	if _, err := s.Submit(block); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-depth submit: err=%v, want ErrQueueFull", err)
+	}
+	m := s.Metrics()
+	if m.Rejected != 1 || m.QueueDepth != 2 || m.QueueLimit != 2 {
+		t.Fatalf("metrics after rejection: %+v", m)
+	}
+}
+
+// TestCancelQueuedAndRunning: a queued job cancels immediately; a running
+// job's context is canceled and the job lands in Canceled.
+func TestCancelQueuedAndRunning(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 8})
+	defer s.Shutdown()
+
+	started := make(chan struct{})
+	runInfo, err := s.Submit(Job{Name: "running", Run: func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queuedInfo, err := s.Submit(Job{Name: "queued", Run: func(context.Context) (any, error) {
+		return nil, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	if info, err := s.Cancel(queuedInfo.ID); err != nil || info.State != Canceled {
+		t.Fatalf("cancel queued: info=%+v err=%v", info, err)
+	}
+	if _, err := s.Cancel(runInfo.ID); err != nil {
+		t.Fatal(err)
+	}
+	final, err := s.Wait(context.Background(), runInfo.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != Canceled {
+		t.Fatalf("running job final state %v, want Canceled", final.State)
+	}
+	if _, err := s.Cancel(99); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("cancel unknown: %v", err)
+	}
+}
+
+// TestWatchStreamsTransitions: Watch yields queued → running → done and then
+// closes.
+func TestWatchStreamsTransitions(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Shutdown()
+
+	gate := make(chan struct{})
+	info, err := s.Submit(Job{Name: "w", Run: func(context.Context) (any, error) {
+		<-gate
+		return "payload", nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := s.Watch(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	var states []State
+	for in := range ch {
+		states = append(states, in.State)
+	}
+	// The initial snapshot races the dispatch, so the stream may start at
+	// Queued or Running; it must end Done and be monotonic.
+	if len(states) == 0 || states[len(states)-1] != Done {
+		t.Fatalf("watch states %v, want terminal Done", states)
+	}
+	for i := 1; i < len(states); i++ {
+		if states[i] < states[i-1] {
+			t.Fatalf("watch states went backwards: %v", states)
+		}
+	}
+	final, err := s.Info(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Result != "payload" {
+		t.Fatalf("result %v, want payload", final.Result)
+	}
+}
+
+// TestDrainGraceful: accepted jobs finish, new submissions are refused, and
+// no worker goroutines survive the drain.
+func TestDrainGraceful(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := New(Options{Workers: 4, QueueDepth: 64})
+	var ran atomic.Int64
+	for i := 0; i < 32; i++ {
+		if _, err := s.Submit(Job{Name: "n", Run: func(context.Context) (any, error) {
+			ran.Add(1)
+			return nil, nil
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := ran.Load(); got != 32 {
+		t.Fatalf("ran %d jobs, want 32", got)
+	}
+	if _, err := s.Submit(Job{Name: "late", Run: func(context.Context) (any, error) { return nil, nil }}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit after drain: %v, want ErrDraining", err)
+	}
+	// Second drain is a no-op.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= before })
+}
+
+// TestDrainForced: a drain whose context expires cancels queued and running
+// jobs but still waits for the workers.
+func TestDrainForced(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 8})
+	started := make(chan struct{})
+	if _, err := s.Submit(Job{Name: "stuck", Run: func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	qInfo, err := s.Submit(Job{Name: "behind", Run: func(context.Context) (any, error) { return nil, nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("forced drain reported success")
+	}
+	in, err := s.Info(qInfo.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.State != Canceled {
+		t.Fatalf("queued job after forced drain: %v, want Canceled", in.State)
+	}
+	m := s.Metrics()
+	if m.Running != 0 || m.QueueDepth != 0 {
+		t.Fatalf("metrics after forced drain: %+v", m)
+	}
+}
+
+// TestJobPanicIsFailure: a panicking job fails without taking the worker
+// down.
+func TestJobPanicIsFailure(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Shutdown()
+	info, err := s.Submit(Job{Name: "boom", Run: func(context.Context) (any, error) {
+		panic("kaboom")
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := s.Wait(context.Background(), info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != Failed || !strings.Contains(final.Err, "kaboom") {
+		t.Fatalf("panicked job: %+v", final)
+	}
+	// The worker survived: another job still runs.
+	info2, err := s.Submit(Job{Name: "after", Run: func(context.Context) (any, error) { return 7, nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final2, err := s.Wait(context.Background(), info2.ID); err != nil || final2.State != Done {
+		t.Fatalf("job after panic: %+v err=%v", final2, err)
+	}
+}
+
+// TestRetentionBound: terminal jobs beyond Retain are evicted oldest-first.
+func TestRetentionBound(t *testing.T) {
+	s := New(Options{Workers: 1, Retain: 2})
+	defer s.Shutdown()
+	var ids []uint64
+	for i := 0; i < 4; i++ {
+		info, err := s.Submit(Job{Name: fmt.Sprintf("r%d", i), Run: func(context.Context) (any, error) { return nil, nil }})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Wait(context.Background(), info.ID); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, info.ID)
+	}
+	if _, err := s.Info(ids[0]); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("oldest job still retained: %v", err)
+	}
+	if _, err := s.Info(ids[3]); err != nil {
+		t.Fatalf("newest job evicted: %v", err)
+	}
+}
+
+// TestRunPool: every index runs exactly once and the pool's goroutines
+// exit.
+func TestRunPool(t *testing.T) {
+	before := runtime.NumGoroutine()
+	var hits [64]atomic.Int32
+	RunPool(len(hits), 4, func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d ran %d times", i, hits[i].Load())
+		}
+	}
+	if d := RunPool(0, 4, func(int) { t.Fatal("ran for n=0") }); d != 0 {
+		t.Fatalf("empty pool elapsed %v", d)
+	}
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= before })
+}
+
+// TestRunPoolPanicPropagates: a panic inside a pool item surfaces from
+// RunPool itself (after the batch drains) instead of being reported as a
+// successful batch.
+func TestRunPoolPanicPropagates(t *testing.T) {
+	var ran atomic.Int32
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("RunPool swallowed the item panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "boom-7") {
+			t.Fatalf("propagated panic %v does not carry the cause", r)
+		}
+		if got := ran.Load(); got != 8 {
+			t.Fatalf("only %d/8 items ran to completion around the panic", got)
+		}
+	}()
+	RunPool(8, 2, func(i int) {
+		defer ran.Add(1)
+		if i == 7 {
+			panic("boom-7")
+		}
+	})
+	t.Fatal("unreachable: RunPool returned normally")
+}
+
+// waitFor polls cond for up to ~2s; goroutine-count assertions need a
+// grace period for exiting goroutines to be reaped.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("condition not reached within deadline")
+}

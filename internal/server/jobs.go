@@ -1,0 +1,239 @@
+package server
+
+// Store-level operations the service layer and the CLI share: resolving a
+// stored trace back to a runnable job (rebuilding the module from the
+// recorded app name, iteration count, and fingerprint) and recording a
+// named workload straight into a store. cmd/ir-trace delegates here so the
+// daemon and the one-shot commands cannot drift apart.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/record"
+	"repro/internal/tir"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// isInterrupt reports whether a run error is a caller cancellation (the
+// wrapped cause of core.Options.Interrupt fed by a job context).
+func isInterrupt(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// ResolveJob loads a stored trace and rebuilds it into a runnable replay
+// job: the recorded application (or analysis-corpus program) is
+// re-synthesized, checked against the trace's module fingerprint, and the
+// recording's seed and list capacities are installed into opts.
+func ResolveJob(st *trace.Store, name string, opts core.Options) (trace.Job, error) {
+	tr, err := st.Load(name)
+	if err != nil {
+		return trace.Job{}, err
+	}
+	spec, ok := workloads.ByName(tr.Header.App)
+	if !ok {
+		if c, okc := workloads.AnalysisByName(tr.Header.App); okc {
+			// A ground-truth corpus recording: the module is parameterless.
+			mod := c.Build()
+			if h := tr.Header.ModuleHash; h != 0 && tir.Fingerprint(mod) != h {
+				return trace.Job{}, fmt.Errorf(
+					"trace %s: corpus program %q no longer matches the recorded fingerprint %#x",
+					name, c.Name, h)
+			}
+			opts.Seed = tr.Header.Seed
+			opts.EventCap = tr.Header.EventCap
+			return trace.Job{Name: name, Module: mod, Trace: tr, Opts: opts}, nil
+		}
+		return trace.Job{}, fmt.Errorf("trace %s was recorded from unknown app %q", name, tr.Header.App)
+	}
+	// The header records the iteration count the module was built with;
+	// older traces without it fall back to a fingerprint search over
+	// iteration scales (the only module-shaping knob the recorder exposes).
+	if tr.Header.AppIters > 0 {
+		spec.Iters = tr.Header.AppIters
+	}
+	mod, err := buildMatching(spec, tr.Header.ModuleHash)
+	if err != nil {
+		return trace.Job{}, fmt.Errorf("trace %s: %v", name, err)
+	}
+	opts.Seed = tr.Header.Seed
+	opts.EventCap = tr.Header.EventCap
+	return trace.Job{
+		Name: name, Module: mod, Trace: tr, Opts: opts,
+		Setup: func(rt *core.Runtime) error { spec.SetupOS(rt.OS()); return nil },
+	}, nil
+}
+
+// buildMatching finds the iteration count whose module matches hash: the
+// spec's iteration knob is the only module-shaping parameter the recording
+// paths expose.
+func buildMatching(spec workloads.Spec, hash uint64) (*tir.Module, error) {
+	mod, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	if hash == 0 || tir.Fingerprint(mod) == hash {
+		return mod, nil
+	}
+	base := spec
+	for iters := 3; iters <= base.Iters*4+16; iters++ {
+		s := base
+		s.Iters = iters
+		m, err := s.Build()
+		if err != nil {
+			return nil, err
+		}
+		if tir.Fingerprint(m) == hash {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("no iteration scale of %q matches the recorded module fingerprint %#x (recorded with different parameters?)", spec.Name, hash)
+}
+
+// RecordRequest parameterizes one recording into a store — the service's
+// record job body and ir-trace record's flag set.
+type RecordRequest struct {
+	// App names the workload: an evaluated application, an ablation
+	// variant, or an analysis-corpus program.
+	App string `json:"app"`
+	// Name is the trace name; empty means App.
+	Name string `json:"name,omitempty"`
+	// Scale multiplies the workload's iteration count (0 = 1.0); corpus
+	// programs are fixed-size and ignore it.
+	Scale float64 `json:"scale,omitempty"`
+	// Seed drives external nondeterminism (0 keeps 0 — the CLI default of
+	// 42 is applied by the flag, not here).
+	Seed int64 `json:"seed,omitempty"`
+	// EventCap overrides the per-thread event list size (0 = default).
+	EventCap int `json:"event_cap,omitempty"`
+	// CheckpointEvery persists a checkpoint frame every N epochs (0 =
+	// none); checkpointed traces replay segment-parallel.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+}
+
+// RecordResult is a completed recording's summary.
+type RecordResult struct {
+	Trace       string `json:"trace"`
+	Path        string `json:"path"`
+	Epochs      int    `json:"epochs"`
+	Checkpoints int    `json:"checkpoints"`
+	Events      int64  `json:"events"`
+	Bytes       int64  `json:"bytes"`
+	Exit        uint64 `json:"exit"`
+	// Fault carries a recorded crash — the trace is still valid (a recorded
+	// fault is the prime replay candidate), so it is not an error.
+	Fault  string `json:"fault,omitempty"`
+	WallNS int64  `json:"wall_ns"`
+}
+
+// RecordTrace runs the named workload under the recorder, streaming epoch
+// (and optional checkpoint) frames straight into the store. interrupt, when
+// non-nil, is polled at gated points and cancels the recording (the trace
+// is left incomplete and the cause is returned). Recording truncates any
+// existing trace of the same name immediately (store Create semantics), so
+// a canceled or failed re-recording replaces a previously complete trace
+// with an incomplete one; callers wanting keep-until-complete should record
+// under a fresh name. Concurrent recordings of one name are the caller's
+// responsibility to exclude — the daemon serializes them per name.
+func RecordTrace(st *trace.Store, req RecordRequest, interrupt func() error) (*RecordResult, error) {
+	if req.App == "" {
+		return nil, fmt.Errorf("record: app is required")
+	}
+	var (
+		mod      *tir.Module
+		setupOS  func(rt *core.Runtime)
+		appIters int
+	)
+	if spec, ok := workloads.ByName(req.App); ok {
+		if req.Scale != 0 && req.Scale != 1.0 {
+			spec.Iters = int(float64(spec.Iters) * req.Scale)
+			if spec.Iters < 3 {
+				spec.Iters = 3
+			}
+		}
+		m, err := spec.Build()
+		if err != nil {
+			return nil, err
+		}
+		mod, appIters = m, spec.Iters
+		setupOS = func(rt *core.Runtime) { spec.SetupOS(rt.OS()) }
+	} else if c, ok := workloads.AnalysisByName(req.App); ok {
+		// Ground-truth corpus programs take no OS setup and no scaling.
+		mod = c.Build()
+	} else {
+		return nil, fmt.Errorf("record: unknown app %q", req.App)
+	}
+	name := req.Name
+	if name == "" {
+		name = req.App
+	}
+
+	// Stream epoch frames straight to the file as the runtime flushes them.
+	f, err := st.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f, trace.Header{
+		App:        req.App,
+		ModuleHash: tir.Fingerprint(mod),
+		EventCap:   req.EventCap,
+		VarCap:     0,
+		Seed:       req.Seed,
+		AppIters:   appIters,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var events int64
+	opts := core.Options{Seed: req.Seed, EventCap: req.EventCap, Interrupt: interrupt}
+	sink := w.Sink()
+	opts.TraceSink = func(ep *record.EpochLog) error {
+		events += int64(ep.EventCount())
+		return sink(ep)
+	}
+	if req.CheckpointEvery > 0 {
+		opts.CheckpointEvery = req.CheckpointEvery
+		opts.CheckpointSink = w.CheckpointSink()
+	}
+	rt, err := core.New(mod, opts)
+	if err != nil {
+		return nil, err
+	}
+	if setupOS != nil {
+		setupOS(rt)
+	}
+	start := time.Now()
+	rep, runErr := rt.Run()
+	if rep == nil {
+		return nil, runErr
+	}
+	if isInterrupt(runErr) {
+		// A canceled recording leaves an incomplete trace (no summary
+		// frame); the store lists it as such.
+		return nil, runErr
+	}
+	if err := w.Finish(&trace.Summary{Exit: rep.Exit, Output: rep.Output}); err != nil {
+		return nil, err
+	}
+	res := &RecordResult{
+		Trace:       name,
+		Path:        st.Path(name),
+		Epochs:      w.Epochs(),
+		Checkpoints: w.Ckpts(),
+		Events:      events,
+		Exit:        rep.Exit,
+		WallNS:      time.Since(start).Nanoseconds(),
+	}
+	if fi, err := f.Stat(); err == nil {
+		res.Bytes = fi.Size()
+	}
+	if runErr != nil {
+		res.Fault = runErr.Error()
+	}
+	return res, nil
+}

@@ -1,0 +1,620 @@
+// Package server is the trace service: a local HTTP/JSON API over one
+// trace store, multiplexing every client's record, replay, segment-replay,
+// and analyze work through the shared priority scheduler (internal/sched).
+// It is the layer that turns the record-once/replay-many toolbox into a
+// multi-client system — one machine's recording and analysis capacity,
+// shared, with backpressure instead of overload.
+//
+// Surface (all JSON; cmd/ir-served serves it):
+//
+//	GET    /api/v1/traces            store inventory (scanned, not decoded)
+//	GET    /api/v1/traces/{name}     one trace's header and frame statistics
+//	POST   /api/v1/jobs              submit a job; 202 Accepted, 429 when the
+//	                                 queue is full, 503 while draining
+//	GET    /api/v1/jobs              every retained job, by ID
+//	GET    /api/v1/jobs/{id}         one job's snapshot (result once done)
+//	GET    /api/v1/jobs/{id}/stream  NDJSON stream of state transitions
+//	DELETE /api/v1/jobs/{id}         cancel (queued: immediate; running: the
+//	                                 job's context is canceled and the replay
+//	                                 layers unwind at their next gated point)
+//	GET    /metrics                  Prometheus text: scheduler + store gauges
+//	GET    /healthz                  liveness
+//
+// Job state machine and backpressure rules are documented in DESIGN.md
+// ("The trace service") and docs/ARCHITECTURE.md.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Store is the trace directory served; required.
+	Store *trace.Store
+	// Workers bounds concurrently executing jobs (<= 0: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds waiting jobs; submissions past it get 429
+	// (<= 0: sched.DefaultQueueDepth).
+	QueueDepth int
+}
+
+// Server owns the scheduler and the HTTP handler. It implements
+// http.Handler; plug it into any http.Server (cmd/ir-served does).
+type Server struct {
+	store *trace.Store
+	sched *sched.Scheduler
+	mux   *http.ServeMux
+	start time.Time
+
+	// eventsReplayed counts recorded events re-executed by completed
+	// replay/segment/analyze jobs, plus events recorded by record jobs —
+	// the daemon's throughput numerator.
+	eventsReplayed atomic.Int64
+
+	// recording reserves trace names with an in-flight record job: two
+	// concurrent recordings of one name would truncate and interleave
+	// writes into the same store file. The reservation is taken when the
+	// job starts executing and checked at submission for an early 409.
+	recMu     sync.Mutex
+	recording map[string]struct{}
+}
+
+func (s *Server) tryReserveRecord(name string) bool {
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	if _, busy := s.recording[name]; busy {
+		return false
+	}
+	s.recording[name] = struct{}{}
+	return true
+}
+
+func (s *Server) releaseRecord(name string) {
+	s.recMu.Lock()
+	delete(s.recording, name)
+	s.recMu.Unlock()
+}
+
+func (s *Server) recordHeld(name string) bool {
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	_, busy := s.recording[name]
+	return busy
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("server: Config.Store is required")
+	}
+	s := &Server{
+		store:     cfg.Store,
+		sched:     sched.New(sched.Options{Workers: cfg.Workers, QueueDepth: cfg.QueueDepth}),
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		recording: make(map[string]struct{}),
+	}
+	s.mux.HandleFunc("GET /api/v1/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /api/v1/traces/{name}", s.handleTrace)
+	s.mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /api/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/stream", s.handleJobStream)
+	s.mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s, nil
+}
+
+// ServeHTTP dispatches to the API routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Scheduler exposes the job scheduler (tests, the daemon's drain path).
+func (s *Server) Scheduler() *sched.Scheduler { return s.sched }
+
+// Drain stops accepting jobs, lets accepted work finish (canceling it if
+// ctx expires first), and returns when every worker goroutine exited.
+func (s *Server) Drain(ctx context.Context) error { return s.sched.Drain(ctx) }
+
+// --- traces ---
+
+// traceEntry is the JSON shape of one store entry.
+type traceEntry struct {
+	Name        string `json:"name"`
+	Path        string `json:"path"`
+	App         string `json:"app,omitempty"`
+	Module      string `json:"module,omitempty"`
+	Epochs      int    `json:"epochs"`
+	Events      int64  `json:"events"`
+	Checkpoints int    `json:"checkpoints"`
+	Bytes       int64  `json:"bytes"`
+	Complete    bool   `json:"complete"`
+	Error       string `json:"error,omitempty"`
+}
+
+func toTraceEntry(e trace.Entry) traceEntry {
+	out := traceEntry{
+		Name:        e.Name,
+		Path:        e.Path,
+		App:         e.Header.App,
+		Epochs:      e.Epochs,
+		Events:      e.Events,
+		Checkpoints: e.Checkpoints,
+		Bytes:       e.Size,
+		Complete:    e.Complete,
+	}
+	if e.Header.ModuleHash != 0 {
+		out.Module = fmt.Sprintf("%016x", e.Header.ModuleHash)
+	}
+	if e.Err != nil {
+		out.Error = e.Err.Error()
+	}
+	return out
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	entries, err := s.store.List()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := make([]traceEntry, len(entries))
+	for i, e := range entries {
+		out[i] = toTraceEntry(e)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": out})
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	entry, err := s.store.Entry(r.PathValue("name"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toTraceEntry(entry))
+}
+
+// --- jobs ---
+
+// JobRequest is the POST /api/v1/jobs body. Kind selects the work; the
+// remaining fields parameterize it (unused ones are ignored).
+type JobRequest struct {
+	// Kind: "record", "replay", "segment-replay", or "analyze".
+	Kind string `json:"kind"`
+	// Priority: "low", "normal" (default), or "high".
+	Priority string `json:"priority,omitempty"`
+
+	// Trace names the stored recording (replay / segment-replay / analyze).
+	Trace string `json:"trace,omitempty"`
+	// Analyzers is the analyze job's comma-separated analyzer list
+	// (default "race,leak").
+	Analyzers string `json:"analyzers,omitempty"`
+	// MaxReplays bounds the divergence search (0 = default).
+	MaxReplays int `json:"max_replays,omitempty"`
+	// NoDelay disables randomized delays on divergence retries.
+	NoDelay bool `json:"no_delay,omitempty"`
+	// Workers bounds a segment-replay job's internal fan-out (0 =
+	// GOMAXPROCS). Other kinds occupy exactly one scheduler slot.
+	Workers int `json:"workers,omitempty"`
+
+	// Record-job parameters.
+	Record RecordRequest `json:"record"`
+}
+
+// ReplayResult is a replay or analyze job's result payload.
+type ReplayResult struct {
+	Trace    string `json:"trace"`
+	Matched  bool   `json:"matched"`
+	Attempts int    `json:"attempts"`
+	Events   int64  `json:"events"`
+	// Fault is a reproduced recorded fault (a success, not an error).
+	Fault  string `json:"fault,omitempty"`
+	WallNS int64  `json:"wall_ns"`
+}
+
+// AnalyzeJobResult extends ReplayResult with the findings.
+type AnalyzeJobResult struct {
+	ReplayResult
+	Findings []analysis.Finding `json:"findings"`
+}
+
+// SegmentReplayResult is a segment-replay job's result payload.
+type SegmentReplayResult struct {
+	Trace    string `json:"trace"`
+	Segments int    `json:"segments"`
+	Matched  int    `json:"matched"`
+	Events   int64  `json:"events"`
+	WallNS   int64  `json:"wall_ns"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad job request: %w", err))
+		return
+	}
+	prio, err := sched.ParsePriority(req.Priority)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.buildJob(&req)
+	if err != nil {
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, errNoSuchTrace):
+			status = http.StatusNotFound
+		case errors.Is(err, errConflict):
+			status = http.StatusConflict
+		}
+		httpError(w, status, err)
+		return
+	}
+	job.Priority = prio
+	info, err := s.sched.Submit(*job)
+	switch {
+	case errors.Is(err, sched.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, sched.ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, info)
+}
+
+var (
+	errNoSuchTrace = errors.New("no such trace")
+	errConflict    = errors.New("conflict")
+)
+
+// buildJob validates a request eagerly — a bad trace name or analyzer list
+// fails the submission, not the job — and returns the scheduler job whose
+// closure runs it. Every closure threads its context into the replay
+// runtime through core.Options.Interrupt, so DELETE cancels mid-execution.
+func (s *Server) buildJob(req *JobRequest) (*sched.Job, error) {
+	switch req.Kind {
+	case "record":
+		rr := req.Record
+		if rr.App == "" {
+			return nil, errors.New("record job: record.app is required")
+		}
+		if !workloads.Known(rr.App) {
+			return nil, fmt.Errorf("record job: unknown app %q", rr.App)
+		}
+		name := rr.Name
+		if name == "" {
+			name = rr.App
+		}
+		// Early 409 for a name already being recorded; the authoritative
+		// reservation is taken when the job actually starts, so two
+		// same-name jobs racing through this check serialize at run time
+		// (the loser fails with a conflict) instead of interleaving writes
+		// into one store file.
+		if s.recordHeld(name) {
+			return nil, fmt.Errorf("%w: trace %q is already being recorded", errConflict, name)
+		}
+		return &sched.Job{
+			Name: "record/" + name,
+			Run: func(ctx context.Context) (any, error) {
+				if !s.tryReserveRecord(name) {
+					return nil, fmt.Errorf("%w: trace %q is already being recorded", errConflict, name)
+				}
+				defer s.releaseRecord(name)
+				res, err := RecordTrace(s.store, rr, ctx.Err)
+				if err != nil {
+					return nil, err
+				}
+				s.eventsReplayed.Add(res.Events)
+				return res, nil
+			},
+		}, nil
+
+	case "replay", "analyze":
+		if req.Trace == "" {
+			return nil, fmt.Errorf("%s job: trace is required", req.Kind)
+		}
+		var factory func() []analysis.Analyzer
+		if req.Kind == "analyze" {
+			spec := req.Analyzers
+			if spec == "" {
+				spec = "race,leak"
+			}
+			if _, err := analysis.FromSpec(spec); err != nil {
+				return nil, err
+			}
+			factory = func() []analysis.Analyzer {
+				az, _ := analysis.FromSpec(spec) // validated above
+				return az
+			}
+		}
+		if err := s.validateTrace(req.Trace); err != nil {
+			return nil, err
+		}
+		name := req.Kind + "/" + req.Trace
+		opts := core.Options{MaxReplays: req.MaxReplays, DelayOnDivergence: !req.NoDelay}
+		return &sched.Job{
+			Name: name,
+			Run: func(ctx context.Context) (any, error) {
+				// Module and trace are resolved here, not at submission: a
+				// queued job must not pin a decoded trace and a rebuilt
+				// module for its whole time in the queue.
+				job, err := ResolveJob(s.store, req.Trace, opts)
+				if err != nil {
+					return nil, err
+				}
+				job.Opts.Interrupt = ctx.Err
+				if factory == nil {
+					return s.runReplay(&job)
+				}
+				return s.runAnalyze(&job, factory)
+			},
+		}, nil
+
+	case "segment-replay":
+		if req.Trace == "" {
+			return nil, errors.New("segment-replay job: trace is required")
+		}
+		if err := s.validateTrace(req.Trace); err != nil {
+			return nil, err
+		}
+		workers := req.Workers
+		opts := core.Options{MaxReplays: req.MaxReplays, DelayOnDivergence: !req.NoDelay}
+		return &sched.Job{
+			Name: "segment-replay/" + req.Trace,
+			Run: func(ctx context.Context) (any, error) {
+				job, err := ResolveJob(s.store, req.Trace, opts)
+				if err != nil {
+					return nil, err
+				}
+				job.Opts.Interrupt = ctx.Err
+				start := time.Now()
+				results, stats, err := trace.ReplaySegments(job, workers)
+				if err != nil {
+					return nil, err
+				}
+				s.eventsReplayed.Add(stats.Events)
+				return &SegmentReplayResult{
+					Trace:    job.Name,
+					Segments: len(results),
+					Matched:  stats.Matched,
+					Events:   stats.Events,
+					WallNS:   time.Since(start).Nanoseconds(),
+				}, nil
+			},
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown job kind %q (record, replay, segment-replay, analyze)", req.Kind)
+}
+
+// validateTrace is the cheap submission-time check for trace-consuming
+// jobs: the trace must exist, scan clean, be complete, and name a program
+// the resolver can rebuild. The expensive half — decoding and module
+// reconstruction — happens on the worker, so queued jobs pin nothing; a
+// rare late failure there (e.g. a fingerprint mismatch) fails the job
+// rather than the submission.
+func (s *Server) validateTrace(name string) error {
+	entry, err := s.store.Entry(name)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errNoSuchTrace, err)
+	}
+	if entry.Err != nil {
+		return fmt.Errorf("trace %q is unreadable: %v", name, entry.Err)
+	}
+	if !entry.Complete {
+		return fmt.Errorf("trace %q is incomplete (no summary frame)", name)
+	}
+	if !workloads.Known(entry.Header.App) {
+		return fmt.Errorf("trace %q was recorded from unknown app %q", name, entry.Header.App)
+	}
+	return nil
+}
+
+// runReplay executes one replay job on the calling worker.
+func (s *Server) runReplay(job *trace.Job) (any, error) {
+	results, stats := trace.ReplayBatch([]trace.Job{*job}, 1)
+	r := results[0]
+	if !r.Matched {
+		return nil, r.Err
+	}
+	s.eventsReplayed.Add(stats.Events)
+	res := &ReplayResult{
+		Trace:   job.Name,
+		Matched: true,
+		Events:  stats.Events,
+		WallNS:  r.Wall.Nanoseconds(),
+	}
+	if r.Report != nil {
+		res.Attempts = r.Report.Stats.LastReplayAttempts
+	}
+	if r.Err != nil {
+		res.Fault = r.Err.Error()
+	}
+	return res, nil
+}
+
+// runAnalyze executes one analyze job on the calling worker.
+func (s *Server) runAnalyze(job *trace.Job, factory func() []analysis.Analyzer) (any, error) {
+	results, stats := trace.AnalyzeBatch([]trace.AnalyzeJob{{
+		Job:          *job,
+		NewAnalyzers: factory,
+	}}, 1)
+	r := results[0]
+	if !r.Matched {
+		return nil, r.Err
+	}
+	s.eventsReplayed.Add(stats.Events)
+	res := &AnalyzeJobResult{
+		ReplayResult: ReplayResult{
+			Trace:   job.Name,
+			Matched: true,
+			Events:  stats.Events,
+			WallNS:  r.Wall.Nanoseconds(),
+		},
+		Findings: r.Findings,
+	}
+	if res.Findings == nil {
+		res.Findings = []analysis.Finding{}
+	}
+	if r.Report != nil {
+		res.Attempts = r.Report.Stats.LastReplayAttempts
+	}
+	if r.Err != nil {
+		res.Fault = r.Err.Error()
+	}
+	return res, nil
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.sched.Jobs()})
+}
+
+func (s *Server) jobID(w http.ResponseWriter, r *http.Request) (uint64, bool) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad job id %q", r.PathValue("id")))
+		return 0, false
+	}
+	return id, true
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.jobID(w, r)
+	if !ok {
+		return
+	}
+	info, err := s.sched.Info(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleJobStream streams a job's state transitions as NDJSON until the
+// terminal snapshot (which carries the result and findings), then closes.
+func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.jobID(w, r)
+	if !ok {
+		return
+	}
+	ch, err := s.sched.Watch(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case info, open := <-ch:
+			if !open {
+				return
+			}
+			if err := enc.Encode(info); err != nil {
+				return // client went away
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.jobID(w, r)
+	if !ok {
+		return
+	}
+	info, err := s.sched.Cancel(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"uptime": time.Since(s.start).String(),
+	})
+}
+
+// handleMetrics renders scheduler and store gauges in the Prometheus text
+// exposition format — queue depth, jobs by state, replay throughput, and
+// decode-cache effectiveness.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.sched.Metrics()
+	st := s.store.Stats()
+	uptime := time.Since(s.start).Seconds()
+	events := s.eventsReplayed.Load()
+	eps := 0.0
+	if uptime > 0 {
+		eps = float64(events) / uptime
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP ir_served_queue_depth Jobs waiting for a worker.\n")
+	fmt.Fprintf(w, "# TYPE ir_served_queue_depth gauge\n")
+	fmt.Fprintf(w, "ir_served_queue_depth %d\n", m.QueueDepth)
+	fmt.Fprintf(w, "ir_served_queue_limit %d\n", m.QueueLimit)
+	fmt.Fprintf(w, "ir_served_workers %d\n", m.Workers)
+	fmt.Fprintf(w, "ir_served_jobs_running %d\n", m.Running)
+	fmt.Fprintf(w, "# TYPE ir_served_jobs_total counter\n")
+	fmt.Fprintf(w, "ir_served_jobs_total{state=\"done\"} %d\n", m.Done)
+	fmt.Fprintf(w, "ir_served_jobs_total{state=\"failed\"} %d\n", m.Failed)
+	fmt.Fprintf(w, "ir_served_jobs_total{state=\"canceled\"} %d\n", m.Canceled)
+	fmt.Fprintf(w, "ir_served_jobs_submitted_total %d\n", m.Submitted)
+	fmt.Fprintf(w, "ir_served_jobs_rejected_total %d\n", m.Rejected)
+	fmt.Fprintf(w, "# HELP ir_served_events_replayed_total Recorded events re-executed (or recorded) by completed jobs.\n")
+	fmt.Fprintf(w, "# TYPE ir_served_events_replayed_total counter\n")
+	fmt.Fprintf(w, "ir_served_events_replayed_total %d\n", events)
+	fmt.Fprintf(w, "ir_served_events_per_sec %g\n", eps)
+	fmt.Fprintf(w, "ir_served_store_cache_hits_total %d\n", st.Hits)
+	fmt.Fprintf(w, "ir_served_store_cache_misses_total %d\n", st.Misses)
+	fmt.Fprintf(w, "ir_served_store_cache_evictions_total %d\n", st.Evictions)
+	fmt.Fprintf(w, "ir_served_store_cache_bytes %d\n", st.CachedBytes)
+	fmt.Fprintf(w, "ir_served_store_cache_limit_bytes %d\n", st.LimitBytes)
+	fmt.Fprintf(w, "# HELP ir_served_store_cache_hit_rate Decode-cache hits / loads since start.\n")
+	fmt.Fprintf(w, "ir_served_store_cache_hit_rate %g\n", st.HitRate())
+	fmt.Fprintf(w, "ir_served_uptime_seconds %g\n", uptime)
+}
+
+// --- plumbing ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]any{"error": err.Error()})
+}

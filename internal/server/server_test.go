@@ -1,0 +1,506 @@
+// End-to-end exercise of the trace service: concurrent clients over a
+// seeded store, findings identical to the single-client run byte for byte,
+// priority fairness and 429 backpressure under a full queue, cancellation
+// mid-job, and a graceful drain that leaves no goroutines behind (the CI
+// race job runs this file under -race).
+//
+// The corpus programs used here are the host-race-safe ones (leak corpus
+// and race-free controls): deliberately racy programs are genuine Go-level
+// races by design and are exercised without -race elsewhere.
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+// seedStore records the host-race-safe corpus programs into a fresh store.
+func seedStore(t *testing.T, names ...string) *trace.Store {
+	t.Helper()
+	st, err := trace.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if _, err := server.RecordTrace(st, server.RecordRequest{App: name}, nil); err != nil {
+			t.Fatalf("recording %s: %v", name, err)
+		}
+	}
+	return st
+}
+
+// referenceFindings runs the single-client analysis the server results must
+// match byte for byte.
+func referenceFindings(t *testing.T, st *trace.Store, name string) []byte {
+	t.Helper()
+	job, err := server.ResolveJob(st, name, core.Options{DelayOnDivergence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, _ := trace.AnalyzeBatch([]trace.AnalyzeJob{{
+		Job: job,
+		NewAnalyzers: func() []analysis.Analyzer {
+			az, _ := analysis.FromSpec("race,leak")
+			return az
+		},
+	}}, 1)
+	if !results[0].Matched {
+		t.Fatalf("reference analysis of %s failed: %v", name, results[0].Err)
+	}
+	findings := results[0].Findings
+	if findings == nil {
+		findings = []analysis.Finding{}
+	}
+	b, err := json.Marshal(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// client is a minimal typed HTTP client for the API.
+type client struct {
+	t    *testing.T
+	base string
+	http *http.Client
+}
+
+func (c *client) submit(t *testing.T, body string) sched.Info {
+	t.Helper()
+	info, status := c.trySubmit(t, body)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit %s: status %d", body, status)
+	}
+	return info
+}
+
+func (c *client) trySubmit(t *testing.T, body string) (sched.Info, int) {
+	t.Helper()
+	resp, err := c.http.Post(c.base+"/api/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info sched.Info
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return info, resp.StatusCode
+}
+
+// wait streams the job until its terminal snapshot and returns it.
+func (c *client) wait(t *testing.T, id uint64) sched.Info {
+	t.Helper()
+	resp, err := c.http.Get(fmt.Sprintf("%s/api/v1/jobs/%d/stream", c.base, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	var last sched.Info
+	for {
+		var info sched.Info
+		if err := dec.Decode(&info); err != nil {
+			break // stream closed after the terminal snapshot
+		}
+		last = info
+	}
+	if !last.State.Terminal() {
+		t.Fatalf("job %d stream ended in non-terminal state %v", id, last.State)
+	}
+	return last
+}
+
+func (c *client) info(t *testing.T, id uint64) sched.Info {
+	t.Helper()
+	resp, err := c.http.Get(fmt.Sprintf("%s/api/v1/jobs/%d", c.base, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info sched.Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func (c *client) cancel(t *testing.T, id uint64) sched.Info {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/api/v1/jobs/%d", c.base, id), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel job %d: status %d", id, resp.StatusCode)
+	}
+	var info sched.Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+// resultFindings re-marshals the findings array embedded in a terminal
+// analyze job's result, for byte comparison against the reference.
+func resultFindings(t *testing.T, info sched.Info) []byte {
+	t.Helper()
+	raw, err := json.Marshal(info.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Matched  bool               `json:"matched"`
+		Findings []analysis.Finding `json:"findings"`
+	}
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Matched {
+		t.Fatalf("analyze job %d did not match: %+v", info.ID, info)
+	}
+	if res.Findings == nil {
+		res.Findings = []analysis.Finding{}
+	}
+	b, err := json.Marshal(res.Findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// waitState polls a job until it reaches want (failing if it lands in a
+// terminal state other than want first).
+func waitState(t *testing.T, c *client, id uint64, want sched.State) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		info := c.info(t, id)
+		if info.State == want {
+			return
+		}
+		if info.State.Terminal() {
+			t.Fatalf("job %d reached %v (%s) while waiting for %v", id, info.State, info.Err, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %d never reached %v", id, want)
+}
+
+// TestServerConcurrentClients drives N analyze + M replay jobs from
+// concurrent clients and requires every analyze job's findings to equal the
+// single-client run byte for byte.
+func TestServerConcurrentClients(t *testing.T) {
+	corpus := []string{"leak-dropped", "leak-overwrite", "norace-locked"}
+	st := seedStore(t, corpus...)
+	ref := make(map[string][]byte)
+	for _, name := range corpus {
+		ref[name] = referenceFindings(t, st, name)
+	}
+
+	srv, err := server.New(server.Config{Store: st, Workers: 4, QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Scheduler().Shutdown()
+
+	const analyzePerTrace = 3 // 9 analyze jobs
+	const replayJobs = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, analyzePerTrace*len(corpus)+replayJobs)
+
+	for i := 0; i < analyzePerTrace; i++ {
+		for _, name := range corpus {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				c := &client{base: ts.URL, http: ts.Client()}
+				info := c.submit(t, fmt.Sprintf(`{"kind":"analyze","trace":%q}`, name))
+				final := c.wait(t, info.ID)
+				if final.State != sched.Done {
+					errCh <- fmt.Errorf("analyze %s job %d: %v (%s)", name, info.ID, final.State, final.Err)
+					return
+				}
+				if got := resultFindings(t, final); !bytes.Equal(got, ref[name]) {
+					errCh <- fmt.Errorf("analyze %s findings differ from the single-client run:\nserver: %s\nsingle: %s",
+						name, got, ref[name])
+				}
+			}(name)
+		}
+	}
+	for i := 0; i < replayJobs; i++ {
+		name := corpus[i%len(corpus)]
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			c := &client{base: ts.URL, http: ts.Client()}
+			info := c.submit(t, fmt.Sprintf(`{"kind":"replay","trace":%q}`, name))
+			final := c.wait(t, info.ID)
+			if final.State != sched.Done {
+				errCh <- fmt.Errorf("replay %s job %d: %v (%s)", name, info.ID, final.State, final.Err)
+			}
+		}(name)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// The store served every job from at most one decode per trace.
+	stats := st.Stats()
+	if stats.Misses > uint64(2*len(corpus)) || stats.Hits == 0 {
+		t.Errorf("decode cache ineffective under fan-out: %+v", stats)
+	}
+}
+
+// TestServerFairnessBackpressureCancel pins scheduler behavior through the
+// HTTP surface with a single worker: a long job occupies it, equal-priority
+// jobs start in submission order, a high-priority job jumps them, the
+// queue-depth bound turns into 429, and DELETE cancels both queued and
+// running jobs (the running replay unwinds mid-execution).
+func TestServerFairnessBackpressureCancel(t *testing.T) {
+	st := seedStore(t, "norace-locked")
+	// relay-service: think-time dominated, so its replay runs long enough
+	// to observe and cancel mid-job deterministically.
+	if _, err := server.RecordTrace(st, server.RecordRequest{App: "relay-service", Scale: 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := server.New(server.Config{Store: st, Workers: 1, QueueDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Scheduler().Shutdown()
+	c := &client{base: ts.URL, http: ts.Client()}
+
+	// Occupy the only worker with the slow replay.
+	slow := c.submit(t, `{"kind":"replay","trace":"relay-service"}`)
+	waitState(t, c, slow.ID, sched.Running)
+
+	// Fill the queue: two normal jobs, then a high-priority one.
+	n1 := c.submit(t, `{"kind":"analyze","trace":"norace-locked"}`)
+	n2 := c.submit(t, `{"kind":"analyze","trace":"norace-locked"}`)
+	hi := c.submit(t, `{"kind":"analyze","trace":"norace-locked","priority":"high"}`)
+
+	// The queue (depth 3) is full: the next submission is refused with 429.
+	if _, status := c.trySubmit(t, `{"kind":"analyze","trace":"norace-locked"}`); status != http.StatusTooManyRequests {
+		t.Fatalf("over-depth submit: status %d, want 429", status)
+	}
+
+	// Cancel the running job mid-replay: it must terminate canceled, well
+	// before its think time elapses.
+	canceled := c.cancel(t, slow.ID)
+	if canceled.State != sched.Running && !canceled.State.Terminal() {
+		t.Fatalf("cancel of running job returned state %v", canceled.State)
+	}
+	final := c.wait(t, slow.ID)
+	if final.State != sched.Canceled {
+		t.Fatalf("running job after cancel: %v (%s), want canceled", final.State, final.Err)
+	}
+
+	// Queue order: high before the earlier normals, normals in FIFO order.
+	fn1, fn2, fhi := c.wait(t, n1.ID), c.wait(t, n2.ID), c.wait(t, hi.ID)
+	for _, f := range []sched.Info{fn1, fn2, fhi} {
+		if f.State != sched.Done {
+			t.Fatalf("job %d: %v (%s)", f.ID, f.State, f.Err)
+		}
+	}
+	if !fhi.Started.Before(fn1.Started) || !fhi.Started.Before(fn2.Started) {
+		t.Errorf("high-priority job did not jump the queue: hi=%v n1=%v n2=%v",
+			fhi.Started, fn1.Started, fn2.Started)
+	}
+	if !fn1.Started.Before(fn2.Started) {
+		t.Errorf("equal-priority jobs out of submission order: n1=%v n2=%v", fn1.Started, fn2.Started)
+	}
+
+	// Cancel a queued job outright.
+	q := c.submit(t, `{"kind":"analyze","trace":"norace-locked","priority":"low"}`)
+	// It may already be running (the queue is empty now); both cancels are
+	// legal, but the terminal state must be canceled either way.
+	c.cancel(t, q.ID)
+	if final := c.wait(t, q.ID); final.State != sched.Canceled && final.State != sched.Done {
+		t.Fatalf("canceled queued job: %v", final.State)
+	}
+}
+
+// TestServerRecordConflictAndValidation: concurrent recordings of one
+// trace name are refused with 409 (never interleaved into one file), and
+// an unknown app is rejected at submission, not at run time.
+func TestServerRecordConflictAndValidation(t *testing.T) {
+	st, err := trace.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Store: st, Workers: 2, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Scheduler().Shutdown()
+	c := &client{base: ts.URL, http: ts.Client()}
+
+	if _, status := c.trySubmit(t, `{"kind":"record","record":{"app":"no-such-app"}}`); status != http.StatusBadRequest {
+		t.Fatalf("unknown record app: status %d, want 400", status)
+	}
+
+	// relay-service records slowly (think time), so the name reservation is
+	// observably held while the first job runs.
+	body := `{"kind":"record","record":{"app":"relay-service","scale":2}}`
+	first := c.submit(t, body)
+	waitState(t, c, first.ID, sched.Running)
+	// The name reservation lands as the job's first statement; the
+	// recording itself runs ~1s of think time, so after a short grace the
+	// hold is observable without racing a real duplicate submission.
+	time.Sleep(200 * time.Millisecond)
+	if _, status := c.trySubmit(t, body); status != http.StatusConflict {
+		t.Fatalf("second same-name record submission: status %d, want 409", status)
+	}
+	if final := c.wait(t, first.ID); final.State != sched.Done {
+		t.Fatalf("first record job: %v (%s)", final.State, final.Err)
+	}
+	// With the first done, the name is free again.
+	second := c.submit(t, body)
+	if final := c.wait(t, second.ID); final.State != sched.Done {
+		t.Fatalf("re-record after release: %v (%s)", final.State, final.Err)
+	}
+	entries, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Err != nil || !entries[0].Complete {
+		t.Fatalf("store after serialized re-record: %+v", entries)
+	}
+}
+
+// TestServerEndpointsAndDrain covers the trace endpoints, bad requests,
+// /metrics, and the drain-leaves-no-goroutines guarantee.
+func TestServerEndpointsAndDrain(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	st := seedStore(t, "leak-dropped")
+	srv, err := server.New(server.Config{Store: st, Workers: 2, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	c := &client{base: ts.URL, http: ts.Client()}
+
+	// Record through the API, then inspect it.
+	rec := c.submit(t, `{"kind":"record","record":{"app":"norace-locked","name":"via-api","seed":7}}`)
+	if final := c.wait(t, rec.ID); final.State != sched.Done {
+		t.Fatalf("record job: %v (%s)", final.State, final.Err)
+	}
+	resp, err := c.http.Get(ts.URL + "/api/v1/traces/via-api")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entry struct {
+		Name     string `json:"name"`
+		App      string `json:"app"`
+		Complete bool   `json:"complete"`
+		Events   int64  `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&entry); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if entry.App != "norace-locked" || !entry.Complete || entry.Events == 0 {
+		t.Fatalf("trace entry after API record: %+v", entry)
+	}
+
+	// Error surfaces: unknown trace (404 at submit), unknown kind (400),
+	// unknown job (404).
+	if _, status := c.trySubmit(t, `{"kind":"analyze","trace":"nope"}`); status != http.StatusNotFound {
+		t.Fatalf("analyze of missing trace: status %d, want 404", status)
+	}
+	if _, status := c.trySubmit(t, `{"kind":"frobnicate"}`); status != http.StatusBadRequest {
+		t.Fatalf("unknown kind: status %d, want 400", status)
+	}
+	if resp, err := c.http.Get(ts.URL + "/api/v1/jobs/9999"); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown job: status %d, want 404", resp.StatusCode)
+		}
+	}
+
+	// /metrics carries the load-bearing gauges.
+	resp, err = c.http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"ir_served_queue_depth", "ir_served_jobs_total{state=\"done\"} 1",
+		"ir_served_events_replayed_total", "ir_served_store_cache_hit_rate",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// Graceful drain: accepted jobs finish, then no goroutines survive.
+	done := c.submit(t, `{"kind":"analyze","trace":"leak-dropped"}`)
+	if err := srv.Drain(contextWithTimeout(t, 30*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if final := c.info(t, done.ID); final.State != sched.Done {
+		t.Fatalf("job accepted before drain: %v (%s)", final.State, final.Err)
+	}
+	if _, status := c.trySubmit(t, `{"kind":"analyze","trace":"leak-dropped"}`); status != http.StatusServiceUnavailable {
+		t.Fatalf("submit after drain: status %d, want 503", status)
+	}
+	ts.Close()
+	c.http.CloseIdleConnections()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > before {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutines leaked across drain: %d -> %d\n%s",
+			before, now, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+func contextWithTimeout(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}

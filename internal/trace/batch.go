@@ -10,11 +10,10 @@ package trace
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/sched"
 	"repro/internal/tir"
 )
 
@@ -76,32 +75,11 @@ func Fanout(j Job, n int) []Job {
 
 // runPool shards n items across a bounded worker pool, invoking run for
 // each index, and returns the pool's wall-clock time. workers <= 0 selects
-// GOMAXPROCS. ReplayBatch and AnalyzeBatch share it.
+// GOMAXPROCS. ReplayBatch, AnalyzeBatch, and ReplaySegments share it; the
+// pool itself is the scheduler package's (sched.RunPool), so the CLI batch
+// paths and the trace service daemon dispatch through one implementation.
 func runPool(n, workers int, run func(i int)) time.Duration {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	start := time.Now()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				run(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	return time.Since(start)
+	return sched.RunPool(n, workers, run)
 }
 
 // ReplayBatch fans jobs across a worker pool and blocks until every job

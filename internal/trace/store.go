@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"container/list"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -12,20 +13,43 @@ import (
 	"time"
 )
 
-// Store manages a directory of trace files and a decode cache. Traces are
-// addressed by name (one file per trace, "<name>.irt") and indexed by the
-// module fingerprint in their headers, so callers can enumerate every
-// recording of a given program. Loads are cached: a decoded trace is
-// immutable (the offline replayer copies before mutating), so repeated
-// replays of one trace — the batch replayer's fan-out case — decode once.
+// Store manages a directory of trace files and a bounded decode cache.
+// Traces are addressed by name (one file per trace, "<name>.irt") and
+// indexed by the module fingerprint in their headers, so callers can
+// enumerate every recording of a given program. Loads are cached: a decoded
+// trace is immutable (the offline replayer copies before mutating), so
+// repeated replays of one trace — the batch replayer's fan-out case and the
+// daemon's repeated analyze jobs — decode once.
+//
+// The cache is an LRU sized in bytes (DefaultCacheBytes unless
+// SetCacheLimit changes it), with each entry costed at its trace file's
+// on-disk size — a stable, cheap proxy for the decoded footprint. Eviction
+// happens on Load, when inserting a fresh decode pushes the total over the
+// limit; the entry being inserted is never the victim, so the working trace
+// always caches even when it alone exceeds the budget.
 type Store struct {
 	dir string
 
-	mu    sync.Mutex
-	cache map[string]*cachedTrace
+	mu sync.Mutex
+	// cache maps name → element in lru; lru's front is most recent.
+	cache map[string]*list.Element
+	lru   *list.List // of *cachedTrace
+	// limit/used implement the byte budget; hits/misses/evictions feed
+	// Stats (and the daemon's /metrics).
+	limit     int64
+	used      int64
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
+// DefaultCacheBytes is the decode-cache budget OpenStore starts with:
+// generous enough that a CLI batch over a laptop-sized corpus never evicts,
+// small enough that a long-running daemon cannot grow without bound.
+const DefaultCacheBytes = 256 << 20
+
 type cachedTrace struct {
+	name  string
 	tr    *Trace
 	size  int64
 	mtime time.Time
@@ -37,6 +61,32 @@ type cachedTrace struct {
 	// same trace for any content this store writes.
 	headCRC uint32
 	tail    [8]byte
+}
+
+// StoreStats reports the decode cache's state and effectiveness.
+type StoreStats struct {
+	// CachedTraces/CachedBytes describe the current contents (bytes are
+	// the summed on-disk sizes of the cached decodes).
+	CachedTraces int   `json:"cached_traces"`
+	CachedBytes  int64 `json:"cached_bytes"`
+	// LimitBytes is the configured budget (0 = caching disabled).
+	LimitBytes int64 `json:"limit_bytes"`
+	// Hits/Misses/Evictions are cumulative since OpenStore. A Load served
+	// from cache is a hit; a fresh decode is a miss; an entry displaced by
+	// the byte budget is an eviction (invalidations by Save/Create are
+	// not).
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// HitRate returns hits/(hits+misses), 0 before any Load.
+func (s StoreStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
 }
 
 // Entry describes one stored trace.
@@ -67,11 +117,75 @@ func OpenStore(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("trace: opening store: %w", err)
 	}
-	return &Store{dir: dir, cache: make(map[string]*cachedTrace)}, nil
+	return &Store{
+		dir:   dir,
+		cache: make(map[string]*list.Element),
+		lru:   list.New(),
+		limit: DefaultCacheBytes,
+	}, nil
 }
 
 // Dir returns the store directory.
 func (s *Store) Dir() string { return s.dir }
+
+// SetCacheLimit resizes the decode cache's byte budget, evicting
+// least-recently-used entries that no longer fit. A limit <= 0 disables
+// caching (every Load decodes fresh).
+func (s *Store) SetCacheLimit(bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if bytes < 0 {
+		bytes = 0
+	}
+	s.limit = bytes
+	s.evictOverLocked(nil)
+}
+
+// Stats snapshots the decode cache counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		CachedTraces: s.lru.Len(),
+		CachedBytes:  s.used,
+		LimitBytes:   s.limit,
+		Hits:         s.hits,
+		Misses:       s.misses,
+		Evictions:    s.evictions,
+	}
+}
+
+// removeLocked drops a cache entry (invalidation or eviction).
+func (s *Store) removeLocked(el *list.Element) {
+	c := el.Value.(*cachedTrace)
+	s.lru.Remove(el)
+	delete(s.cache, c.name)
+	s.used -= c.size
+}
+
+// evictOverLocked evicts LRU entries until the budget holds, never evicting
+// keep (the entry just inserted).
+func (s *Store) evictOverLocked(keep *list.Element) {
+	for s.used > s.limit && s.lru.Len() > 0 {
+		el := s.lru.Back()
+		if el == keep {
+			if el = el.Prev(); el == nil {
+				return
+			}
+		}
+		s.removeLocked(el)
+		s.evictions++
+	}
+}
+
+// invalidate drops any cached decode of name (Save/Create rewrote it).
+func (s *Store) invalidate(name string) {
+	s.mu.Lock()
+	if el, ok := s.cache[name]; ok {
+		s.removeLocked(el)
+	}
+	s.mu.Unlock()
+}
 
 // Path returns the file path a trace name maps to.
 func (s *Store) Path(name string) string {
@@ -89,9 +203,7 @@ func (s *Store) Create(name string) (*os.File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: creating %s: %w", name, err)
 	}
-	s.mu.Lock()
-	delete(s.cache, name) // any cached decode is stale now
-	s.mu.Unlock()
+	s.invalidate(name) // any cached decode is stale now
 	return f, nil
 }
 
@@ -111,9 +223,7 @@ func (s *Store) Save(name string, tr *Trace) (string, error) {
 	if err := os.WriteFile(path, b, 0o644); err != nil {
 		return "", fmt.Errorf("trace: saving %s: %w", name, err)
 	}
-	s.mu.Lock()
-	delete(s.cache, name)
-	s.mu.Unlock()
+	s.invalidate(name)
 	return path, nil
 }
 
@@ -155,7 +265,9 @@ func contentMark(path string, size int64) (headCRC uint32, tail [8]byte, err err
 // unchanged since the cached decode. Size and mtime alone cannot prove
 // that — a same-size rewrite can land within the filesystem's mtime
 // granularity — so a cache hit also re-checks a cheap content fingerprint
-// (header-frame CRC plus the file's final bytes) before being served.
+// (header-frame CRC plus the file's final bytes) before being served. A
+// fresh decode is inserted at the LRU front and may evict older entries
+// past the byte budget (SetCacheLimit).
 func (s *Store) Load(name string) (*Trace, error) {
 	if err := validateName(name); err != nil {
 		return nil, err
@@ -166,11 +278,23 @@ func (s *Store) Load(name string) (*Trace, error) {
 		return nil, fmt.Errorf("trace: no trace %q in %s: %w", name, s.dir, err)
 	}
 	s.mu.Lock()
-	c, ok := s.cache[name]
+	el, ok := s.cache[name]
+	var c *cachedTrace
+	if ok {
+		c = el.Value.(*cachedTrace)
+	}
 	s.mu.Unlock()
 	if ok && c.size == fi.Size() && c.mtime.Equal(fi.ModTime()) {
 		if head, tail, err := contentMark(path, fi.Size()); err == nil &&
 			head == c.headCRC && tail == c.tail {
+			s.mu.Lock()
+			s.hits++
+			// The entry may have been invalidated or evicted while unlocked;
+			// only touch it if it is still the one we validated.
+			if cur, still := s.cache[name]; still && cur == el {
+				s.lru.MoveToFront(el)
+			}
+			s.mu.Unlock()
 			return c.tr, nil
 		}
 		// Content changed under an unchanged stat (or became unreadable):
@@ -184,12 +308,65 @@ func (s *Store) Load(name string) (*Trace, error) {
 	if err != nil {
 		// Decoded but no longer fingerprintable (concurrent rewrite):
 		// serve the decode, skip caching it.
+		s.mu.Lock()
+		s.misses++
+		s.mu.Unlock()
 		return tr, nil
 	}
 	s.mu.Lock()
-	s.cache[name] = &cachedTrace{tr: tr, size: fi.Size(), mtime: fi.ModTime(), headCRC: head, tail: tail}
+	s.misses++
+	if old, ok := s.cache[name]; ok {
+		s.removeLocked(old)
+	}
+	if s.limit > 0 {
+		nc := &cachedTrace{name: name, tr: tr, size: fi.Size(), mtime: fi.ModTime(), headCRC: head, tail: tail}
+		el := s.lru.PushFront(nc)
+		s.cache[name] = el
+		s.used += nc.size
+		s.evictOverLocked(el)
+	}
 	s.mu.Unlock()
 	return tr, nil
+}
+
+// scanEntry builds the entry for one named trace by scanning its frames;
+// Size is left for the caller (it owns the file metadata). A torn or
+// foreign file degrades to an entry carrying the scan error.
+func (s *Store) scanEntry(name string) Entry {
+	path := s.Path(name)
+	hdr, epochs, events, ckpts, complete, err := scanFile(path)
+	if err != nil {
+		return Entry{Name: name, Path: path, Err: err}
+	}
+	return Entry{
+		Name:        name,
+		Path:        path,
+		Header:      hdr,
+		Epochs:      epochs,
+		Events:      events,
+		Checkpoints: ckpts,
+		Complete:    complete,
+	}
+}
+
+// Entry returns the store entry for one named trace, scanning only that
+// file — the daemon's single-trace inspection path, which must not cost a
+// whole-store pass. A missing trace (or invalid name) is an error; a torn
+// or corrupt file is a degraded entry carrying the scan error, exactly as
+// in List.
+func (s *Store) Entry(name string) (Entry, error) {
+	if err := validateName(name); err != nil {
+		return Entry{}, err
+	}
+	fi, err := os.Stat(s.Path(name))
+	if err != nil {
+		return Entry{}, fmt.Errorf("trace: no trace %q in %s: %w", name, s.dir, err)
+	}
+	e := s.scanEntry(name)
+	if e.Err == nil {
+		e.Size = fi.Size()
+	}
+	return e, nil
 }
 
 // List enumerates every trace in the store, sorted by name. Files are
@@ -207,31 +384,19 @@ func (s *Store) List() ([]Entry, error) {
 			continue
 		}
 		name := strings.TrimSuffix(de.Name(), Ext)
-		hdr, epochs, events, ckpts, complete, err := scanFile(s.Path(name))
-		if err != nil {
-			// A torn or foreign file must not hide the healthy traces; it is
-			// reported as a degraded entry carrying the scan error.
-			out = append(out, Entry{Name: name, Path: s.Path(name), Err: err})
-			continue
+		e := s.scanEntry(name)
+		if e.Err == nil {
+			fi, err := de.Info()
+			if err != nil {
+				// The file scanned but its metadata vanished (e.g. deleted
+				// between ReadDir and Info): degrade this entry like a torn
+				// file instead of aborting the whole listing.
+				e = Entry{Name: name, Path: s.Path(name), Err: err}
+			} else {
+				e.Size = fi.Size()
+			}
 		}
-		fi, err := de.Info()
-		if err != nil {
-			// The file scanned but its metadata vanished (e.g. deleted
-			// between ReadDir and Info): degrade this entry like a torn
-			// file instead of aborting the whole listing.
-			out = append(out, Entry{Name: name, Path: s.Path(name), Err: err})
-			continue
-		}
-		out = append(out, Entry{
-			Name:        name,
-			Path:        s.Path(name),
-			Header:      hdr,
-			Epochs:      epochs,
-			Events:      events,
-			Checkpoints: ckpts,
-			Size:        fi.Size(),
-			Complete:    complete,
-		})
+		out = append(out, e)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out, nil

@@ -1,0 +1,181 @@
+package trace
+
+// Tests for the bounded decode cache: budget enforcement, LRU eviction
+// order, the always-cache-the-working-trace guarantee, and the hit/miss
+// counters the daemon's /metrics endpoint reports.
+
+import (
+	"testing"
+
+	"repro/internal/record"
+)
+
+// cacheTestTrace builds a small but non-trivial encodable trace.
+func cacheTestTrace(seed int64) *Trace {
+	ep := &record.EpochLog{
+		Epoch:  1,
+		Reason: 3, // StopProgramEnd
+		Threads: []record.ThreadLog{{
+			TID: 0, EntryFn: 0,
+			Events: []record.Event{
+				{Kind: record.KMutexLock, Var: 0x1000, Pos: 0},
+				{Kind: record.KMutexLock, Var: 0x1000, Pos: 1},
+				{Kind: record.KExit, Ret: uint64(seed), Pos: -1},
+			},
+		}},
+		Vars: []record.VarLog{{Addr: 0x1000, Order: []int32{0, 0}}},
+	}
+	return &Trace{
+		Header:  Header{App: "cache-test", ModuleHash: uint64(seed) + 1, Seed: seed},
+		Epochs:  []*record.EpochLog{ep},
+		Summary: &Summary{Exit: uint64(seed)},
+	}
+}
+
+func seedCacheStore(t *testing.T, n int) *Store {
+	t.Helper()
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := st.Save(names[i], cacheTestTrace(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+var names = []string{"a", "b", "c", "d"}
+
+func TestStoreCacheHitsAndMisses(t *testing.T) {
+	st := seedCacheStore(t, 2)
+	if _, err := st.Load("a"); err != nil {
+		t.Fatal(err)
+	}
+	tr1, err := st.Load("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := st.Load("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr1 != tr2 {
+		t.Fatal("repeated Load did not serve the cached decode")
+	}
+	stats := st.Stats()
+	if stats.Hits != 2 || stats.Misses != 1 || stats.CachedTraces != 1 {
+		t.Fatalf("stats after 3 loads of one trace: %+v", stats)
+	}
+	if r := stats.HitRate(); r < 0.66 || r > 0.67 {
+		t.Fatalf("hit rate %v, want 2/3", r)
+	}
+
+	// Save invalidates without counting as an eviction.
+	if _, err := st.Save("a", cacheTestTrace(10)); err != nil {
+		t.Fatal(err)
+	}
+	if stats := st.Stats(); stats.CachedTraces != 0 || stats.Evictions != 0 {
+		t.Fatalf("stats after invalidating save: %+v", stats)
+	}
+	tr3, err := st.Load("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr3 == tr1 {
+		t.Fatal("Load after Save served the stale decode")
+	}
+}
+
+func TestStoreCacheLRUEviction(t *testing.T) {
+	st := seedCacheStore(t, 4)
+	entries, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fileSize int64
+	for _, e := range entries {
+		if e.Err != nil {
+			t.Fatalf("entry %s: %v", e.Name, e.Err)
+		}
+		fileSize = e.Size
+	}
+
+	// Budget for exactly two cached decodes.
+	st.SetCacheLimit(2 * fileSize)
+	for _, n := range []string{"a", "b"} {
+		if _, err := st.Load(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch "a" so "b" is the LRU victim when "c" arrives.
+	if _, err := st.Load("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load("c"); err != nil {
+		t.Fatal(err)
+	}
+	stats := st.Stats()
+	if stats.CachedTraces != 2 || stats.Evictions != 1 {
+		t.Fatalf("stats after first eviction: %+v", stats)
+	}
+	if stats.CachedBytes > stats.LimitBytes {
+		t.Fatalf("cache over budget: %+v", stats)
+	}
+	// "a" must still be cached (a hit), "b" must re-decode (a miss).
+	base := stats
+	if _, err := st.Load("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats(); got.Hits != base.Hits+1 {
+		t.Fatalf("touched entry was evicted: %+v", got)
+	}
+	if _, err := st.Load("b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats(); got.Misses != base.Misses+1 {
+		t.Fatalf("LRU victim still cached: %+v", got)
+	}
+}
+
+func TestStoreCacheKeepsWorkingTrace(t *testing.T) {
+	st := seedCacheStore(t, 1)
+	// A budget smaller than one file still caches the trace being loaded —
+	// the fan-out case must never decode per replay.
+	st.SetCacheLimit(1)
+	if _, err := st.Load("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load("a"); err != nil {
+		t.Fatal(err)
+	}
+	stats := st.Stats()
+	if stats.CachedTraces != 1 || stats.Hits != 1 {
+		t.Fatalf("undersized budget evicted the working trace: %+v", stats)
+	}
+}
+
+func TestStoreCacheDisabled(t *testing.T) {
+	st := seedCacheStore(t, 1)
+	st.SetCacheLimit(0)
+	for i := 0; i < 2; i++ {
+		if _, err := st.Load("a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := st.Stats()
+	if stats.CachedTraces != 0 || stats.Hits != 0 || stats.Misses != 2 {
+		t.Fatalf("disabled cache stats: %+v", stats)
+	}
+
+	// Shrinking the limit evicts the overflow from an enabled cache too.
+	st.SetCacheLimit(DefaultCacheBytes)
+	if _, err := st.Load("a"); err != nil {
+		t.Fatal(err)
+	}
+	st.SetCacheLimit(1) // below the file size: evicts the entry
+	if got := st.Stats(); got.CachedTraces != 0 {
+		t.Fatalf("SetCacheLimit did not shrink the cache: %+v", got)
+	}
+}

@@ -124,6 +124,7 @@ var ablations = []struct {
 	build func() Spec
 }{
 	{"canneal-mutex", CannealMutex},
+	{"relay-service", RelayService},
 }
 
 // Names lists every spec name ByName resolves, in Apps order with the
@@ -139,6 +140,17 @@ func Names() []string {
 		out = append(out, a.name)
 	}
 	return out
+}
+
+// Known reports whether name resolves to any recordable program: an
+// application spec (ByName, including ablation variants) or an
+// analysis-corpus entry (AnalysisByName).
+func Known(name string) bool {
+	if _, ok := ByName(name); ok {
+		return true
+	}
+	_, ok := AnalysisByName(name)
+	return ok
 }
 
 // ByName returns the named application spec.
@@ -159,6 +171,20 @@ func appByName(name string) (Spec, bool) {
 		}
 	}
 	return Spec{}, false
+}
+
+// RelayService is the latency-profile variant behind the segment-replay and
+// trace-service benchmarks: a think-time-dominated request loop (1ms of
+// usleep per iteration, as in the modeled servers) whose recorded waits
+// replay in real time. That makes the wall-clock compression of segment-
+// and job-level parallelism visible regardless of host core count — and
+// makes its replays run long enough that mid-job cancellation is testable.
+func RelayService() Spec {
+	return Spec{
+		Name: "relay-service", Threads: 4, Iters: 240,
+		Locks: 1, LockStride: 4, WritesPerLock: 1,
+		TimeCalls: 1, ThinkTime: 1000, WorkingSet: 16 << 10,
+	}
 }
 
 // CannealMutex is the §5.2 ablation: canneal with every atomic operation

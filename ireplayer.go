@@ -20,6 +20,13 @@
 // interactive debugger (internal/debug), the evaluation baselines
 // (internal/baseline/...), and the synthesized applications
 // (internal/workloads) all build on exactly this surface.
+//
+// Above the library sit the persistent trace layer (internal/trace: a
+// store of replayable recordings), the replay-time analysis subsystem
+// (internal/analysis), and the trace service (internal/sched +
+// internal/server + cmd/ir-served), which serves one store to many
+// clients over HTTP with scheduled, cancelable record/replay/analyze
+// jobs. See docs/ARCHITECTURE.md for the subsystem map.
 package ireplayer
 
 import (
