@@ -147,7 +147,7 @@ func BenchmarkBatchReplay(b *testing.B) {
 	tr.Summary = &trace.Summary{Exit: rep.Exit, Output: rep.Output}
 
 	job := trace.Job{
-		Name: spec.Name, Module: mod, Trace: tr, Opts: core.Options{Seed: 21},
+		Name: spec.Name, Module: mod, Handle: trace.OpenTrace(tr), Opts: core.Options{Seed: 21},
 		Setup: func(rt *core.Runtime) error { spec.SetupOS(rt.OS()); return nil },
 	}
 	const fan = 8

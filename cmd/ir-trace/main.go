@@ -5,7 +5,8 @@
 //
 //	ir-trace record -app pfscan -dir ./traces          # run + persist
 //	ir-trace record -app pfscan -checkpoint-every 2    # + checkpoint frames
-//	ir-trace ls -dir ./traces                          # inventory
+//	ir-trace ls -dir ./traces                          # inventory (footer-read)
+//	ir-trace ls -dir ./traces -json                    # machine-readable
 //	ir-trace replay -name pfscan -dir ./traces         # one offline replay
 //	ir-trace replay -name pfscan -n 16 -workers 4      # parallel fan-out
 //	ir-trace replay -name pfscan -segments -workers 4  # segment-parallel
@@ -69,9 +70,9 @@ func main() {
 func usage() {
 	fmt.Fprint(os.Stderr, `usage: ir-trace <record|replay|ls|verify|analyze> [flags]
 
-  record   -app NAME [-name N] [-dir D] [-scale S] [-seed N] [-eventcap N] [-checkpoint-every N]
+  record   -app NAME [-name N] [-dir D] [-scale S] [-seed N] [-eventcap N] [-checkpoint-every N] [-keyframe-every K]
   replay   -name N [-dir D] [-n COPIES] [-workers W] [-max-replays N] [-delay] [-segments]
-  ls       [-dir D]
+  ls       [-dir D] [-json]
   verify   -name N [-dir D]
   analyze  -name N | -all [-dir D] [-analyzers race,leak] [-workers W] [-json]
 
@@ -96,6 +97,8 @@ func cmdRecord(args []string) error {
 	eventCap := fs.Int("eventcap", 0, "per-thread event list size (0 = default)")
 	ckptEvery := fs.Int("checkpoint-every", 0,
 		"persist a checkpoint frame every N epochs (0 = none); checkpointed traces replay segment-parallel")
+	keyEvery := fs.Int("keyframe-every", 0,
+		"make every K-th checkpoint frame a full-image keyframe (0 = writer default)")
 	fs.Parse(args)
 	if *app == "" {
 		return fmt.Errorf("record: -app is required")
@@ -112,6 +115,7 @@ func cmdRecord(args []string) error {
 		Seed:            *seed,
 		EventCap:        *eventCap,
 		CheckpointEvery: *ckptEvery,
+		KeyframeEvery:   *keyEvery,
 	}, nil)
 	if err != nil {
 		return err
@@ -121,8 +125,8 @@ func cmdRecord(args []string) error {
 		// use case); report both.
 		fmt.Printf("recorded %s with fault: %s\n", res.Trace, res.Fault)
 	}
-	fmt.Printf("recorded %s: %d epochs, %d checkpoints, %d bytes, exit=%d, wall=%v -> %s\n",
-		res.Trace, res.Epochs, res.Checkpoints, res.Bytes, res.Exit,
+	fmt.Printf("recorded %s: %d epochs, %d checkpoints (%d keyframes), %d bytes, exit=%d, wall=%v -> %s\n",
+		res.Trace, res.Epochs, res.Checkpoints, res.Keyframes, res.Bytes, res.Exit,
 		time.Since(start).Round(time.Millisecond), res.Path)
 	return nil
 }
@@ -157,6 +161,7 @@ func cmdReplay(args []string) error {
 	if err != nil {
 		return err
 	}
+	defer job.Handle.Close()
 	if *segments {
 		return replaySegments(job, *workers)
 	}
@@ -189,7 +194,7 @@ func cmdReplay(args []string) error {
 // replaySegments is the -segments arm of cmdReplay: checkpoint-split
 // parallel replay of one trace with stitching verification.
 func replaySegments(job trace.Job, workers int) error {
-	if len(job.Trace.Checkpoints) == 0 {
+	if job.Handle.NumCheckpoints() == 0 {
 		fmt.Printf("%s: no checkpoint frames (record with -checkpoint-every); replaying as one segment\n", job.Name)
 	}
 	results, stats, err := trace.ReplaySegments(job, workers)
@@ -262,6 +267,7 @@ func cmdAnalyze(args []string) error {
 		if err != nil {
 			return err
 		}
+		defer job.Handle.Close()
 		jobs = append(jobs, trace.AnalyzeJob{
 			Job: job,
 			NewAnalyzers: func() []analysis.Analyzer {
@@ -325,6 +331,7 @@ func cmdAnalyze(args []string) error {
 func cmdLs(args []string) error {
 	fs := flag.NewFlagSet("ls", flag.ExitOnError)
 	dir := fs.String("dir", "traces", "trace store directory")
+	asJSON := fs.Bool("json", false, "emit machine-readable entries on stdout")
 	fs.Parse(args)
 	st, err := trace.OpenStore(*dir)
 	if err != nil {
@@ -334,19 +341,31 @@ func cmdLs(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *asJSON {
+		// The JSON shape is the daemon's (server.TraceEntry), so the CLI and
+		// GET /api/v1/traces cannot drift.
+		out := make([]server.TraceEntry, len(entries))
+		for i, e := range entries {
+			out[i] = server.NewTraceEntry(e)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
 	if len(entries) == 0 {
 		fmt.Printf("no traces in %s\n", st.Dir())
 		return nil
 	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "NAME\tAPP\tMODULE\tEPOCHS\tEVENTS\tCKPTS\tBYTES\tCOMPLETE")
+	fmt.Fprintln(tw, "NAME\tAPP\tMODULE\tVER\tEPOCHS\tEVENTS\tCKPTS\tKEYS\tBYTES\tCOMPLETE")
 	for _, e := range entries {
 		if e.Err != nil {
-			fmt.Fprintf(tw, "%s\t(unreadable: %v)\t-\t-\t-\t-\t-\t-\n", e.Name, e.Err)
+			fmt.Fprintf(tw, "%s\t(unreadable: %v)\t-\t-\t-\t-\t-\t-\t-\t-\n", e.Name, e.Err)
 			continue
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%016x\t%d\t%d\t%d\t%d\t%v\n",
-			e.Name, e.Header.App, e.Header.ModuleHash, e.Epochs, e.Events, e.Checkpoints, e.Size, e.Complete)
+		fmt.Fprintf(tw, "%s\t%s\t%016x\t%d\t%d\t%d\t%d\t%d\t%d\t%v\n",
+			e.Name, e.Header.App, e.Header.ModuleHash, e.Header.Version,
+			e.Epochs, e.Events, e.Checkpoints, e.Keyframes, e.Size, e.Complete)
 	}
 	return tw.Flush()
 }
@@ -363,25 +382,32 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return err
 	}
-	tr, err := st.Load(*name) // CRC validation happens on decode
-	if err != nil {
-		return fmt.Errorf("integrity: %v", err)
-	}
-	if tr.Summary == nil {
-		fmt.Printf("%s: incomplete trace (no summary frame); replaying best-effort\n", *name)
-	}
+	// Resolve through the footer (or scan) and then decode every frame:
+	// the full CRC pass over the file's contents, validated against the
+	// index when one is present.
 	job, err := loadJob(st, *name, core.Options{DelayOnDivergence: true})
 	if err != nil {
 		return err
+	}
+	defer job.Handle.Close()
+	if _, err := job.Handle.Trace(); err != nil {
+		return fmt.Errorf("integrity: %v", err)
+	}
+	if job.Handle.Summary() == nil {
+		fmt.Printf("%s: incomplete trace (no summary frame); replaying best-effort\n", *name)
 	}
 	results, _ := trace.ReplayBatch([]trace.Job{job}, 1)
 	r := results[0]
 	if !r.Matched {
 		return fmt.Errorf("verify %s: %v", *name, r.Err)
 	}
-	fmt.Printf("%s: OK — %d epochs, %d events, schedule reproduced (attempts=%d)",
-		*name, len(tr.Epochs), tr.EventCount(), r.Report.Stats.LastReplayAttempts)
-	if tr.Summary != nil {
+	how := "scanned"
+	if job.Handle.Indexed() {
+		how = "indexed"
+	}
+	fmt.Printf("%s: OK — %d epochs, %d events (%s), schedule reproduced (attempts=%d)",
+		*name, job.Handle.NumEpochs(), job.Handle.EventCount(), how, r.Report.Stats.LastReplayAttempts)
+	if job.Handle.Summary() != nil {
 		fmt.Printf(", exit/output match recording")
 	}
 	if r.Err != nil {

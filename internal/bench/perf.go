@@ -17,6 +17,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -45,6 +46,23 @@ type PerfResult struct {
 	NsPerOp int64 `json:"ns_per_op"`
 	// EventsPerSec is recorded events processed per second of wall time.
 	EventsPerSec float64 `json:"events_per_sec"`
+	// AllocBytesPerOp is heap bytes allocated per operation (the
+	// go-test -benchmem column, measured via runtime.MemStats), reported
+	// for the memory-sensitive rows so the peak-alloc trajectory is
+	// tracked PR-over-PR.
+	AllocBytesPerOp int64 `json:"alloc_bytes_per_op,omitempty"`
+	// PeakCacheBytes is the highest store decode-cache cost observed while
+	// the row ran (serve-path rows): the daemon's RSS proxy.
+	PeakCacheBytes int64 `json:"peak_cache_bytes,omitempty"`
+}
+
+// measureAllocs runs fn and returns heap bytes allocated during it.
+func measureAllocs(fn func() error) (int64, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	err := fn()
+	runtime.ReadMemStats(&after)
+	return int64(after.TotalAlloc - before.TotalAlloc), err
 }
 
 // PerfReport is the BENCH_<n>.json document.
@@ -115,7 +133,7 @@ func Perf(scale float64) (*PerfReport, error) {
 		})
 
 		job := trace.Job{
-			Name: name, Module: mod, Trace: tr,
+			Name: name, Module: mod, Handle: trace.OpenTrace(tr),
 			Opts:  core.Options{DelayOnDivergence: true},
 			Setup: func(rt *core.Runtime) error { spec.SetupOS(rt.OS()); return nil },
 		}
@@ -143,7 +161,7 @@ func Perf(scale float64) (*PerfReport, error) {
 			for i := range ajobs {
 				ajobs[i] = trace.AnalyzeJob{
 					Job: trace.Job{
-						Name: fmt.Sprintf("%s#%d", name, i), Module: mod, Trace: tr,
+						Name: fmt.Sprintf("%s#%d", name, i), Module: mod, Handle: job.Handle,
 						Opts:  core.Options{DelayOnDivergence: true},
 						Setup: job.Setup,
 					},
@@ -213,13 +231,29 @@ func perfSegments(rep *PerfReport, scale float64, workerSweep []int) error {
 	if err := w.Finish(&trace.Summary{Exit: runRep.Exit, Output: runRep.Output}); err != nil {
 		return err
 	}
-	tr, err := trace.Decode(buf.Bytes())
+	// Persist the recording into a real store so every segment row below
+	// pays the storage path (footer open, indexed frame reads), exactly as
+	// the daemon does.
+	dir, err := os.MkdirTemp("", "ir-seg-bench")
 	if err != nil {
 		return err
 	}
+	defer os.RemoveAll(dir)
+	if err := os.WriteFile(filepath.Join(dir, spec.Name+trace.Ext), buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	st, err := trace.OpenStore(dir)
+	if err != nil {
+		return err
+	}
+	h, err := st.Open(spec.Name)
+	if err != nil {
+		return err
+	}
+	defer h.Close()
 
 	job := trace.Job{
-		Name: spec.Name, Module: mod, Trace: tr,
+		Name: spec.Name, Module: mod, Handle: h,
 		Opts:  core.Options{Seed: 7, EventCap: 64, Mem: memCfg, DelayOnDivergence: true},
 		Setup: func(rt *core.Runtime) error { spec.SetupOS(rt.OS()); return nil },
 	}
@@ -246,6 +280,43 @@ func perfSegments(rep *PerfReport, scale float64, workerSweep []int) error {
 			EventsPerSec: perSec(sstats.Events, sstats.Elapsed),
 		})
 	}
+
+	// Cold start: a fresh store (empty frame cache), open the trace, replay
+	// one mid-trace segment. With the v3 index and checkpoint keyframes the
+	// cost is one footer read plus the segment's own frames — O(segment),
+	// not O(recording) — and the alloc column tracks exactly that.
+	coldStore, err := trace.OpenStore(dir)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	var coldEvents int64
+	allocBytes, err := measureAllocs(func() error {
+		ch, err := coldStore.Open(spec.Name)
+		if err != nil {
+			return err
+		}
+		defer ch.Close()
+		coldJob := job
+		coldJob.Handle = ch
+		res, cstats, err := trace.ReplayMidSegment(coldJob)
+		if err != nil {
+			return fmt.Errorf("bench: segment cold start of %s: %w (result %+v)", spec.Name, err, res)
+		}
+		coldEvents = cstats.Events
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	coldWall := time.Since(start)
+	rep.Results = append(rep.Results, PerfResult{
+		Name:            "segment-coldstart/" + spec.Name,
+		Ops:             1,
+		NsPerOp:         coldWall.Nanoseconds(),
+		EventsPerSec:    perSec(coldEvents, coldWall),
+		AllocBytesPerOp: allocBytes,
+	})
 	return nil
 }
 
@@ -275,7 +346,6 @@ func perfServe(rep *PerfReport, scale float64) error {
 			return fmt.Errorf("bench: recording %s: %w", name, err)
 		}
 	}
-	_ = scale // corpus programs are fixed-size
 
 	srv, err := server.New(server.Config{Store: st, Workers: serveWorkers, QueueDepth: serveJobs})
 	if err != nil {
@@ -360,6 +430,73 @@ func perfServe(rep *PerfReport, scale float64) error {
 		Ops:          serveJobs,
 		NsPerOp:      elapsed.Nanoseconds() / serveJobs,
 		EventsPerSec: perSec(events, elapsed),
+	})
+
+	// Serve-path memory: 16 analyze jobs against 4 distinct larger traces,
+	// sampling the store's frame-cache cost while they run. With
+	// handle-based resolution the cache holds decoded frames of the
+	// segments in flight, so the peak — the daemon's RSS proxy — tracks
+	// concurrency, not corpus size.
+	bigApps := []string{"fluidanimate", "dedup", "pfscan", "streamcluster"}
+	for _, app := range bigApps {
+		if _, err := server.RecordTrace(st, server.RecordRequest{
+			App: app, Name: "big-" + app, Scale: 0.3 * scale, Seed: 7,
+		}, nil); err != nil {
+			return fmt.Errorf("bench: recording %s: %w", app, err)
+		}
+	}
+	peak := int64(0)
+	stop := make(chan struct{})
+	sampled := make(chan struct{})
+	go func() {
+		defer close(sampled)
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if b := st.Stats().CachedBytes; b > peak {
+					peak = b
+				}
+			}
+		}
+	}()
+	start = time.Now()
+	ids = ids[:0]
+	for i := 0; i < serveJobs; i++ {
+		id, err := submit("big-" + bigApps[i%len(bigApps)])
+		if err != nil {
+			close(stop)
+			<-sampled
+			return err
+		}
+		ids = append(ids, id)
+	}
+	events = 0
+	for _, id := range ids {
+		ev, err := wait(id)
+		if err != nil {
+			close(stop)
+			<-sampled
+			return err
+		}
+		events += ev
+	}
+	elapsed = time.Since(start)
+	close(stop)
+	<-sampled
+	if b := st.Stats().CachedBytes; b > peak {
+		peak = b
+	}
+	rep.Results = append(rep.Results, PerfResult{
+		Name:           "serve-cache/4x16",
+		Workers:        serveWorkers,
+		Ops:            serveJobs,
+		NsPerOp:        elapsed.Nanoseconds() / serveJobs,
+		EventsPerSec:   perSec(events, elapsed),
+		PeakCacheBytes: peak,
 	})
 	return nil
 }

@@ -25,45 +25,58 @@ func isInterrupt(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// ResolveJob loads a stored trace and rebuilds it into a runnable replay
-// job: the recorded application (or analysis-corpus program) is
-// re-synthesized, checked against the trace's module fingerprint, and the
-// recording's seed and list capacities are installed into opts.
+// ResolveJob opens a stored trace and rebuilds it into a runnable replay
+// job: the trace is resolved to a Handle (one footer read for indexed
+// files — no epochs are decoded here; workers stream their own slices),
+// the recorded application (or analysis-corpus program) is re-synthesized,
+// checked against the trace's module fingerprint, and the recording's seed
+// and list capacities are installed into opts. The caller owns the
+// returned job's Handle and must Close it after the replay work is done.
 func ResolveJob(st *trace.Store, name string, opts core.Options) (trace.Job, error) {
-	tr, err := st.Load(name)
+	h, err := st.Open(name)
 	if err != nil {
 		return trace.Job{}, err
 	}
-	spec, ok := workloads.ByName(tr.Header.App)
+	job, err := resolveHandle(h, name, opts)
+	if err != nil {
+		h.Close()
+		return trace.Job{}, err
+	}
+	return job, nil
+}
+
+func resolveHandle(h *trace.Handle, name string, opts core.Options) (trace.Job, error) {
+	hdr := h.Header()
+	spec, ok := workloads.ByName(hdr.App)
 	if !ok {
-		if c, okc := workloads.AnalysisByName(tr.Header.App); okc {
+		if c, okc := workloads.AnalysisByName(hdr.App); okc {
 			// A ground-truth corpus recording: the module is parameterless.
 			mod := c.Build()
-			if h := tr.Header.ModuleHash; h != 0 && tir.Fingerprint(mod) != h {
+			if hash := hdr.ModuleHash; hash != 0 && tir.Fingerprint(mod) != hash {
 				return trace.Job{}, fmt.Errorf(
 					"trace %s: corpus program %q no longer matches the recorded fingerprint %#x",
-					name, c.Name, h)
+					name, c.Name, hash)
 			}
-			opts.Seed = tr.Header.Seed
-			opts.EventCap = tr.Header.EventCap
-			return trace.Job{Name: name, Module: mod, Trace: tr, Opts: opts}, nil
+			opts.Seed = hdr.Seed
+			opts.EventCap = hdr.EventCap
+			return trace.Job{Name: name, Module: mod, Handle: h, Opts: opts}, nil
 		}
-		return trace.Job{}, fmt.Errorf("trace %s was recorded from unknown app %q", name, tr.Header.App)
+		return trace.Job{}, fmt.Errorf("trace %s was recorded from unknown app %q", name, hdr.App)
 	}
 	// The header records the iteration count the module was built with;
 	// older traces without it fall back to a fingerprint search over
 	// iteration scales (the only module-shaping knob the recorder exposes).
-	if tr.Header.AppIters > 0 {
-		spec.Iters = tr.Header.AppIters
+	if hdr.AppIters > 0 {
+		spec.Iters = hdr.AppIters
 	}
-	mod, err := buildMatching(spec, tr.Header.ModuleHash)
+	mod, err := buildMatching(spec, hdr.ModuleHash)
 	if err != nil {
 		return trace.Job{}, fmt.Errorf("trace %s: %v", name, err)
 	}
-	opts.Seed = tr.Header.Seed
-	opts.EventCap = tr.Header.EventCap
+	opts.Seed = hdr.Seed
+	opts.EventCap = hdr.EventCap
 	return trace.Job{
-		Name: name, Module: mod, Trace: tr, Opts: opts,
+		Name: name, Module: mod, Handle: h, Opts: opts,
 		Setup: func(rt *core.Runtime) error { spec.SetupOS(rt.OS()); return nil },
 	}, nil
 }
@@ -113,6 +126,10 @@ type RecordRequest struct {
 	// CheckpointEvery persists a checkpoint frame every N epochs (0 =
 	// none); checkpointed traces replay segment-parallel.
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// KeyframeEvery makes every N-th checkpoint frame a full-image
+	// keyframe (0 = the writer default, trace.DefaultKeyframeEvery);
+	// smaller intervals cost bytes and buy faster mid-trace folds.
+	KeyframeEvery int `json:"keyframe_every,omitempty"`
 }
 
 // RecordResult is a completed recording's summary.
@@ -121,6 +138,7 @@ type RecordResult struct {
 	Path        string `json:"path"`
 	Epochs      int    `json:"epochs"`
 	Checkpoints int    `json:"checkpoints"`
+	Keyframes   int    `json:"keyframes,omitempty"`
 	Events      int64  `json:"events"`
 	Bytes       int64  `json:"bytes"`
 	Exit        uint64 `json:"exit"`
@@ -131,14 +149,17 @@ type RecordResult struct {
 }
 
 // RecordTrace runs the named workload under the recorder, streaming epoch
-// (and optional checkpoint) frames straight into the store. interrupt, when
-// non-nil, is polled at gated points and cancels the recording (the trace
-// is left incomplete and the cause is returned). Recording truncates any
-// existing trace of the same name immediately (store Create semantics), so
-// a canceled or failed re-recording replaces a previously complete trace
-// with an incomplete one; callers wanting keep-until-complete should record
-// under a fresh name. Concurrent recordings of one name are the caller's
-// responsibility to exclude — the daemon serializes them per name.
+// (and optional checkpoint) frames straight into the store. The recording
+// lands under a ".partial" name and is renamed into place only when it
+// closes at a clean frame boundary, so a crashed recorder never leaves a
+// torn file under a valid name and List never reports an in-progress
+// recording. interrupt, when non-nil, is polled at gated points and
+// cancels the recording; the clean prefix written so far is still
+// committed (the store lists it as an incomplete trace) and the cause is
+// returned. A failed or canceled re-recording therefore replaces a
+// previously complete trace only at commit time. Concurrent recordings of
+// one name are the caller's responsibility to exclude — the daemon
+// serializes them per name.
 func RecordTrace(st *trace.Store, req RecordRequest, interrupt func() error) (*RecordResult, error) {
 	if req.App == "" {
 		return nil, fmt.Errorf("record: app is required")
@@ -172,13 +193,14 @@ func RecordTrace(st *trace.Store, req RecordRequest, interrupt func() error) (*R
 		name = req.App
 	}
 
-	// Stream epoch frames straight to the file as the runtime flushes them.
-	f, err := st.Create(name)
+	// Stream epoch frames straight to the partial file as the runtime
+	// flushes them; Abort below is crash insurance (no-op after Commit).
+	p, err := st.Create(name)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	w, err := trace.NewWriter(f, trace.Header{
+	defer p.Abort()
+	w, err := trace.NewWriter(p, trace.Header{
 		App:        req.App,
 		ModuleHash: tir.Fingerprint(mod),
 		EventCap:   req.EventCap,
@@ -188,6 +210,9 @@ func RecordTrace(st *trace.Store, req RecordRequest, interrupt func() error) (*R
 	})
 	if err != nil {
 		return nil, err
+	}
+	if req.KeyframeEvery > 0 {
+		w.SetKeyframeEvery(req.KeyframeEvery)
 	}
 	var events int64
 	opts := core.Options{Seed: req.Seed, EventCap: req.EventCap, Interrupt: interrupt}
@@ -213,11 +238,19 @@ func RecordTrace(st *trace.Store, req RecordRequest, interrupt func() error) (*R
 		return nil, runErr
 	}
 	if isInterrupt(runErr) {
-		// A canceled recording leaves an incomplete trace (no summary
-		// frame); the store lists it as such.
+		// A canceled recording stops at a clean frame boundary: commit the
+		// prefix as an incomplete trace (no summary frame); the store lists
+		// it as such.
+		if cerr := p.Commit(); cerr != nil {
+			return nil, cerr
+		}
 		return nil, runErr
 	}
 	if err := w.Finish(&trace.Summary{Exit: rep.Exit, Output: rep.Output}); err != nil {
+		return nil, err
+	}
+	bytes := p.Bytes()
+	if err := p.Commit(); err != nil {
 		return nil, err
 	}
 	res := &RecordResult{
@@ -225,12 +258,11 @@ func RecordTrace(st *trace.Store, req RecordRequest, interrupt func() error) (*R
 		Path:        st.Path(name),
 		Epochs:      w.Epochs(),
 		Checkpoints: w.Ckpts(),
+		Keyframes:   w.Keyframes(),
 		Events:      events,
+		Bytes:       bytes,
 		Exit:        rep.Exit,
 		WallNS:      time.Since(start).Nanoseconds(),
-	}
-	if fi, err := f.Stat(); err == nil {
-		res.Bytes = fi.Size()
 	}
 	if runErr != nil {
 		res.Fault = runErr.Error()

@@ -135,30 +135,40 @@ func (s *Server) Drain(ctx context.Context) error { return s.sched.Drain(ctx) }
 
 // --- traces ---
 
-// traceEntry is the JSON shape of one store entry.
-type traceEntry struct {
+// TraceEntry is the JSON shape of one store entry — shared by the
+// daemon's /traces endpoints and `ir-trace ls -json`, so the two surfaces
+// cannot drift field by field.
+type TraceEntry struct {
 	Name        string `json:"name"`
 	Path        string `json:"path"`
 	App         string `json:"app,omitempty"`
 	Module      string `json:"module,omitempty"`
+	Version     int    `json:"version,omitempty"`
 	Epochs      int    `json:"epochs"`
 	Events      int64  `json:"events"`
 	Checkpoints int    `json:"checkpoints"`
+	Keyframes   int    `json:"keyframes"`
 	Bytes       int64  `json:"bytes"`
 	Complete    bool   `json:"complete"`
-	Error       string `json:"error,omitempty"`
+	// Indexed reports whether the statistics came from the v3 index footer.
+	Indexed bool   `json:"indexed"`
+	Error   string `json:"error,omitempty"`
 }
 
-func toTraceEntry(e trace.Entry) traceEntry {
-	out := traceEntry{
+// NewTraceEntry converts a store entry to its JSON shape.
+func NewTraceEntry(e trace.Entry) TraceEntry {
+	out := TraceEntry{
 		Name:        e.Name,
 		Path:        e.Path,
 		App:         e.Header.App,
+		Version:     e.Header.Version,
 		Epochs:      e.Epochs,
 		Events:      e.Events,
 		Checkpoints: e.Checkpoints,
+		Keyframes:   e.Keyframes,
 		Bytes:       e.Size,
 		Complete:    e.Complete,
+		Indexed:     e.Indexed,
 	}
 	if e.Header.ModuleHash != 0 {
 		out.Module = fmt.Sprintf("%016x", e.Header.ModuleHash)
@@ -175,9 +185,9 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	out := make([]traceEntry, len(entries))
+	out := make([]TraceEntry, len(entries))
 	for i, e := range entries {
-		out[i] = toTraceEntry(e)
+		out[i] = NewTraceEntry(e)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"traces": out})
 }
@@ -188,7 +198,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toTraceEntry(entry))
+	writeJSON(w, http.StatusOK, NewTraceEntry(entry))
 }
 
 // --- jobs ---
@@ -358,12 +368,15 @@ func (s *Server) buildJob(req *JobRequest) (*sched.Job, error) {
 			Name: name,
 			Run: func(ctx context.Context) (any, error) {
 				// Module and trace are resolved here, not at submission: a
-				// queued job must not pin a decoded trace and a rebuilt
-				// module for its whole time in the queue.
+				// queued job must not pin a trace handle and a rebuilt
+				// module for its whole time in the queue. The handle itself
+				// decodes lazily — the worker streams epochs through the
+				// store's frame cache as the replay consumes them.
 				job, err := ResolveJob(s.store, req.Trace, opts)
 				if err != nil {
 					return nil, err
 				}
+				defer job.Handle.Close()
 				job.Opts.Interrupt = ctx.Err
 				if factory == nil {
 					return s.runReplay(&job)
@@ -388,6 +401,7 @@ func (s *Server) buildJob(req *JobRequest) (*sched.Job, error) {
 				if err != nil {
 					return nil, err
 				}
+				defer job.Handle.Close()
 				job.Opts.Interrupt = ctx.Err
 				start := time.Now()
 				results, stats, err := trace.ReplaySegments(job, workers)

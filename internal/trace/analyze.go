@@ -61,7 +61,7 @@ func AnalyzeBatch(jobs []AnalyzeJob, workers int) ([]AnalyzeResult, BatchStats) 
 			continue
 		}
 		stats.Matched++
-		stats.Events += jobs[i].Trace.EventCount()
+		stats.Events += jobs[i].Handle.EventCount()
 		if r.Report != nil {
 			stats.Attempts += int64(r.Report.Stats.LastReplayAttempts)
 		}
@@ -81,7 +81,12 @@ func runAnalyzeJob(j *AnalyzeJob) (res AnalyzeResult) {
 		res.Err = fmt.Errorf("trace: analyze job %q has no analyzer factory", j.Name)
 		return res
 	}
-	rep, findings, err := analysis.Run(j.Module, j.Trace.Epochs, j.Opts, j.Setup, j.NewAnalyzers()...)
+	epochs, err := j.Handle.AllEpochs()
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	rep, findings, err := analysis.Run(j.Module, epochs, j.Opts, j.Setup, j.NewAnalyzers()...)
 	res.Report = rep
 	res.Findings = findings
 	if rep == nil {

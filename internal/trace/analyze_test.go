@@ -51,7 +51,7 @@ func TestAnalyzeBatch(t *testing.T) {
 	for _, n := range names {
 		mod, tr := recordCorpusTrace(t, n)
 		jobs = append(jobs, AnalyzeJob{
-			Job: Job{Name: n, Module: mod, Trace: tr, Opts: core.Options{DelayOnDivergence: true}},
+			Job: Job{Name: n, Module: mod, Handle: OpenTrace(tr), Opts: core.Options{DelayOnDivergence: true}},
 			NewAnalyzers: func() []analysis.Analyzer {
 				return []analysis.Analyzer{analysis.NewRaceDetector(), analysis.NewLeakDetector()}
 			},
@@ -96,8 +96,8 @@ func TestAnalyzeBatch(t *testing.T) {
 func TestAnalyzeBatchValidation(t *testing.T) {
 	mod, tr := recordCorpusTrace(t, "noleak-freed")
 	jobs := []AnalyzeJob{
-		{Job: Job{Name: "no-factory", Module: mod, Trace: tr}},
-		{Job: Job{Name: "no-module", Trace: tr},
+		{Job: Job{Name: "no-factory", Module: mod, Handle: OpenTrace(tr)}},
+		{Job: Job{Name: "no-module", Handle: OpenTrace(tr)},
 			NewAnalyzers: func() []analysis.Analyzer { return nil }},
 	}
 	results, stats := AnalyzeBatch(jobs, 1)

@@ -6,7 +6,10 @@ package trace
 // runtime, virtual address space, and virtual OS. The pool below shards a
 // job list across GOMAXPROCS-bounded workers and aggregates the outcome,
 // which is what lets a replay service answer "does this recording still
-// reproduce?" for a whole corpus in one pass.
+// reproduce?" for a whole corpus in one pass. Jobs carry Handles, not
+// decoded traces: each worker streams the epochs it needs through the
+// store's frame cache, so a queued or fanned-out job pins no decoded
+// memory until it runs.
 
 import (
 	"fmt"
@@ -17,15 +20,19 @@ import (
 	"repro/internal/tir"
 )
 
-// Job is one offline replay: a trace plus the module it was recorded from.
+// Job is one offline replay: a trace handle plus the module it was
+// recorded from.
 type Job struct {
 	// Name labels the job in results ("<trace>#<i>" for fan-out copies).
 	Name string
 	// Module is the program; its fingerprint must match the trace header's
 	// ModuleHash (checked unless the hash is zero).
 	Module *tir.Module
-	// Trace is the recording to re-execute. It is not mutated.
-	Trace *Trace
+	// Handle is the recording to re-execute — opened from a store
+	// (Store.Open), from bytes (OpenBytes), or wrapped around an in-memory
+	// trace (OpenTrace). Workers fetch epochs through it on demand; nothing
+	// it serves is mutated.
+	Handle *Handle
 	// Opts configures the replay runtime (MaxReplays, DelayOnDivergence,
 	// and the list capacities / memory config of the recording run).
 	Opts core.Options
@@ -63,7 +70,12 @@ type BatchStats struct {
 }
 
 // Fanout clones a job n times ("#0" … "#n-1"), the re-replay verification
-// pattern.
+// pattern. The clones share the handle — and therefore the store's frame
+// cache — so while the trace's decoded frames fit the cache budget the
+// fan-out decodes each epoch once, not n times. A trace whose decoded
+// size exceeds the budget re-decodes per replay instead (the budget is
+// the bound the daemon relies on; raise it with Store.SetCacheLimit when
+// fan-out throughput on one oversized trace matters more than memory).
 func Fanout(j Job, n int) []Job {
 	out := make([]Job, n)
 	for i := range out {
@@ -100,7 +112,7 @@ func ReplayBatch(jobs []Job, workers int) ([]Result, BatchStats) {
 			continue
 		}
 		stats.Matched++
-		stats.Events += jobs[i].Trace.EventCount()
+		stats.Events += jobs[i].Handle.EventCount()
 		if r.Report != nil {
 			stats.Attempts += int64(r.Report.Stats.LastReplayAttempts)
 		}
@@ -108,13 +120,13 @@ func ReplayBatch(jobs []Job, workers int) ([]Result, BatchStats) {
 	return results, stats
 }
 
-// validate checks that a job is runnable: module and trace present, module
-// fingerprint matching the recording.
+// validate checks that a job is runnable: module and trace handle present,
+// module fingerprint matching the recording.
 func (j *Job) validate() error {
-	if j.Module == nil || j.Trace == nil {
-		return fmt.Errorf("trace: job %q lacks a module or trace", j.Name)
+	if j.Module == nil || j.Handle == nil {
+		return fmt.Errorf("trace: job %q lacks a module or trace handle", j.Name)
 	}
-	if h := j.Trace.Header.ModuleHash; h != 0 {
+	if h := j.Handle.Header().ModuleHash; h != 0 {
 		if got := tir.Fingerprint(j.Module); got != h {
 			return fmt.Errorf("trace: job %q module fingerprint %#x does not match trace %#x",
 				j.Name, got, h)
@@ -126,7 +138,7 @@ func (j *Job) validate() error {
 // compareSummary checks a replayed report against the recorded oracle;
 // nil when the trace carries no summary frame.
 func (j *Job) compareSummary(rep *core.Report) error {
-	sum := j.Trace.Summary
+	sum := j.Handle.Summary()
 	if sum == nil {
 		return nil
 	}
@@ -147,7 +159,12 @@ func runJob(j *Job) (res Result) {
 		res.Err = err
 		return res
 	}
-	rep, err := core.ReplayFromTrace(j.Module, j.Trace.Epochs, j.Opts, j.Setup)
+	epochs, err := j.Handle.AllEpochs()
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	rep, err := core.ReplayFromTrace(j.Module, epochs, j.Opts, j.Setup)
 	res.Report = rep
 	if rep == nil {
 		// No report at all: the replay never matched (or setup failed).

@@ -100,6 +100,46 @@ func BenchmarkSegmentReplay(b *testing.B) {
 	}
 }
 
+// BenchmarkSegmentColdStart measures the cold path the daemon pays when a
+// segment job lands on a trace nothing has touched: open the store (empty
+// frame cache), resolve the handle (one footer read), and replay one
+// mid-trace segment. With the v3 index and checkpoint keyframes this is
+// O(segment) — the epochs and checkpoints outside the segment are never
+// read — and -benchmem's allocation columns track exactly that footprint.
+func BenchmarkSegmentColdStart(b *testing.B) {
+	spec := segmentBenchSpec()
+	opts := core.Options{Seed: 9, EventCap: 64, Mem: segmentBenchMem()}
+	enc := recordCheckpointedBytes(b, spec, opts, 1, 4)
+	st := storeWith(b, "cold", enc)
+	mod, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	job := Job{
+		Name: spec.Name, Module: mod,
+		Opts:  core.Options{Seed: opts.Seed, EventCap: opts.EventCap, Mem: opts.Mem, DelayOnDivergence: true},
+		Setup: func(rt *core.Runtime) error { spec.SetupOS(rt.OS()); return nil },
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cold, err := OpenStore(st.Dir()) // fresh store: nothing cached
+		if err != nil {
+			b.Fatal(err)
+		}
+		h, err := cold.Open("cold")
+		if err != nil {
+			b.Fatal(err)
+		}
+		job.Handle = h
+		res, stats, err := ReplayMidSegment(job)
+		if err != nil {
+			b.Fatalf("%v (result %+v)", err, res)
+		}
+		h.Close()
+		b.ReportMetric(float64(stats.Events)/stats.Elapsed.Seconds(), "events/sec")
+	}
+}
+
 // BenchmarkAnalyzeBatch measures parallel replay-time analysis throughput
 // (race + leak analyzers attached to every replay) by worker count;
 // events/sec is the recorded events re-executed under analysis per second
@@ -113,7 +153,7 @@ func BenchmarkAnalyzeBatch(b *testing.B) {
 	}
 	base := AnalyzeJob{
 		Job: Job{
-			Name: spec.Name, Module: mod, Trace: tr,
+			Name: spec.Name, Module: mod, Handle: OpenTrace(tr),
 			Opts:  core.Options{DelayOnDivergence: true},
 			Setup: func(rt *core.Runtime) error { spec.SetupOS(rt.OS()); return nil },
 		},

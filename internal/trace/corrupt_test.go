@@ -1,28 +1,32 @@
 package trace
 
 // Corrupt-trace corpus: every way a stored trace can rot — truncated
-// mid-frame, flipped CRC, trailing garbage, implausible frame length — with
-// the required behavior of Load (error), List (degraded entry that hides
-// nothing), and scanFile (error) asserted for each.
+// mid-frame, flipped CRC, trailing garbage, implausible frame length, and
+// (format v3) damaged or lying index regions — with the required behavior
+// of Load (error), List (degraded entry that hides nothing), scanning
+// (error), and the index failure policy (unparseable index degrades to the
+// scan path; an index that lies is hard corruption) asserted for each.
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/record"
 )
 
-// corpusTrace builds a small, fully valid two-epoch trace.
+// corpusTrace builds a small, fully valid two-epoch trace (format v3:
+// summary, index frame, trailer).
 func corpusTrace(t *testing.T) []byte {
 	t.Helper()
 	tr := &Trace{
-		Header: Header{App: "corpus", ModuleHash: 7, EventCap: 16, VarCap: 16},
+		Header: Header{Version: Version, App: "corpus", ModuleHash: 7, EventCap: 16, VarCap: 16},
 		Epochs: []*record.EpochLog{
 			{
 				Epoch: 1,
@@ -47,24 +51,102 @@ func corpusTrace(t *testing.T) []byte {
 	return b
 }
 
-// corruptions returns the corpus: name -> mutated bytes.
+// legacyTraceBytes re-encodes the corpus trace with an older header
+// version: v1/v2 framing, no index region — byte-for-byte what the old
+// writers emitted.
+func legacyTraceBytes(t *testing.T, ver int) []byte {
+	t.Helper()
+	tr, err := Decode(corpusTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := newWriterVersion(&buf, tr.Header, ver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range tr.Epochs {
+		if err := w.WriteEpoch(ep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(tr.Summary); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// frameSpan is one frame's location in an encoded trace.
+type frameSpan struct {
+	kind       byte
+	start, end int
+}
+
+// frameSpans walks the frames of a well-formed encoded trace. For v3
+// encodings the fixed trailer is excluded from the walk.
+func frameSpans(t *testing.T, b []byte) []frameSpan {
+	t.Helper()
+	end := len(b)
+	if end >= indexTrailerLen && string(b[end-4:]) == indexTrailerMagic {
+		end -= indexTrailerLen
+	}
+	var out []frameSpan
+	off := len(Magic)
+	for off < end {
+		kind := b[off]
+		n, w := binary.Uvarint(b[off+1:])
+		if w <= 0 {
+			t.Fatalf("malformed corpus bytes at offset %d", off)
+		}
+		next := off + 1 + w + int(n) + 4
+		out = append(out, frameSpan{kind: kind, start: off, end: next})
+		off = next
+	}
+	return out
+}
+
+// firstSpan returns the first frame of the given kind.
+func firstSpan(t *testing.T, spans []frameSpan, kind byte) frameSpan {
+	t.Helper()
+	for _, s := range spans {
+		if s.kind == kind {
+			return s
+		}
+	}
+	t.Fatalf("no frame of kind %d", kind)
+	return frameSpan{}
+}
+
+// corruptions returns the corpus: name -> mutated bytes. Every mutation
+// damages the trace's data region, so Load, Decode, and the scan must all
+// reject it.
 func corruptions(t *testing.T, valid []byte) map[string][]byte {
 	t.Helper()
 	out := map[string][]byte{}
+	spans := frameSpans(t, valid)
+	ep := firstSpan(t, spans, frameEpoch)
 
-	// Truncated mid-frame: cut inside the last frame's payload.
-	out["truncated-mid-frame"] = append([]byte(nil), valid[:len(valid)-3]...)
+	// Truncated mid-frame: cut inside the first epoch frame's payload.
+	out["truncated-mid-frame"] = append([]byte(nil), valid[:ep.start+5]...)
 
-	// Flipped CRC: invert one bit of the final frame's checksum.
+	// Flipped CRC: invert one bit of the first epoch frame's checksum.
 	flipped := append([]byte(nil), valid...)
-	flipped[len(flipped)-1] ^= 0x01
+	flipped[ep.end-1] ^= 0x01
 	out["flipped-crc"] = flipped
 
-	// Trailing garbage after the summary frame.
+	// Flipped payload byte inside the epoch frame: the index (which stores
+	// the original CRC) and the frame now disagree; both the scan path and
+	// the indexed fetch path must reject it.
+	body := append([]byte(nil), valid...)
+	body[ep.start+3] ^= 0xff
+	out["flipped-payload"] = body
+
+	// Trailing garbage after the complete (index + trailer) file.
 	out["trailing-garbage"] = append(append([]byte(nil), valid...), 0xde, 0xad, 0xbe, 0xef)
 
-	// A trailing *valid* frame after the summary: decodes frame-wise but is
-	// corruption, because Reader.Next never reads past the end marker.
+	// A trailing *valid* frame after the end of the file: decodes
+	// frame-wise but is corruption, because nothing may follow the index
+	// region.
 	var epPayload []byte
 	epPayload = appendEpoch(nil, &record.EpochLog{Epoch: 3, Threads: []record.ThreadLog{{TID: 0}}})
 	trailing := append([]byte(nil), valid...)
@@ -111,47 +193,66 @@ func headerFrameEnd(t *testing.T, b []byte) int {
 	return off + w + int(n) + 4
 }
 
-// TestV1TraceLoads: a format-v1 file (what every pre-checkpoint writer
-// produced — same framing, header version 1, no checkpoint frames) still
-// decodes, replays whole-program via ReplaySegments' single-segment
-// fallback, and scans.
-func TestV1TraceLoads(t *testing.T) {
-	valid := corpusTrace(t)
-	// Patch the header payload's leading version varint from 2 to 1 and
-	// recompute the frame CRC — byte-for-byte what a v1 writer emitted.
-	v1 := append([]byte(nil), valid...)
-	off := len(Magic) + 1
-	n, w := binary.Uvarint(v1[off:])
-	payload := v1[off+w : off+w+int(n)]
-	if payload[0] != Version {
-		t.Fatalf("header does not lead with the version varint: %d", payload[0])
-	}
-	payload[0] = 1
-	binary.LittleEndian.PutUint32(v1[off+w+int(n):], crc32ieee(payload))
+// TestLegacyTracesLoad: v1 and v2 files (what the pre-index writers
+// produced — same framing, older header versions, no index region) still
+// decode, scan, store-open, and list; an unknown future version is
+// refused.
+func TestLegacyTracesLoad(t *testing.T) {
+	for _, ver := range []int{1, 2} {
+		b := legacyTraceBytes(t, ver)
 
-	tr, err := Decode(v1)
-	if err != nil {
-		t.Fatalf("v1 trace failed to load: %v", err)
-	}
-	if len(tr.Epochs) != 2 || tr.Summary == nil || len(tr.Checkpoints) != 0 {
-		t.Fatalf("v1 decode = %d epochs, summary %v, %d checkpoints",
-			len(tr.Epochs), tr.Summary, len(tr.Checkpoints))
-	}
-	if _, _, _, _, _, err := func() (Header, int, int64, int, bool, error) {
-		dir := t.TempDir()
-		path := filepath.Join(dir, "v1.irt")
-		if err := os.WriteFile(path, v1, 0o644); err != nil {
+		tr, err := Decode(b)
+		if err != nil {
+			t.Fatalf("v%d trace failed to load: %v", ver, err)
+		}
+		if len(tr.Epochs) != 2 || tr.Summary == nil || len(tr.Checkpoints) != 0 {
+			t.Fatalf("v%d decode = %d epochs, summary %v, %d checkpoints",
+				ver, len(tr.Epochs), tr.Summary, len(tr.Checkpoints))
+		}
+		if tr.Header.Version != ver {
+			t.Fatalf("decoded header version %d, want %d", tr.Header.Version, ver)
+		}
+
+		st, err := OpenStore(t.TempDir())
+		if err != nil {
 			t.Fatal(err)
 		}
-		return scanFile(path)
-	}(); err != nil {
-		t.Fatalf("v1 trace failed to scan: %v", err)
+		if err := os.WriteFile(st.Path("legacy"), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		h, err := st.Open("legacy")
+		if err != nil {
+			t.Fatalf("v%d trace failed to open: %v", ver, err)
+		}
+		if h.Indexed() {
+			t.Fatalf("v%d trace claims an index footer", ver)
+		}
+		if h.NumEpochs() != 2 || !h.Complete() || h.EventCount() != tr.EventCount() {
+			t.Fatalf("v%d handle stats: %d epochs, complete=%v, %d events",
+				ver, h.NumEpochs(), h.Complete(), h.EventCount())
+		}
+		got, err := h.Epochs(1, 2)
+		if err != nil || len(got) != 2 {
+			t.Fatalf("v%d lazy epochs: %v", ver, err)
+		}
+		h.Close()
+		e, err := st.Entry("legacy")
+		if err != nil || e.Err != nil || !e.Complete || e.Epochs != 2 || e.Indexed {
+			t.Fatalf("v%d entry: %+v (%v)", ver, e, err)
+		}
 	}
 
 	// An unknown future version is refused.
+	b := corpusTrace(t)
+	off := len(Magic) + 1
+	n, w := binary.Uvarint(b[off:])
+	payload := b[off+w : off+w+int(n)]
+	if payload[0] != Version {
+		t.Fatalf("header does not lead with the version varint: %d", payload[0])
+	}
 	payload[0] = Version + 1
-	binary.LittleEndian.PutUint32(v1[off+w+int(n):], crc32ieee(payload))
-	if _, err := Decode(v1); err == nil {
+	binary.LittleEndian.PutUint32(b[off+w+int(n):], crc32ieee(payload))
+	if _, err := Decode(b); err == nil {
 		t.Fatal("future header version accepted")
 	}
 }
@@ -185,9 +286,9 @@ func TestCorruptTraceCorpus(t *testing.T) {
 			if _, err := st.Load(name); err == nil {
 				t.Fatal("Load served a corrupt trace")
 			}
-			// scanFile errors.
-			if _, _, _, _, _, err := scanFile(st.Path(name)); err == nil {
-				t.Fatal("scanFile accepted a corrupt trace")
+			// The sequential scan errors.
+			if _, _, err := scanIndex(bytes.NewReader(mut)); err == nil {
+				t.Fatal("scanIndex accepted a corrupt trace")
 			}
 			// List degrades the entry and keeps the healthy neighbour whole.
 			entries, err := st.List()
@@ -199,6 +300,13 @@ func TestCorruptTraceCorpus(t *testing.T) {
 				switch e.Name {
 				case name:
 					sawBad = true
+					if name == "flipped-payload" || name == "flipped-crc" {
+						// The footer still parses (it fingerprints payloads,
+						// and the summary/trailer are intact), so the
+						// inventory entry stays clean; the damaged frame is
+						// discovered on fetch — Load above already failed.
+						break
+					}
 					if e.Err == nil || e.Header.App != "" {
 						t.Fatalf("corrupt entry not degraded: %+v", e)
 					}
@@ -215,6 +323,161 @@ func TestCorruptTraceCorpus(t *testing.T) {
 			os.Remove(st.Path(name))
 		})
 	}
+}
+
+// TestV3IndexDamageDegradesToScan: a damaged index region — torn index
+// frame, flipped index CRC, truncated trailer — must not cost the trace:
+// it loads through the scan path with a clean Entry, exactly as a v2 file
+// would, just without random access.
+func TestV3IndexDamageDegradesToScan(t *testing.T) {
+	valid := corpusTrace(t)
+	spans := frameSpans(t, valid)
+	ix := firstSpan(t, spans, frameIndex)
+
+	cases := map[string][]byte{}
+	// Torn index frame: cut mid-payload (the trailer goes with it).
+	cases["torn-index"] = append([]byte(nil), valid[:ix.start+5]...)
+	// Flipped index CRC byte: frame present but fails its checksum.
+	fl := append([]byte(nil), valid...)
+	fl[ix.end-1] ^= 0x01
+	cases["flipped-index-crc"] = fl
+	// Truncated trailer: index frame intact, locator gone.
+	cases["truncated-trailer"] = append([]byte(nil), valid[:len(valid)-5]...)
+
+	for name, mut := range cases {
+		t.Run(name, func(t *testing.T) {
+			tr, err := Decode(mut)
+			if err != nil {
+				t.Fatalf("damaged index region failed to salvage: %v", err)
+			}
+			if len(tr.Epochs) != 2 || tr.Summary == nil {
+				t.Fatalf("salvaged decode = %d epochs, summary %v", len(tr.Epochs), tr.Summary)
+			}
+			st, err := OpenStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(st.Path("x"), mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			e, err := st.Entry("x")
+			if err != nil || e.Err != nil {
+				t.Fatalf("entry degraded by index damage: %+v (%v)", e, err)
+			}
+			if e.Indexed || !e.Complete || e.Epochs != 2 {
+				t.Fatalf("entry = %+v, want scan-served complete trace", e)
+			}
+			got, err := st.Load("x")
+			if err != nil || len(got.Epochs) != 2 {
+				t.Fatalf("Load after index damage: %v", err)
+			}
+		})
+	}
+}
+
+// TestV3IndexLiesAreCorruption: an index that parses but lies about the
+// file — offsets outside the data region, or offsets landing on frames of
+// a different kind — is hard corruption, never a silent degrade.
+func TestV3IndexLiesAreCorruption(t *testing.T) {
+	valid := corpusTrace(t)
+
+	// withMutatedIndex re-frames the corpus trace with a mutated index.
+	withMutatedIndex := func(mutate func(*fileIndex)) []byte {
+		spans := frameSpans(t, valid)
+		ixSpan := firstSpan(t, spans, frameIndex)
+		n, w := binary.Uvarint(valid[ixSpan.start+1:])
+		payload := valid[ixSpan.start+1+w : ixSpan.start+1+w+int(n)]
+		ix, err := decodeIndex(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(ix)
+		out := append([]byte(nil), valid[:ixSpan.start]...)
+		newPayload := appendIndex(nil, ix)
+		out = append(out, frameIndex)
+		out = binary.AppendUvarint(out, uint64(len(newPayload)))
+		out = append(out, newPayload...)
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32ieee(newPayload))
+		out = append(out, crc[:]...)
+		var trailer [indexTrailerLen]byte
+		binary.LittleEndian.PutUint64(trailer[:8], uint64(ixSpan.start))
+		copy(trailer[8:], indexTrailerMagic)
+		return append(out, trailer[:]...)
+	}
+
+	t.Run("offset-past-eof", func(t *testing.T) {
+		mut := withMutatedIndex(func(ix *fileIndex) {
+			ix.epochs[1].off = int64(len(valid)) + 100
+		})
+		st, err := OpenStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(st.Path("liar"), mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		e, err := st.Entry("liar")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Err == nil {
+			t.Fatalf("out-of-bounds index accepted: %+v", e)
+		}
+		if _, err := st.Load("liar"); err == nil {
+			t.Fatal("Load served a trace whose index points past EOF")
+		}
+	})
+
+	t.Run("implausible-plen", func(t *testing.T) {
+		// A payload length near 2^63 must neither allocate nor overflow the
+		// bounds arithmetic into a panic. decodeIndex rejects it, which
+		// classifies the index as unparseable — the salvage path, like a
+		// torn index frame.
+		mut := withMutatedIndex(func(ix *fileIndex) {
+			ix.epochs[0].plen = 1 << 62
+		})
+		st, err := OpenStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(st.Path("huge"), mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := st.Load("huge") // must not panic
+		if err != nil || len(got.Epochs) != 2 {
+			t.Fatalf("Load after implausible index length: %v", err)
+		}
+		if e, err := st.Entry("huge"); err != nil || e.Err != nil || e.Indexed {
+			t.Fatalf("entry = %+v (%v), want clean scan-served entry", e, err)
+		}
+	})
+
+	t.Run("kind-mismatch", func(t *testing.T) {
+		spans := frameSpans(t, valid)
+		sum := firstSpan(t, spans, frameSum)
+		mut := withMutatedIndex(func(ix *fileIndex) {
+			// Point the last epoch at the summary frame (in bounds, right
+			// CRC for that frame, wrong kind).
+			ix.epochs[1].off = int64(sum.start)
+			ix.epochs[1].plen = sum.end - sum.start - 6 // minus kind, len byte, crc
+			ix.epochs[1].crc = crc32ieee(valid[sum.start+2 : sum.end-4])
+		})
+		st, err := OpenStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(st.Path("liar"), mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err = st.Load("liar")
+		if err == nil {
+			t.Fatal("Load served a trace whose index mislabels frame kinds")
+		}
+		if !strings.Contains(err.Error(), "kind") {
+			t.Fatalf("kind mismatch not surfaced as such: %v", err)
+		}
+	})
 }
 
 // TestImplausibleLengthDoesNotAllocate: the corrupted length must be caught
@@ -297,7 +560,8 @@ func TestTornFrameFromUnsizedStream(t *testing.T) {
 
 // TestStoreLoadDetectsSameSizeRewrite: a rewrite that preserves file size
 // (and possibly lands within mtime granularity) must not be served from the
-// decode cache.
+// decode cache — the content mark must differ even though, on an indexed
+// file, the final bytes (the trailer) are content-independent.
 func TestStoreLoadDetectsSameSizeRewrite(t *testing.T) {
 	st, err := OpenStore(filepath.Join(t.TempDir(), "traces"))
 	if err != nil {
@@ -338,7 +602,7 @@ func TestStoreLoadDetectsSameSizeRewrite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Summary.Exit != 1 {
+	if got.Summary.Exit != 1 || got.Epochs[0].Threads[0].Events[0].Ret != 1 {
 		t.Fatalf("first load exit = %d", got.Summary.Exit)
 	}
 
@@ -355,7 +619,10 @@ func TestStoreLoadDetectsSameSizeRewrite(t *testing.T) {
 		t.Fatal(err)
 	}
 	if got2.Summary.Exit != 2 {
-		t.Fatalf("stale cache served after same-size rewrite (exit = %d, want 2)", got2.Summary.Exit)
+		t.Fatalf("stale summary served after same-size rewrite (exit = %d, want 2)", got2.Summary.Exit)
+	}
+	if got2.Epochs[0].Threads[0].Events[0].Ret != 2 {
+		t.Fatal("stale cached epoch frame served after same-size rewrite")
 	}
 }
 
@@ -368,10 +635,9 @@ func TestSegmentJobValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	// No module.
-	if _, _, err := ReplaySegments(Job{Name: "x", Trace: tr}, 1); err == nil {
+	if _, _, err := ReplaySegments(Job{Name: "x", Handle: OpenTrace(tr)}, 1); err == nil {
 		t.Fatal("job without module accepted")
 	}
-	_ = core.Options{} // keep the core import honest if assertions change
 }
 
 // blockingTail returns its bytes, then fails loudly if read again — the

@@ -9,6 +9,7 @@ package trace
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/heap"
@@ -89,8 +90,8 @@ func (d *decoder) count() (int, error) {
 
 // --- header frame ---
 
-func appendHeader(b []byte, h Header) []byte {
-	b = putUvarint(b, Version)
+func appendHeader(b []byte, h Header, ver int) []byte {
+	b = putUvarint(b, uint64(ver))
 	b = putString(b, h.App)
 	b = putUvarint(b, h.ModuleHash)
 	b = putUvarint(b, uint64(h.EventCap))
@@ -110,6 +111,7 @@ func decodeHeader(payload []byte) (Header, error) {
 	if ver < MinVersion || ver > Version {
 		return h, fmt.Errorf("trace: unsupported header version %d (supported %d..%d)", ver, MinVersion, Version)
 	}
+	h.Version = int(ver)
 	if h.App, err = d.str(); err != nil {
 		return h, err
 	}
@@ -182,6 +184,7 @@ func appendEpoch(b []byte, ep *record.EpochLog) []byte {
 }
 
 func decodeEpoch(payload []byte) (*record.EpochLog, error) {
+	decodeProbe.epochs.Add(1)
 	d := &decoder{b: payload}
 	ep := &record.EpochLog{}
 	seq, err := d.uvarint()
@@ -325,7 +328,7 @@ func peekEpochMeta(payload []byte) (epoch int64, events int64, err error) {
 	return int64(seq), int64(n), nil
 }
 
-// --- checkpoint frame (format v2) ---
+// --- checkpoint frame (format v2; flags since v3) ---
 
 // Thread flag bits in a checkpoint frame.
 const (
@@ -334,9 +337,30 @@ const (
 	ckThreadHasCtx = 1 << 2
 )
 
+// Checkpoint frame flag bits (format v3; the flags varint leads the
+// payload). v2 payloads have no flags field, so the decoders take the
+// header version.
+const ckKeyframe = 1 << 0
+
+// decodeProbe counts frame-payload decodes — the test probe behind the
+// "reaching checkpoint k decodes at most K deltas" and "workers decode
+// only their own slice" guarantees. Cheap enough to leave on.
+var decodeProbe struct {
+	epochs atomic.Int64
+	ckpts  atomic.Int64
+}
+
 // appendCheckpoint serializes a checkpoint whose memory image has already
-// been delta-encoded (memDelta) by the caller.
-func appendCheckpoint(b []byte, ck *core.Checkpoint, memDelta []byte) ([]byte, error) {
+// been delta-encoded (memDelta) by the caller. ver selects the payload
+// layout: v3 leads with a flags varint (keyframe bit), v2 has none.
+func appendCheckpoint(b []byte, ck *core.Checkpoint, memDelta []byte, keyframe bool, ver int) ([]byte, error) {
+	if ver >= 3 {
+		var flags uint64
+		if keyframe {
+			flags |= ckKeyframe
+		}
+		b = putUvarint(b, flags)
+	}
 	b = putUvarint(b, uint64(ck.Epoch))
 	b = putUvarint(b, uint64(uint32(ck.NextTID)))
 	b = putUvarint(b, uint64(ck.OutputLen))
@@ -409,9 +433,22 @@ func appendCheckpoint(b []byte, ck *core.Checkpoint, memDelta []byte) ([]byte, e
 	return b, nil
 }
 
-func decodeCheckpoint(payload []byte) (*Checkpoint, error) {
+// decodeCheckpoint decodes one checkpoint frame. first marks the trace's
+// first checkpoint frame: legacy (pre-v3) delta chains have no flags
+// field, and their first frame is implicitly the chain's keyframe (its
+// delta was encoded against the empty image).
+func decodeCheckpoint(payload []byte, ver int, first bool) (*Checkpoint, error) {
+	decodeProbe.ckpts.Add(1)
 	d := &decoder{b: payload}
 	st := &core.Checkpoint{FS: &vsys.State{}}
+	keyframe := ver < 3 && first
+	if ver >= 3 {
+		flags, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		keyframe = flags&ckKeyframe != 0
+	}
 	epoch, err := d.uvarint()
 	if err != nil {
 		return nil, err
@@ -581,14 +618,24 @@ func decodeCheckpoint(payload []byte) (*Checkpoint, error) {
 	if !d.done() {
 		return nil, fmt.Errorf("trace: %d trailing bytes in checkpoint frame", len(d.b)-d.off)
 	}
-	return &Checkpoint{State: st, memDelta: append([]byte(nil), memDelta...)}, nil
+	return &Checkpoint{State: st, Keyframe: keyframe, memDelta: append([]byte(nil), memDelta...)}, nil
 }
 
-// peekCheckpointEpoch reads only the leading epoch field (inventory scans).
-func peekCheckpointEpoch(payload []byte) (int64, error) {
+// peekCheckpointMeta reads only the leading flags (v3) and epoch fields —
+// the inventory scan's fast path. first is interpreted as in
+// decodeCheckpoint (legacy chains: the first frame is the keyframe).
+func peekCheckpointMeta(payload []byte, ver int, first bool) (epoch int64, keyframe bool, err error) {
 	d := &decoder{b: payload}
+	keyframe = ver < 3 && first
+	if ver >= 3 {
+		flags, err := d.uvarint()
+		if err != nil {
+			return 0, false, err
+		}
+		keyframe = flags&ckKeyframe != 0
+	}
 	v, err := d.uvarint()
-	return int64(v), err
+	return int64(v), keyframe, err
 }
 
 // --- summary frame ---

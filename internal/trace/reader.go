@@ -112,9 +112,16 @@ func (r *Reader) readFrame() (byte, []byte, error) {
 		}
 		return 0, nil, err
 	}
+	payload, err := r.readFrameBody()
+	return kind, payload, err
+}
+
+// readFrameBody reads a frame's length, payload, and checksum — the kind
+// byte has already been consumed.
+func (r *Reader) readFrameBody() ([]byte, error) {
 	n, err := r.readUvarint()
 	if err != nil {
-		return 0, nil, fmt.Errorf("trace: torn frame length: %w", err)
+		return nil, fmt.Errorf("trace: torn frame length: %w", err)
 	}
 	// Bound the allocation before trusting the length: never beyond what the
 	// stream can still hold (when its size is known), and never beyond the
@@ -123,11 +130,11 @@ func (r *Reader) readFrame() (byte, []byte, error) {
 	const maxFrame = 1 << 30
 	if r.size >= 0 {
 		if remaining := r.size - r.consumed; int64(n)+4 > remaining {
-			return 0, nil, fmt.Errorf("trace: implausible frame length %d with %d bytes left", n, remaining)
+			return nil, fmt.Errorf("trace: implausible frame length %d with %d bytes left", n, remaining)
 		}
 	}
 	if n > maxFrame {
-		return 0, nil, fmt.Errorf("trace: implausible frame length %d", n)
+		return nil, fmt.Errorf("trace: implausible frame length %d", n)
 	}
 	// Inside a frame a bare io.EOF is still a torn frame; do not let it
 	// masquerade as a clean stream end through error wrapping.
@@ -139,30 +146,61 @@ func (r *Reader) readFrame() (byte, []byte, error) {
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r.br, payload); err != nil {
-		return 0, nil, fmt.Errorf("trace: torn frame payload: %w", noEOF(err))
+		return nil, fmt.Errorf("trace: torn frame payload: %w", noEOF(err))
 	}
 	var crcb [4]byte
 	if _, err := io.ReadFull(r.br, crcb[:]); err != nil {
-		return 0, nil, fmt.Errorf("trace: torn frame checksum: %w", noEOF(err))
+		return nil, fmt.Errorf("trace: torn frame checksum: %w", noEOF(err))
 	}
 	r.consumed += int64(n) + 4
 	want := uint32(crcb[0]) | uint32(crcb[1])<<8 | uint32(crcb[2])<<16 | uint32(crcb[3])<<24
 	if got := crc32.ChecksumIEEE(payload); got != want {
-		return 0, nil, fmt.Errorf("trace: frame checksum mismatch (%#x != %#x)", got, want)
+		return nil, fmt.Errorf("trace: frame checksum mismatch (%#x != %#x)", got, want)
 	}
-	return kind, payload, nil
+	return payload, nil
 }
 
-// checkTrailing verifies the stream ends cleanly after the summary frame: a
-// complete trace has exactly one end marker, so trailing data — whole frames
-// or garbage — marks a corrupt or tampered file. The check applies to
-// finite inputs only (files, byte slices), where it needs no read; probing
-// an unbounded stream (pipe, socket) would block Next on a live writer
-// that holds the descriptor open after Finish.
-func (r *Reader) checkTrailing() error {
-	if r.size >= 0 {
-		if rem := r.size - r.consumed; rem > 0 {
-			return fmt.Errorf("trace: %d trailing bytes after summary frame", rem)
+// consumeTail polices the bytes after the summary end marker. v1/v2
+// streams must end exactly there — trailing data marks a corrupt or
+// tampered file. v3 streams normally carry the index frame and its
+// 12-byte trailer: a torn or CRC-damaged index region is ignored (the
+// trace salvages to its scanned pre-summary content, the same degrade
+// path a v2 file takes), while trailing content that is not an index
+// region — or content after a valid one — is corruption. The check
+// applies to finite inputs only (files, byte slices); probing an
+// unbounded stream (pipe, socket) would block Next on a live writer that
+// holds the descriptor open after Finish.
+func (r *Reader) consumeTail() error {
+	if r.size < 0 {
+		return nil
+	}
+	rem := r.size - r.consumed
+	if rem == 0 {
+		return nil
+	}
+	if r.hdr.Version < 3 {
+		return fmt.Errorf("trace: %d trailing bytes after summary frame", rem)
+	}
+	kind, err := r.readByte()
+	if err != nil {
+		return nil // unreadable tail: salvage the scanned prefix
+	}
+	if kind != frameIndex {
+		return fmt.Errorf("trace: data after summary frame (kind %d)", kind)
+	}
+	if _, err := r.readFrameBody(); err != nil {
+		return nil // torn or CRC-damaged index frame: salvage
+	}
+	rem = r.size - r.consumed
+	if rem > indexTrailerLen {
+		return fmt.Errorf("trace: %d trailing bytes after index frame", rem-indexTrailerLen)
+	}
+	if rem > 0 {
+		// A short or damaged trailer still salvages; the footer open path
+		// simply will not find the index.
+		var tb [indexTrailerLen]byte
+		if _, err := io.ReadFull(r.br, tb[:rem]); err == nil {
+			r.consumed += rem
 		}
 	}
 	return nil
@@ -189,7 +227,7 @@ func (r *Reader) Next() (*record.EpochLog, error) {
 		case frameEpoch:
 			return decodeEpoch(payload)
 		case frameCkpt:
-			ck, err := decodeCheckpoint(payload)
+			ck, err := decodeCheckpoint(payload, r.hdr.Version, len(r.cks) == 0)
 			if err != nil {
 				return nil, err
 			}
@@ -198,7 +236,7 @@ func (r *Reader) Next() (*record.EpochLog, error) {
 			if r.sum, err = decodeSummary(payload); err != nil {
 				return nil, err
 			}
-			if err := r.checkTrailing(); err != nil {
+			if err := r.consumeTail(); err != nil {
 				return nil, err
 			}
 			r.done = true
@@ -246,56 +284,6 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	}
 	out.Checkpoints = cks
 	return out, nil
-}
-
-// scanFile reads a trace's inventory statistics — header, epoch, event and
-// checkpoint counts, completeness — touching only each frame's leading
-// fields. Every frame's CRC is still verified, but the thread lists and
-// checkpoint images are never materialized, so scanning a corpus costs IO,
-// not decode. Like Reader.Next, it rejects frames after the summary.
-func scanFile(path string) (hdr Header, epochs int, events int64, ckpts int, complete bool, err error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return hdr, 0, 0, 0, false, err
-	}
-	defer f.Close()
-	r, err := NewReader(f)
-	if err != nil {
-		return hdr, 0, 0, 0, false, err
-	}
-	hdr = r.Header()
-	for {
-		kind, payload, err := r.readFrame()
-		if errors.Is(err, io.EOF) {
-			return hdr, epochs, events, ckpts, complete, nil
-		}
-		if err != nil {
-			return hdr, 0, 0, 0, false, err
-		}
-		if complete {
-			// Reader.Next stops at the summary; a scan that kept counting
-			// here would report statistics no decode can reproduce.
-			return hdr, 0, 0, 0, false, errors.New("trace: data after summary frame")
-		}
-		switch kind {
-		case frameEpoch:
-			_, n, err := peekEpochMeta(payload)
-			if err != nil {
-				return hdr, 0, 0, 0, false, err
-			}
-			epochs++
-			events += n
-		case frameCkpt:
-			if _, err := peekCheckpointEpoch(payload); err != nil {
-				return hdr, 0, 0, 0, false, err
-			}
-			ckpts++
-		case frameSum:
-			complete = true
-		default:
-			return hdr, 0, 0, 0, false, fmt.Errorf("trace: unexpected frame kind %d", kind)
-		}
-	}
 }
 
 // ReadFile decodes the trace stored at path.

@@ -1,7 +1,7 @@
 package trace
 
-// Segment-parallel replay of one checkpointed trace. A format-v2 trace with
-// m checkpoint frames splits into m+1 independently replayable segments:
+// Segment-parallel replay of one checkpointed trace. A trace with m
+// checkpoint frames splits into m+1 independently replayable segments:
 //
 //	segment 0: program start      .. checkpoint 1   (PrepareReplay + Setup)
 //	segment i: checkpoint i       .. checkpoint i+1 (PrepareReplayAt)
@@ -9,11 +9,16 @@ package trace
 //
 // Segments replay concurrently on the shared worker pool, each with the
 // paper's one-segment divergence-retry bound (a retry rolls back to the
-// segment's start checkpoint, not to program start). Verification is by
-// stitching: every interior segment's end memory image must byte-match the
-// next checkpoint and its output volume the checkpoint's attribution; the
-// final segment checks the recorded exit/output oracle, with the re-emitted
-// outputs of all segments concatenated in order.
+// segment's start checkpoint, not to program start). Planning needs only
+// the trace's index — no decode — and each worker then decodes exactly its
+// own epoch slice and folds only the checkpoints bounding it (at most a
+// keyframe interval of deltas per fold), so a fan-out's memory and
+// cold-start cost are proportional to the segments in flight, not to the
+// recording. Verification is by stitching: every interior segment's end
+// memory image must byte-match the next checkpoint and its output volume
+// the checkpoint's attribution; the final segment checks the recorded
+// exit/output oracle, with the re-emitted outputs of all segments
+// concatenated in order.
 
 import (
 	"fmt"
@@ -21,7 +26,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/record"
 )
 
 // SegmentResult is one segment's replay outcome.
@@ -42,74 +46,75 @@ type SegmentResult struct {
 	Wall    time.Duration
 }
 
-// segment is one scheduled slice of the trace.
-type segment struct {
+// segPlan is one scheduled slice of the trace: an epoch range plus the
+// checkpoint ordinals bounding it (-1 = none).
+type segPlan struct {
 	first, last int64 // epoch range, inclusive
-	epochs      []*record.EpochLog
-	start       *core.Checkpoint // nil for segment 0
-	end         *core.Checkpoint // nil for the final segment
+	events      int64
+	startCk     int // checkpoint the segment resumes from; -1 for segment 0
+	endCk       int // checkpoint the segment must reach; -1 for the final one
 }
 
-// splitSegments partitions a trace's epochs at its checkpoints.
-func splitSegments(tr *Trace) ([]segment, error) {
-	states, err := tr.CheckpointStates()
-	if err != nil {
-		return nil, err
-	}
-	segs := make([]segment, 0, len(states)+1)
-	cur := segment{}
+// planSegments partitions a trace's epoch range at its checkpoints, from
+// the index alone.
+func planSegments(ix *fileIndex) ([]segPlan, error) {
+	plans := make([]segPlan, 0, len(ix.ckpts)+1)
+	cur := segPlan{startCk: -1, endCk: -1}
 	ci := 0
-	for _, ep := range tr.Epochs {
-		for ci < len(states) && states[ci].Epoch == ep.Epoch {
-			if len(cur.epochs) == 0 {
-				return nil, fmt.Errorf("trace: empty segment before checkpoint at epoch %d", ep.Epoch)
+	for i := range ix.epochs {
+		seq := ix.epochs[i].seq
+		for ci < len(ix.ckpts) && ix.ckpts[ci].epoch == seq {
+			if cur.first == 0 {
+				return nil, fmt.Errorf("trace: empty segment before checkpoint at epoch %d", seq)
 			}
-			cur.end = states[ci]
-			segs = append(segs, cur)
-			cur = segment{start: states[ci]}
+			cur.endCk = ci
+			plans = append(plans, cur)
+			cur = segPlan{startCk: ci, endCk: -1}
 			ci++
 		}
-		if len(cur.epochs) == 0 {
-			cur.first = ep.Epoch
-		} else if ep.Epoch != cur.last+1 {
-			return nil, fmt.Errorf("trace: non-contiguous epochs %d..%d", cur.last, ep.Epoch)
+		if cur.first == 0 {
+			cur.first = seq
+		} else if seq != cur.last+1 {
+			return nil, fmt.Errorf("trace: non-contiguous epochs %d..%d", cur.last, seq)
 		}
-		cur.last = ep.Epoch
-		cur.epochs = append(cur.epochs, ep)
+		cur.last = seq
+		cur.events += ix.epochs[i].events
 	}
-	if ci != len(states) {
-		return nil, fmt.Errorf("trace: checkpoint at epoch %d beyond the last epoch frame", states[ci].Epoch)
+	if ci != len(ix.ckpts) {
+		return nil, fmt.Errorf("trace: checkpoint at epoch %d beyond the last epoch frame", ix.ckpts[ci].epoch)
 	}
-	if len(cur.epochs) == 0 {
+	if cur.first == 0 {
 		return nil, fmt.Errorf("trace: trace has no epochs")
 	}
-	segs = append(segs, cur)
-	return segs, nil
+	plans = append(plans, cur)
+	return plans, nil
 }
 
-// ReplaySegments replays one checkpointed trace segment-parallel: the trace
-// is split at its checkpoint frames, the segments fan out across the worker
-// pool (workers <= 0 selects GOMAXPROCS), and the results are stitched. A
-// trace without checkpoint frames yields a single whole-program segment —
-// identical to an ordinary replay. Results are in segment order; the error
-// reports the first stitching failure, if any.
+// ReplaySegments replays one checkpointed trace segment-parallel: the
+// trace is split at its checkpoint frames (planned from the index, no
+// decode), the segments fan out across the worker pool (workers <= 0
+// selects GOMAXPROCS) with each worker decoding only its own slice, and
+// the results are stitched. A trace without checkpoint frames yields a
+// single whole-program segment — identical to an ordinary replay. Results
+// are in segment order; the error reports the first stitching failure, if
+// any.
 func ReplaySegments(j Job, workers int) ([]SegmentResult, BatchStats, error) {
 	if err := j.validate(); err != nil {
 		return nil, BatchStats{}, err
 	}
-	segs, err := splitSegments(j.Trace)
+	plans, err := planSegments(j.Handle.idx)
 	if err != nil {
 		return nil, BatchStats{}, err
 	}
 
-	results := make([]SegmentResult, len(segs))
-	elapsed := runPool(len(segs), workers, func(i int) {
-		results[i] = runSegment(&j, i, &segs[i])
+	results := make([]SegmentResult, len(plans))
+	elapsed := runPool(len(plans), workers, func(i int) {
+		results[i] = runSegment(&j, i, &plans[i])
 	})
 
-	stats := BatchStats{Jobs: len(segs), Elapsed: elapsed}
+	stats := BatchStats{Jobs: len(plans), Elapsed: elapsed}
 	var firstErr error
-	outputs := make([]string, len(segs))
+	outputs := make([]string, len(plans))
 	for i := range results {
 		r := &results[i]
 		stats.Work += r.Wall
@@ -121,9 +126,7 @@ func ReplaySegments(j Job, workers int) ([]SegmentResult, BatchStats, error) {
 			continue
 		}
 		stats.Matched++
-		for _, ep := range segs[i].epochs {
-			stats.Events += int64(ep.EventCount())
-		}
+		stats.Events += plans[i].events
 		if r.Report != nil {
 			stats.Attempts += int64(r.Report.Stats.LastReplayAttempts)
 			outputs[i] = r.Report.Output
@@ -133,33 +136,84 @@ func ReplaySegments(j Job, workers int) ([]SegmentResult, BatchStats, error) {
 	// must reproduce the recorded program output exactly. (Each segment's
 	// volume was already checked against its end checkpoint's attribution;
 	// this catches content-level mismatches across the whole run.)
-	if firstErr == nil && j.Trace.Summary != nil {
-		if got := strings.Join(outputs, ""); got != j.Trace.Summary.Output {
+	if firstErr == nil && j.Handle.Summary() != nil {
+		if got := strings.Join(outputs, ""); got != j.Handle.Summary().Output {
 			firstErr = fmt.Errorf("trace: stitched output (%d bytes) differs from recording (%d bytes)",
-				len(got), len(j.Trace.Summary.Output))
+				len(got), len(j.Handle.Summary().Output))
 			stats.Failed++
 		}
 	}
 	return results, stats, firstErr
 }
 
-// runSegment replays one segment through the divergence-checking replay path.
-func runSegment(j *Job, i int, sg *segment) (res SegmentResult) {
+// ReplayMidSegment replays only the middle segment of a checkpointed
+// trace — the cold-start shape: an open store, one segment's checkpoints
+// folded and epochs decoded, and nothing else touched. It is the probe
+// behind BenchmarkSegmentColdStart and the "segment-coldstart" perf row;
+// interior segments verify by byte-matching their end checkpoint exactly
+// as in ReplaySegments.
+func ReplayMidSegment(j Job) (SegmentResult, BatchStats, error) {
+	if err := j.validate(); err != nil {
+		return SegmentResult{}, BatchStats{}, err
+	}
+	plans, err := planSegments(j.Handle.idx)
+	if err != nil {
+		return SegmentResult{}, BatchStats{}, err
+	}
+	i := len(plans) / 2
+	start := time.Now()
+	res := runSegment(&j, i, &plans[i])
+	stats := BatchStats{Jobs: 1, Elapsed: time.Since(start), Work: res.Wall}
+	if !res.Matched {
+		stats.Failed++
+		return res, stats, fmt.Errorf("segment %s: %w", res.Name, res.Err)
+	}
+	stats.Matched++
+	stats.Events = plans[i].events
+	if res.Report != nil {
+		stats.Attempts = int64(res.Report.Stats.LastReplayAttempts)
+	}
+	return res, stats, nil
+}
+
+// runSegment replays one segment through the divergence-checking replay
+// path, fetching its own epoch slice and checkpoint folds from the handle.
+func runSegment(j *Job, i int, plan *segPlan) (res SegmentResult) {
 	res = SegmentResult{
-		Name:       fmt.Sprintf("%s@%d-%d", j.Name, sg.first, sg.last),
+		Name:       fmt.Sprintf("%s@%d-%d", j.Name, plan.first, plan.last),
 		Seg:        i,
-		FirstEpoch: sg.first,
-		LastEpoch:  sg.last,
+		FirstEpoch: plan.first,
+		LastEpoch:  plan.last,
 	}
 	start := time.Now()
 	defer func() { res.Wall = time.Since(start) }()
 
-	rt, err := core.PrepareReplayAt(j.Module, sg.start, sg.epochs, sg.end, j.Opts)
+	var startCk, endCk *core.Checkpoint
+	var err error
+	if plan.startCk >= 0 {
+		if startCk, err = j.Handle.CheckpointAt(plan.startCk); err != nil {
+			res.Err = err
+			return res
+		}
+	}
+	if plan.endCk >= 0 {
+		if endCk, err = j.Handle.CheckpointAt(plan.endCk); err != nil {
+			res.Err = err
+			return res
+		}
+	}
+	epochs, err := j.Handle.Epochs(plan.first, plan.last)
 	if err != nil {
 		res.Err = err
 		return res
 	}
-	if sg.start == nil && j.Setup != nil {
+
+	rt, err := core.PrepareReplayAt(j.Module, startCk, epochs, endCk, j.Opts)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	if startCk == nil && j.Setup != nil {
 		// Only the first segment recreates recording-time OS state; later
 		// segments restore it from their checkpoint.
 		if err := j.Setup(rt); err != nil {
@@ -176,10 +230,10 @@ func runSegment(j *Job, i int, sg *segment) (res SegmentResult) {
 	}
 	res.Matched = true
 	res.Err = err // a reproduced fault arrives here, alongside the report
-	if sg.end == nil {
+	if endCk == nil {
 		// Final segment: the recorded exit value is the oracle (output is
 		// stitched across all segments by the caller).
-		if sum := j.Trace.Summary; sum != nil && rep.Exit != sum.Exit {
+		if sum := j.Handle.Summary(); sum != nil && rep.Exit != sum.Exit {
 			res.Matched = false
 			res.Err = fmt.Errorf("trace: final segment replayed exit %d, recorded %d", rep.Exit, sum.Exit)
 		}

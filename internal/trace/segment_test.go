@@ -60,7 +60,7 @@ func segmentJob(t testing.TB, spec workloads.Spec, tr *Trace, opts core.Options)
 		t.Fatal(err)
 	}
 	return Job{
-		Name: spec.Name, Module: mod, Trace: tr, Opts: opts,
+		Name: spec.Name, Module: mod, Handle: OpenTrace(tr), Opts: opts,
 		Setup: func(rt *core.Runtime) error { spec.SetupOS(rt.OS()); return nil },
 	}
 }

@@ -1,8 +1,10 @@
 package trace
 
-// Tests for the bounded decode cache: budget enforcement, LRU eviction
-// order, the always-cache-the-working-trace guarantee, and the hit/miss
-// counters the daemon's /metrics endpoint reports.
+// Tests for the bounded frame-granular decode cache: budget enforcement,
+// LRU eviction order, the always-cache-the-working-frame guarantee, and
+// the hit/miss counters the daemon's /metrics endpoint reports. The unit
+// of caching is one decoded epoch or checkpoint frame, costed at its
+// decoded size — never the file size.
 
 import (
 	"testing"
@@ -10,7 +12,7 @@ import (
 	"repro/internal/record"
 )
 
-// cacheTestTrace builds a small but non-trivial encodable trace.
+// cacheTestTrace builds a small but non-trivial encodable one-epoch trace.
 func cacheTestTrace(seed int64) *Trace {
 	ep := &record.EpochLog{
 		Epoch:  1,
@@ -48,6 +50,12 @@ func seedCacheStore(t *testing.T, n int) *Store {
 
 var names = []string{"a", "b", "c", "d"}
 
+// frameCost returns what one cached epoch of the fixture costs.
+func frameCost(t *testing.T) int64 {
+	t.Helper()
+	return epochCost(cacheTestTrace(0).Epochs[0])
+}
+
 func TestStoreCacheHitsAndMisses(t *testing.T) {
 	st := seedCacheStore(t, 2)
 	if _, err := st.Load("a"); err != nil {
@@ -61,49 +69,43 @@ func TestStoreCacheHitsAndMisses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tr1 != tr2 {
-		t.Fatal("repeated Load did not serve the cached decode")
+	if tr1.Epochs[0] != tr2.Epochs[0] {
+		t.Fatal("repeated Load did not serve the cached epoch decode")
 	}
 	stats := st.Stats()
-	if stats.Hits != 2 || stats.Misses != 1 || stats.CachedTraces != 1 {
+	// One epoch frame per load: 1 miss on the first, a hit on each rerun.
+	if stats.Hits != 2 || stats.Misses != 1 || stats.CachedFrames != 1 {
 		t.Fatalf("stats after 3 loads of one trace: %+v", stats)
 	}
 	if r := stats.HitRate(); r < 0.66 || r > 0.67 {
 		t.Fatalf("hit rate %v, want 2/3", r)
+	}
+	if stats.CachedBytes != frameCost(t) {
+		t.Fatalf("cache cost %d, want the decoded epoch's cost %d", stats.CachedBytes, frameCost(t))
 	}
 
 	// Save invalidates without counting as an eviction.
 	if _, err := st.Save("a", cacheTestTrace(10)); err != nil {
 		t.Fatal(err)
 	}
-	if stats := st.Stats(); stats.CachedTraces != 0 || stats.Evictions != 0 {
+	if stats := st.Stats(); stats.CachedFrames != 0 || stats.Evictions != 0 {
 		t.Fatalf("stats after invalidating save: %+v", stats)
 	}
 	tr3, err := st.Load("a")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tr3 == tr1 {
+	if tr3.Epochs[0] == tr1.Epochs[0] {
 		t.Fatal("Load after Save served the stale decode")
 	}
 }
 
 func TestStoreCacheLRUEviction(t *testing.T) {
 	st := seedCacheStore(t, 4)
-	entries, err := st.List()
-	if err != nil {
-		t.Fatal(err)
-	}
-	var fileSize int64
-	for _, e := range entries {
-		if e.Err != nil {
-			t.Fatalf("entry %s: %v", e.Name, e.Err)
-		}
-		fileSize = e.Size
-	}
+	cost := frameCost(t)
 
-	// Budget for exactly two cached decodes.
-	st.SetCacheLimit(2 * fileSize)
+	// Budget for exactly two cached epoch frames.
+	st.SetCacheLimit(2 * cost)
 	for _, n := range []string{"a", "b"} {
 		if _, err := st.Load(n); err != nil {
 			t.Fatal(err)
@@ -117,7 +119,7 @@ func TestStoreCacheLRUEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	stats := st.Stats()
-	if stats.CachedTraces != 2 || stats.Evictions != 1 {
+	if stats.CachedFrames != 2 || stats.Evictions != 1 {
 		t.Fatalf("stats after first eviction: %+v", stats)
 	}
 	if stats.CachedBytes > stats.LimitBytes {
@@ -139,9 +141,9 @@ func TestStoreCacheLRUEviction(t *testing.T) {
 	}
 }
 
-func TestStoreCacheKeepsWorkingTrace(t *testing.T) {
+func TestStoreCacheKeepsWorkingFrame(t *testing.T) {
 	st := seedCacheStore(t, 1)
-	// A budget smaller than one file still caches the trace being loaded —
+	// A budget smaller than one frame still caches the frame being decoded —
 	// the fan-out case must never decode per replay.
 	st.SetCacheLimit(1)
 	if _, err := st.Load("a"); err != nil {
@@ -151,8 +153,8 @@ func TestStoreCacheKeepsWorkingTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	stats := st.Stats()
-	if stats.CachedTraces != 1 || stats.Hits != 1 {
-		t.Fatalf("undersized budget evicted the working trace: %+v", stats)
+	if stats.CachedFrames != 1 || stats.Hits != 1 {
+		t.Fatalf("undersized budget evicted the working frame: %+v", stats)
 	}
 }
 
@@ -165,7 +167,7 @@ func TestStoreCacheDisabled(t *testing.T) {
 		}
 	}
 	stats := st.Stats()
-	if stats.CachedTraces != 0 || stats.Hits != 0 || stats.Misses != 2 {
+	if stats.CachedFrames != 0 || stats.Hits != 0 || stats.Misses != 2 {
 		t.Fatalf("disabled cache stats: %+v", stats)
 	}
 
@@ -174,8 +176,8 @@ func TestStoreCacheDisabled(t *testing.T) {
 	if _, err := st.Load("a"); err != nil {
 		t.Fatal(err)
 	}
-	st.SetCacheLimit(1) // below the file size: evicts the entry
-	if got := st.Stats(); got.CachedTraces != 0 {
+	st.SetCacheLimit(1) // below the frame cost: evicts the entry
+	if got := st.Stats(); got.CachedFrames != 0 {
 		t.Fatalf("SetCacheLimit did not shrink the cache: %+v", got)
 	}
 }

@@ -7,10 +7,12 @@
 // The on-disk layout is a magic string followed by self-delimiting,
 // CRC-checked frames:
 //
-//	file    := magic frame*
+//	file    := magic frame* [index-frame trailer]
 //	magic   := "IRTRACE1" (8 bytes)
 //	frame   := kind:1 len:uvarint payload:len crc32(payload):4 (LE, IEEE)
 //	kinds   := 1 header | 2 epoch | 3 summary (end marker) | 4 checkpoint
+//	           | 5 index (footer, format v3)
+//	trailer := indexOff:8 (LE) "IRX3"
 //
 // The header frame carries the format version, an application label, the
 // recorded module's fingerprint (tir.Fingerprint), and the recording
@@ -32,12 +34,23 @@
 // the chain back). Checkpoints split a long trace into independently
 // replayable segments (segment.go); v1 traces, which have none, still load.
 //
+// Format v3 adds random access: the writer closes the file with an index
+// footer frame (byte offsets, payload lengths, and CRCs of every epoch and
+// checkpoint frame, plus per-frame statistics) located by a fixed trailer,
+// so inventory scans and single-trace inspection cost one footer read, and
+// a Handle can decode exactly the epoch range or checkpoint a consumer
+// asks for (handle.go). Checkpoint frames gain a flags field whose
+// keyframe bit marks full-image frames (written every K checkpoints,
+// Writer.SetKeyframeEvery), bounding the fold to reach checkpoint k at K
+// deltas. A damaged index region degrades the file to the v2 scan path; an
+// index that parses but lies about the file is hard corruption.
+//
 // Writer streams epochs as the runtime flushes them (Writer.Sink plugs
 // directly into core.Options.TraceSink, Writer.CheckpointSink into
 // core.Options.CheckpointSink); Reader validates and decodes. Store manages
-// a directory of traces indexed by module fingerprint with an in-memory
-// decode cache, and batch.go fans stored traces across a worker pool for
-// parallel offline replay.
+// a directory of traces indexed by module fingerprint with a byte-bounded
+// frame-granular decode cache, and batch.go fans stored traces across a
+// worker pool for parallel offline replay.
 package trace
 
 import (
@@ -54,9 +67,11 @@ import (
 // version covers compatible revisions).
 const Magic = "IRTRACE1"
 
-// Version is the current header version. Version 2 added checkpoint frames;
-// version-1 traces (no checkpoints) load unchanged.
-const Version = 2
+// Version is the current header version. Version 2 added checkpoint
+// frames; version 3 added the index footer frame, the checkpoint flags
+// field (keyframe bit), and the keyframe interval. v1 and v2 traces load
+// unchanged through the scan path.
+const Version = 3
 
 // MinVersion is the oldest header version the reader accepts.
 const MinVersion = 1
@@ -67,12 +82,17 @@ const (
 	frameEpoch  byte = 2
 	frameSum    byte = 3
 	frameCkpt   byte = 4
+	frameIndex  byte = 5
 )
 
 // Header describes a recording. EventCap, VarCap, and Seed are the
 // recording options an offline replay must reuse for addresses and epoch
 // structure to reproduce.
 type Header struct {
+	// Version is the format version the stream declared. It is set on
+	// decode and ignored on encode — writers always write the current
+	// Version.
+	Version int
 	// App is a free-form application label (workload name for the bundled
 	// apps).
 	App string
@@ -106,8 +126,13 @@ type Checkpoint struct {
 	// State is the checkpoint with State.Snap == nil. Immutable: segment
 	// replays running in parallel share it.
 	State *core.Checkpoint
+	// Keyframe marks a frame whose memory delta was encoded against the
+	// empty image (a full snapshot): the fold base readers restart from.
+	// The writer emits one every K checkpoints (Writer.SetKeyframeEvery);
+	// in v2 traces only the chain's first checkpoint is one.
+	Keyframe bool
 	// memDelta is the raw delta/zero-run encoding of the memory image
-	// against the previous checkpoint's (nil base for the first).
+	// against the previous checkpoint's (the empty image for keyframes).
 	memDelta []byte
 }
 
@@ -125,14 +150,19 @@ type Trace struct {
 }
 
 // CheckpointStates folds the delta chain and returns every checkpoint with
-// its full memory image materialized. The returned checkpoints (and their
-// snapshots) are fresh per call except for the shared immutable State
-// fields; callers must not mutate them.
+// its full memory image materialized. Keyframes restart the fold from the
+// empty image. The returned checkpoints (and their snapshots) are fresh
+// per call except for the shared immutable State fields; callers must not
+// mutate them.
 func (t *Trace) CheckpointStates() ([]*core.Checkpoint, error) {
 	var prev *mem.Snapshot
 	out := make([]*core.Checkpoint, len(t.Checkpoints))
 	for i, ck := range t.Checkpoints {
-		snap, err := mem.ApplySnapshotDelta(prev, ck.memDelta)
+		base := prev
+		if ck.Keyframe {
+			base = nil
+		}
+		snap, err := mem.ApplySnapshotDelta(base, ck.memDelta)
 		if err != nil {
 			return nil, fmt.Errorf("trace: checkpoint %d (epoch %d): %w", i, ck.Epoch(), err)
 		}
@@ -142,6 +172,35 @@ func (t *Trace) CheckpointStates() ([]*core.Checkpoint, error) {
 		prev = snap
 	}
 	return out, nil
+}
+
+// foldCheckpoints folds the delta chain from the nearest keyframe at or
+// before k and returns checkpoint k with its memory image materialized —
+// the bounded-work path behind Handle.CheckpointAt: at most the keyframe
+// interval's worth of deltas are applied.
+func foldCheckpoints(cks []*Checkpoint, k int) (*core.Checkpoint, error) {
+	if k < 0 || k >= len(cks) {
+		return nil, fmt.Errorf("trace: checkpoint %d out of range [0,%d)", k, len(cks))
+	}
+	j := k
+	for j > 0 && !cks[j].Keyframe {
+		j--
+	}
+	var prev *mem.Snapshot
+	for i := j; i <= k; i++ {
+		base := prev
+		if cks[i].Keyframe {
+			base = nil
+		}
+		snap, err := mem.ApplySnapshotDelta(base, cks[i].memDelta)
+		if err != nil {
+			return nil, fmt.Errorf("trace: checkpoint %d (epoch %d): %w", i, cks[i].Epoch(), err)
+		}
+		prev = snap
+	}
+	st := *cks[k].State
+	st.Snap = prev
+	return &st, nil
 }
 
 // EventCount sums events across all epochs.

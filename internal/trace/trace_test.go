@@ -143,8 +143,10 @@ func TestCorruptionDetected(t *testing.T) {
 	if _, err := Decode(mut); err == nil {
 		t.Fatal("corrupted trace decoded without error")
 	}
-	// Truncation mid-frame is torn, not silently accepted.
-	if _, err := Decode(b[:len(b)-2]); err == nil {
+	// Truncation mid-frame is torn, not silently accepted. (Cut inside the
+	// epoch frame: the final bytes are the index region, whose damage
+	// legitimately salvages.)
+	if _, err := Decode(b[:headerFrameEnd(t, b)+5]); err == nil {
 		t.Fatal("torn trace decoded without error")
 	}
 }
@@ -232,8 +234,10 @@ func TestStoreRoundTripAndIndex(t *testing.T) {
 	if !reflect.DeepEqual(got.Header, tr.Header) || len(got.Epochs) != len(tr.Epochs) {
 		t.Fatal("Load after Save decoded different content")
 	}
-	if again, err := st.Load("dedup-1"); err != nil || again != got {
-		t.Fatalf("second Load did not hit the decode cache: %v", err)
+	// The cache works at frame granularity: a second Load assembles a fresh
+	// Trace from the same cached epoch decodes.
+	if again, err := st.Load("dedup-1"); err != nil || again.Epochs[0] != got.Epochs[0] {
+		t.Fatalf("second Load did not hit the frame cache: %v", err)
 	}
 	// A second store over the same directory decodes from disk.
 	st2, err := OpenStore(st.Dir())
@@ -250,8 +254,8 @@ func TestStoreRoundTripAndIndex(t *testing.T) {
 	if !reflect.DeepEqual(got2.Header, tr.Header) || len(got2.Epochs) != len(tr.Epochs) {
 		t.Fatal("disk round-trip mismatch")
 	}
-	if l3, err := st2.Load("dedup-1"); err != nil || l3 != got2 {
-		t.Fatalf("second Load did not hit the cache: %v", err)
+	if l3, err := st2.Load("dedup-1"); err != nil || l3.Epochs[0] != got2.Epochs[0] {
+		t.Fatalf("second Load did not hit the frame cache: %v", err)
 	}
 
 	entries, err := st2.List()
@@ -291,7 +295,7 @@ func TestBatchReplayMatchesRecording(t *testing.T) {
 		t.Fatal(err)
 	}
 	job := Job{
-		Name: spec.Name, Module: mod, Trace: tr, Opts: opts,
+		Name: spec.Name, Module: mod, Handle: OpenTrace(tr), Opts: opts,
 		Setup: func(rt *core.Runtime) error { spec.SetupOS(rt.OS()); return nil },
 	}
 	results, stats := ReplayBatch(Fanout(job, 6), 3)

@@ -21,12 +21,15 @@
 // (internal/baseline/...), and the synthesized applications
 // (internal/workloads) all build on exactly this surface.
 //
-// Above the library sit the persistent trace layer (internal/trace: a
-// store of replayable recordings), the replay-time analysis subsystem
-// (internal/analysis), and the trace service (internal/sched +
-// internal/server + cmd/ir-served), which serves one store to many
-// clients over HTTP with scheduled, cancelable record/replay/analyze
-// jobs. See docs/ARCHITECTURE.md for the subsystem map.
+// Above the library sit the persistent trace layer (internal/trace: an
+// indexed store of replayable recordings with random-access Handles —
+// epoch ranges and checkpoints decode on demand, so consumers pay for the
+// segments they touch, not the recordings they store), the replay-time
+// analysis subsystem (internal/analysis), and the trace service
+// (internal/sched + internal/server + cmd/ir-served), which serves one
+// store to many clients over HTTP with scheduled, cancelable
+// record/replay/analyze jobs. See docs/ARCHITECTURE.md for the subsystem
+// map.
 package ireplayer
 
 import (
