@@ -6,18 +6,32 @@
 //	ir-run -app fluidanimate -sys iReplayer
 //	ir-run -app x264 -sys CLAP -scale 0.5
 //	ir-run -asm prog.tir -replay
+//
+// With -flight N it becomes an always-on flight recorder: the run streams
+// into a bounded ring that retains roughly the last N epochs, and the
+// retained suffix spills into the trace store on a fault, on SIGINT/SIGTERM,
+// or (with -spill) on clean exit. A SIGKILLed run leaves the ring on disk;
+// `ir-trace salvage` recovers it.
+//
+//	ir-run -app memcached -flight 8 -flight-dir ./traces
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/mem"
 	"repro/internal/tir"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -38,6 +52,13 @@ func main() {
 	sys := flag.String("sys", "iReplayer", "baseline | IR-Alloc | iReplayer | CLAP | RR | detect | ASan")
 	scale := flag.Float64("scale", 1.0, "iteration scale")
 	norm := flag.Bool("normalized", false, "also report runtime normalized to baseline")
+	seed := flag.Int64("seed", 42, "external-nondeterminism seed")
+	eventCap := flag.Int("eventcap", 0, "per-thread event list size (0 = default)")
+	flightN := flag.Int("flight", 0,
+		"flight-recorder mode: retain roughly the last N epochs in a bounded on-disk ring, spilling a replayable suffix to -flight-dir on fault or signal (0 = off)")
+	flightDir := flag.String("flight-dir", "traces", "trace store the flight recorder spills into")
+	flightName := flag.String("flight-name", "", "trace name for the spill (default: the app name)")
+	spill := flag.Bool("spill", false, "with -flight: spill the retained suffix on clean exit too")
 	flag.Parse()
 
 	if *asmFile != "" {
@@ -67,8 +88,15 @@ func main() {
 			spec.Iters = 3
 		}
 	}
+	if *flightN > 0 {
+		if err := runFlight(spec, *flightDir, *flightName, *flightN, *seed, *eventCap, *spill); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	start := time.Now()
-	d, err := bench.RunOnce(spec, system, 42)
+	d, err := bench.RunOnce(spec, system, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "run failed: %v\n", err)
 		os.Exit(1)
@@ -81,6 +109,90 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("normalized runtime: %.3f\n", r)
+	}
+}
+
+// runFlight runs spec with a flight recorder attached. The spill policy is
+// the flight recorder's contract: a reproduced fault or a SIGINT/SIGTERM
+// always spills the retained suffix (the evidence), a clean exit discards
+// the ring unless -spill asked for it, and SIGKILL (which no process can
+// catch) leaves the ring behind for `ir-trace salvage`.
+func runFlight(spec workloads.Spec, dir, name string, retain int, seed int64, eventCap int, spillClean bool) error {
+	mod, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	st, err := trace.OpenStore(dir)
+	if err != nil {
+		return err
+	}
+	if name == "" {
+		name = spec.Name
+	}
+	rec, err := flight.New(flight.RingPath(st, name), trace.Header{
+		App:        spec.Name,
+		ModuleHash: tir.Fingerprint(mod),
+		EventCap:   eventCap,
+		Seed:       seed,
+		AppIters:   spec.Iters,
+	}, retain)
+	if err != nil {
+		return err
+	}
+	defer rec.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rt, err := core.New(mod, core.Options{
+		Seed: seed, EventCap: eventCap,
+		FlightRecorder: rec,
+		Interrupt:      ctx.Err,
+	})
+	if err != nil {
+		return err
+	}
+	spec.SetupOS(rt.OS())
+
+	start := time.Now()
+	rep, runErr := rt.Run()
+	wall := time.Since(start).Round(time.Millisecond)
+	if rep == nil {
+		return runErr
+	}
+	signaled := runErr != nil && (errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded))
+
+	doSpill := func(sum *trace.Summary, why string) error {
+		stats, err := rec.Spill(st, name, sum)
+		if err != nil {
+			return fmt.Errorf("flight spill: %w", err)
+		}
+		fmt.Printf("flight: %s; spilled %d epochs (from epoch %d), %d bytes -> %s\n",
+			why, stats.Epochs, stats.FirstEpoch, stats.Bytes, st.Path(name))
+		return nil
+	}
+	switch {
+	case signaled:
+		// No exit/output oracle: the run did not finish. The suffix stores a
+		// partial summary and still replays its schedule.
+		if err := doSpill(nil, "interrupted by signal"); err != nil {
+			return err
+		}
+		return nil
+	case runErr != nil:
+		// A reproduced fault is exactly what the flight recorder exists for.
+		if err := doSpill(&trace.Summary{Exit: rep.Exit, Output: rep.Output}, "fault reproduced"); err != nil {
+			return err
+		}
+		return fmt.Errorf("%s faulted after %v: %w", spec.Name, wall, runErr)
+	case spillClean:
+		if err := doSpill(&trace.Summary{Exit: rep.Exit, Output: rep.Output}, "clean exit (-spill)"); err != nil {
+			return err
+		}
+		return nil
+	default:
+		fmt.Printf("flight: %s exited cleanly (exit=%d, %d epochs, wall=%v); ring discarded\n",
+			spec.Name, rep.Exit, rep.Stats.Epochs, wall)
+		return nil
 	}
 }
 

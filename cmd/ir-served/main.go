@@ -10,6 +10,7 @@
 //	ir-served -dir ./traces                        # serve on :7077
 //	ir-served -addr 127.0.0.1:9000 -workers 8      # bigger pool
 //	ir-served -queue-depth 64 -cache-mb 128        # tighter bounds
+//	ir-served -gc-max-mb 512 -gc-max-age 72h       # bounded store (pins exempt)
 //
 // Driving it (see docs/CLI.md for the full API):
 //
@@ -46,15 +47,27 @@ func main() {
 	cacheMB := flag.Int64("cache-mb", 0, "decode cache budget in MiB (0 = default 256)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
 		"how long shutdown waits for accepted jobs before canceling them")
+	gcMaxMB := flag.Int64("gc-max-mb", 0,
+		"retention cap on summed stored trace bytes in MiB; oldest unpinned traces go first (0 = unlimited)")
+	gcMaxAge := flag.Duration("gc-max-age", 0,
+		"remove unpinned traces not modified within this window (0 = unlimited)")
+	gcInterval := flag.Duration("gc-interval", 0,
+		"background retention pass cadence (0 = default 1m; only runs when a bound is set)")
 	flag.Parse()
 
-	if err := run(*addr, *dir, *workers, *queueDepth, *cacheMB, *drainTimeout); err != nil {
+	cfg := server.Config{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		GC:         trace.GCPolicy{MaxBytes: *gcMaxMB << 20, MaxAge: *gcMaxAge},
+		GCInterval: *gcInterval,
+	}
+	if err := run(*addr, *dir, *cacheMB, *drainTimeout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "ir-served:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dir string, workers, queueDepth int, cacheMB int64, drainTimeout time.Duration) error {
+func run(addr, dir string, cacheMB int64, drainTimeout time.Duration, cfg server.Config) error {
 	st, err := trace.OpenStore(dir)
 	if err != nil {
 		return err
@@ -62,7 +75,8 @@ func run(addr, dir string, workers, queueDepth int, cacheMB int64, drainTimeout 
 	if cacheMB > 0 {
 		st.SetCacheLimit(cacheMB << 20)
 	}
-	srv, err := server.New(server.Config{Store: st, Workers: workers, QueueDepth: queueDepth})
+	cfg.Store = st
+	srv, err := server.New(cfg)
 	if err != nil {
 		return err
 	}

@@ -13,6 +13,10 @@
 //	ir-trace verify -name pfscan -dir ./traces         # replay + compare
 //	ir-trace analyze -name race-counter -dir ./traces  # race+leak analysis
 //	ir-trace analyze -all -workers 4 -json             # whole store, JSON
+//	ir-trace compact -name pfscan -dir ./traces        # compress in place
+//	ir-trace gc -dir ./traces -max-mb 512 -max-age 72h # retention (pins exempt)
+//	ir-trace pin -name pfscan; ir-trace rm -name old   # lifecycle
+//	ir-trace salvage -name pfscan -dir ./traces        # recover a crashed ring
 //
 // Traces are stored one file per recording ("<name>.irt"), indexed by the
 // recorded module's fingerprint; replay rebuilds the named workload, checks
@@ -31,6 +35,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/server"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -53,6 +58,18 @@ func main() {
 		err = cmdVerify(os.Args[2:])
 	case "analyze":
 		err = cmdAnalyze(os.Args[2:])
+	case "compact":
+		err = cmdCompact(os.Args[2:])
+	case "rm":
+		err = cmdRm(os.Args[2:])
+	case "gc":
+		err = cmdGC(os.Args[2:])
+	case "pin":
+		err = cmdPin(os.Args[2:], true)
+	case "unpin":
+		err = cmdPin(os.Args[2:], false)
+	case "salvage":
+		err = cmdSalvage(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -68,13 +85,19 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `usage: ir-trace <record|replay|ls|verify|analyze> [flags]
+	fmt.Fprint(os.Stderr, `usage: ir-trace <record|replay|ls|verify|analyze|compact|rm|gc|pin|unpin|salvage> [flags]
 
-  record   -app NAME [-name N] [-dir D] [-scale S] [-seed N] [-eventcap N] [-checkpoint-every N] [-keyframe-every K]
+  record   -app NAME [-name N] [-dir D] [-scale S] [-seed N] [-eventcap N] [-checkpoint-every N] [-keyframe-every K] [-compress] [-flight N]
   replay   -name N [-dir D] [-n COPIES] [-workers W] [-max-replays N] [-delay] [-segments]
   ls       [-dir D] [-json]
   verify   -name N [-dir D]
   analyze  -name N | -all [-dir D] [-analyzers race,leak] [-workers W] [-json]
+  compact  -name N [-dir D] [-keyframe-every K]   rewrite compressed + re-keyframed, in place
+  rm       -name N [-dir D]                       delete a stored trace (and its pin)
+  gc       [-dir D] [-max-mb N] [-max-age DUR]    enforce a retention policy (pins exempt)
+  pin      -name N [-dir D]                       shield a trace from gc
+  unpin    -name N [-dir D]
+  salvage  -name N [-dir D] [-as NAME]            recover a crashed run's flight-recorder ring
 
 known apps:
 `)
@@ -99,6 +122,10 @@ func cmdRecord(args []string) error {
 		"persist a checkpoint frame every N epochs (0 = none); checkpointed traces replay segment-parallel")
 	keyEvery := fs.Int("keyframe-every", 0,
 		"make every K-th checkpoint frame a full-image keyframe (0 = writer default)")
+	compress := fs.Bool("compress", false,
+		"deflate epoch and checkpoint frame bodies as they are written (format v4)")
+	flightN := fs.Int("flight", 0,
+		"flight-recorder mode: retain roughly the last N epochs in a bounded ring and store only that suffix (0 = record the whole run)")
 	fs.Parse(args)
 	if *app == "" {
 		return fmt.Errorf("record: -app is required")
@@ -116,6 +143,8 @@ func cmdRecord(args []string) error {
 		EventCap:        *eventCap,
 		CheckpointEvery: *ckptEvery,
 		KeyframeEvery:   *keyEvery,
+		Compress:        *compress,
+		FlightEpochs:    *flightN,
 	}, nil)
 	if err != nil {
 		return err
@@ -124,6 +153,12 @@ func cmdRecord(args []string) error {
 		// A faulting run still leaves a valid trace (the bug-reproduction
 		// use case); report both.
 		fmt.Printf("recorded %s with fault: %s\n", res.Trace, res.Fault)
+	}
+	if res.Suffix {
+		fmt.Printf("recorded %s: suffix of %d epochs (from epoch %d), %d bytes, exit=%d, wall=%v -> %s\n",
+			res.Trace, res.Epochs, res.FirstEpoch, res.Bytes, res.Exit,
+			time.Since(start).Round(time.Millisecond), res.Path)
+		return nil
 	}
 	fmt.Printf("recorded %s: %d epochs, %d checkpoints (%d keyframes), %d bytes, exit=%d, wall=%v -> %s\n",
 		res.Trace, res.Epochs, res.Checkpoints, res.Keyframes, res.Bytes, res.Exit,
@@ -407,12 +442,142 @@ func cmdVerify(args []string) error {
 	}
 	fmt.Printf("%s: OK — %d epochs, %d events (%s), schedule reproduced (attempts=%d)",
 		*name, job.Handle.NumEpochs(), job.Handle.EventCount(), how, r.Report.Stats.LastReplayAttempts)
-	if job.Handle.Summary() != nil {
+	if sum := job.Handle.Summary(); sum != nil && !sum.Partial {
 		fmt.Printf(", exit/output match recording")
+	} else if sum != nil {
+		fmt.Printf(", partial summary (no end-of-run oracle)")
 	}
 	if r.Err != nil {
 		fmt.Printf(", recorded fault reproduced (%v)", r.Err)
 	}
 	fmt.Println()
+	return nil
+}
+
+// cmdCompact rewrites one stored trace compressed and re-keyframed, in
+// place (temp+rename; concurrent readers keep the old bytes).
+func cmdCompact(args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	name := fs.String("name", "", "trace to compact")
+	dir := fs.String("dir", "traces", "trace store directory")
+	keyEvery := fs.Int("keyframe-every", 0,
+		"keyframe interval of the rewritten checkpoint chain (0 = writer default)")
+	fs.Parse(args)
+	if *name == "" {
+		return fmt.Errorf("compact: -name is required")
+	}
+	st, err := trace.OpenStore(*dir)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	cs, err := st.Compact(*name, *keyEvery)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compacted %s: %d -> %d bytes (%.1f%%), %d epochs, %d checkpoints, wall=%v\n",
+		*name, cs.OldBytes, cs.NewBytes, 100*float64(cs.NewBytes)/float64(cs.OldBytes),
+		cs.Epochs, cs.Checkpoints, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// cmdRm deletes one stored trace (and its pin, if any).
+func cmdRm(args []string) error {
+	fs := flag.NewFlagSet("rm", flag.ExitOnError)
+	name := fs.String("name", "", "trace to delete")
+	dir := fs.String("dir", "traces", "trace store directory")
+	fs.Parse(args)
+	if *name == "" {
+		return fmt.Errorf("rm: -name is required")
+	}
+	st, err := trace.OpenStore(*dir)
+	if err != nil {
+		return err
+	}
+	if err := st.Remove(*name); err != nil {
+		return err
+	}
+	fmt.Printf("removed %s\n", *name)
+	return nil
+}
+
+// cmdGC runs one retention pass over the store; pinned traces are exempt.
+func cmdGC(args []string) error {
+	fs := flag.NewFlagSet("gc", flag.ExitOnError)
+	dir := fs.String("dir", "traces", "trace store directory")
+	maxMB := fs.Int64("max-mb", 0, "cap summed trace bytes at N MiB, removing oldest unpinned first (0 = unlimited)")
+	maxAge := fs.Duration("max-age", 0, "remove unpinned traces not modified within this window (0 = unlimited)")
+	fs.Parse(args)
+	if *maxMB <= 0 && *maxAge <= 0 {
+		return fmt.Errorf("gc: give at least one bound (-max-mb and/or -max-age)")
+	}
+	st, err := trace.OpenStore(*dir)
+	if err != nil {
+		return err
+	}
+	stats, err := st.GC(trace.GCPolicy{MaxBytes: *maxMB << 20, MaxAge: *maxAge})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gc %s: scanned %d, pinned %d, removed %d (%d bytes reclaimed), %d bytes remain\n",
+		st.Dir(), stats.Scanned, stats.Pinned, stats.Removed, stats.ReclaimedBytes, stats.RemainingBytes)
+	return nil
+}
+
+// cmdPin pins or unpins one trace name.
+func cmdPin(args []string, pin bool) error {
+	verb := "pin"
+	if !pin {
+		verb = "unpin"
+	}
+	fs := flag.NewFlagSet(verb, flag.ExitOnError)
+	name := fs.String("name", "", "trace name")
+	dir := fs.String("dir", "traces", "trace store directory")
+	fs.Parse(args)
+	if *name == "" {
+		return fmt.Errorf("%s: -name is required", verb)
+	}
+	st, err := trace.OpenStore(*dir)
+	if err != nil {
+		return err
+	}
+	if pin {
+		err = st.Pin(*name)
+	} else {
+		err = st.Unpin(*name)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%sned %s\n", verb, *name)
+	return nil
+}
+
+// cmdSalvage recovers the flight-recorder ring a crashed (e.g. SIGKILLed)
+// run left behind: its clean prefix becomes a stored partial-summary
+// suffix trace, and the ring file is removed.
+func cmdSalvage(args []string) error {
+	fs := flag.NewFlagSet("salvage", flag.ExitOnError)
+	name := fs.String("name", "", "ring name (the crashed run's trace name)")
+	dir := fs.String("dir", "traces", "trace store directory")
+	as := fs.String("as", "", "store the salvaged trace under this name (default: the ring name)")
+	fs.Parse(args)
+	if *name == "" {
+		return fmt.Errorf("salvage: -name is required")
+	}
+	st, err := trace.OpenStore(*dir)
+	if err != nil {
+		return err
+	}
+	out := *as
+	if out == "" {
+		out = *name
+	}
+	stats, err := flight.Salvage(flight.RingPath(st, *name), st, out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("salvaged %s: %d epochs (from epoch %d), %d bytes -> %s\n",
+		out, stats.Epochs, stats.FirstEpoch, stats.Bytes, st.Path(out))
 	return nil
 }

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/mem"
 	"repro/internal/record"
 	"repro/internal/server"
@@ -187,6 +188,9 @@ func Perf(scale float64) (*PerfReport, error) {
 	if err := perfSegments(rep, scale, workerSweep); err != nil {
 		return nil, err
 	}
+	if err := perfRing(rep, scale); err != nil {
+		return nil, err
+	}
 	if err := perfServe(rep, scale); err != nil {
 		return nil, err
 	}
@@ -316,6 +320,114 @@ func perfSegments(rep *PerfReport, scale float64, workerSweep []int) error {
 		NsPerOp:         coldWall.Nanoseconds(),
 		EventsPerSec:    perSec(coldEvents, coldWall),
 		AllocBytesPerOp: allocBytes,
+	})
+	return nil
+}
+
+// perfRing measures the flight-recorder tax: the same workload recorded
+// twice at an identical checkpoint cadence — once through a direct
+// file-backed Writer sink (the ordinary store path, whole trace kept) and
+// once through the bounded on-disk ring (`ir-run -flight`). Both rows
+// count recorded events against the wall clock of the run itself; the
+// ring's end-of-run spill is excluded because in production it only
+// happens on fault. The always-on budget is the ring row staying within
+// ~10% of the direct row's events/sec.
+func perfRing(rep *PerfReport, scale float64) error {
+	spec, ok := workloads.ByName("streamcluster")
+	if !ok {
+		return fmt.Errorf("bench: unknown perf app streamcluster")
+	}
+	spec.Iters = int(float64(spec.Iters) * scale)
+	if spec.Iters < 8 {
+		spec.Iters = 8
+	}
+	mod, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "ir-ring-bench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	hdr := trace.Header{
+		App: spec.Name, ModuleHash: tir.Fingerprint(mod),
+		Seed: 7, EventCap: 24, AppIters: spec.Iters,
+	}
+
+	// Direct arm: every epoch and checkpoint streams to a growing file.
+	f, err := os.Create(filepath.Join(dir, "direct"+trace.Ext))
+	if err != nil {
+		return err
+	}
+	w, err := trace.NewWriter(f, hdr)
+	if err != nil {
+		return err
+	}
+	var directEvents int64
+	sink := w.Sink()
+	opts := core.Options{Seed: 7, EventCap: 24, CheckpointEvery: 1}
+	opts.TraceSink = func(ep *record.EpochLog) error {
+		directEvents += int64(ep.EventCount())
+		return sink(ep)
+	}
+	opts.CheckpointSink = w.CheckpointSink()
+	rt, err := core.New(mod, opts)
+	if err != nil {
+		return err
+	}
+	spec.SetupOS(rt.OS())
+	start := time.Now()
+	runRep, err := rt.Run()
+	directWall := time.Since(start)
+	if err != nil {
+		return fmt.Errorf("bench: direct-sink recording %s: %w", spec.Name, err)
+	}
+	if err := w.Finish(&trace.Summary{Exit: runRep.Exit, Output: runRep.Output}); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	rep.Results = append(rep.Results, PerfResult{
+		Name:         "ring-overhead/direct",
+		Ops:          1,
+		NsPerOp:      directWall.Nanoseconds(),
+		EventsPerSec: perSec(directEvents, directWall),
+	})
+
+	// Ring arm: the same streams feed the bounded ring, which also pays
+	// rotation (trim to the newest keyframe) as the run outgrows it.
+	st, err := trace.OpenStore(dir)
+	if err != nil {
+		return err
+	}
+	rec, err := flight.New(flight.RingPath(st, "ring"), hdr, 4)
+	if err != nil {
+		return err
+	}
+	defer rec.Close()
+	var ringEvents int64
+	ropts := core.Options{Seed: 7, EventCap: 24, CheckpointEvery: 1, FlightRecorder: rec}
+	ropts.TraceSink = func(ep *record.EpochLog) error {
+		ringEvents += int64(ep.EventCount())
+		return nil
+	}
+	rrt, err := core.New(mod, ropts)
+	if err != nil {
+		return err
+	}
+	spec.SetupOS(rrt.OS())
+	start = time.Now()
+	if _, err := rrt.Run(); err != nil {
+		return fmt.Errorf("bench: ring-sink recording %s: %w", spec.Name, err)
+	}
+	ringWall := time.Since(start)
+	rep.Results = append(rep.Results, PerfResult{
+		Name:         "ring-overhead/ring",
+		Ops:          1,
+		NsPerOp:      ringWall.Nanoseconds(),
+		EventsPerSec: perSec(ringEvents, ringWall),
 	})
 	return nil
 }

@@ -141,7 +141,10 @@ func (rt *Runtime) captureCheckpoint() *Checkpoint {
 // checkpointDue reports whether the epoch that just began should be
 // persisted: every CheckpointEvery completed epochs.
 func (rt *Runtime) checkpointDue() bool {
-	if rt.opts.CheckpointSink == nil || rt.opts.CheckpointEvery <= 0 || rt.opts.DisableRecording {
+	if rt.opts.CheckpointSink == nil && rt.opts.FlightRecorder == nil {
+		return false
+	}
+	if rt.opts.CheckpointEvery <= 0 || rt.opts.DisableRecording {
 		return false
 	}
 	return (rt.epochSeq-1)%int64(rt.opts.CheckpointEvery) == 0
@@ -193,6 +196,7 @@ func PrepareReplayAt(mod *tir.Module, start *Checkpoint, epochs []*record.EpochL
 	opts.OnEpochEnd = nil
 	opts.OnReplayMatched = nil
 	opts.CheckpointSink = nil
+	opts.FlightRecorder = nil
 	opts.DisableRecording = false
 	rt, err := New(mod, opts)
 	if err != nil {

@@ -363,10 +363,22 @@ func (rt *Runtime) handleEpochEnd() bool {
 // replays matched (a matched replay leaves the lists holding exactly the
 // recorded events) and before beginEpoch's housekeeping clears them.
 func (rt *Runtime) flushTraceSink(reason StopReason) error {
-	if rt.opts.TraceSink == nil || rt.opts.DisableRecording {
+	if rt.opts.DisableRecording || (rt.opts.TraceSink == nil && rt.opts.FlightRecorder == nil) {
 		return nil
 	}
-	return rt.opts.TraceSink(rt.captureEpochLog(reason))
+	// One capture feeds both consumers; the log is immutable once built.
+	ep := rt.captureEpochLog(reason)
+	if rt.opts.TraceSink != nil {
+		if err := rt.opts.TraceSink(ep); err != nil {
+			return err
+		}
+	}
+	if rt.opts.FlightRecorder != nil {
+		if err := rt.opts.FlightRecorder.RecordEpoch(ep); err != nil {
+			return fmt.Errorf("core: flight recorder: %w", err)
+		}
+	}
+	return nil
 }
 
 // captureEpochLog deep-copies the epoch's per-thread and per-variable lists
@@ -470,9 +482,18 @@ func (rt *Runtime) beginEpoch() error {
 	rt.takeCheckpoint()
 	if rt.checkpointDue() {
 		// Export while still quiescent: the VFS capture and the shared
-		// snapshot must not race resumed threads.
-		if err := rt.opts.CheckpointSink(rt.captureCheckpoint()); err != nil {
-			return fmt.Errorf("core: checkpoint sink: %w", err)
+		// snapshot must not race resumed threads. One capture feeds both the
+		// checkpoint sink and the flight recorder.
+		ck := rt.captureCheckpoint()
+		if rt.opts.CheckpointSink != nil {
+			if err := rt.opts.CheckpointSink(ck); err != nil {
+				return fmt.Errorf("core: checkpoint sink: %w", err)
+			}
+		}
+		if rt.opts.FlightRecorder != nil {
+			if err := rt.opts.FlightRecorder.RecordCheckpoint(ck); err != nil {
+				return fmt.Errorf("core: flight recorder: %w", err)
+			}
 		}
 	}
 	rt.stopMu.Lock()

@@ -69,6 +69,7 @@ func prepareReplay(mod *tir.Module, epochs []*record.EpochLog, opts Options, pre
 	opts.OnEpochEnd = nil
 	opts.OnReplayMatched = nil
 	opts.CheckpointSink = nil
+	opts.FlightRecorder = nil
 	opts.DisableRecording = false
 	rt, err := New(mod, opts)
 	if err != nil {

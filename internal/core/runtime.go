@@ -71,6 +71,15 @@ type Options struct {
 	// is immutable; the sink may retain it. A sink error terminates the run.
 	// Ignored with DisableRecording; ignored by the replay constructors.
 	CheckpointSink func(*Checkpoint) error
+	// FlightRecorder, when set, receives the recording stream alongside the
+	// sinks above: every finalized epoch log at the epoch boundary and the
+	// checkpoint at the CheckpointEvery cadence (the flight recorder needs
+	// checkpoints to trim its ring, so an unset CheckpointEvery defaults to
+	// 1 when a recorder is attached — every epoch begins with one). The
+	// bounded in-memory/on-disk ring behind it lives in internal/flight;
+	// core only feeds it. An error terminates the run like a sink error.
+	// Ignored with DisableRecording; ignored by the replay constructors.
+	FlightRecorder FlightSink
 	// Interrupt, when set, lets a caller cancel a run in flight: it is
 	// polled at gated points (thread interception sites and quiescent
 	// boundaries) and the first non-nil error it returns becomes the run's
@@ -100,6 +109,16 @@ type Options struct {
 	WrapAllocator func(*heap.Deterministic) heap.Allocator
 }
 
+// FlightSink is the surface a flight recorder presents to the runtime: the
+// same epoch and checkpoint streams TraceSink/CheckpointSink carry, behind
+// one attachable value (Options.FlightRecorder). The logs and checkpoints
+// are the same immutable copies the plain sinks receive; the recorder may
+// retain them.
+type FlightSink interface {
+	RecordEpoch(*record.EpochLog) error
+	RecordCheckpoint(*Checkpoint) error
+}
+
 func (o *Options) fill() {
 	if o.Mem.MaxThreads == 0 {
 		o.Mem = mem.DefaultConfig()
@@ -109,6 +128,11 @@ func (o *Options) fill() {
 	}
 	if o.VarCap == 0 {
 		o.VarCap = 8192
+	}
+	if o.FlightRecorder != nil && o.CheckpointEvery <= 0 {
+		// A flight ring trims at checkpoints; without a cadence it could
+		// never discard anything.
+		o.CheckpointEvery = 1
 	}
 }
 

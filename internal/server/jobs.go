@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/record"
 	"repro/internal/tir"
 	"repro/internal/trace"
@@ -130,6 +131,19 @@ type RecordRequest struct {
 	// keyframe (0 = the writer default, trace.DefaultKeyframeEvery);
 	// smaller intervals cost bytes and buy faster mid-trace folds.
 	KeyframeEvery int `json:"keyframe_every,omitempty"`
+	// Compress deflates epoch and checkpoint frame bodies as they are
+	// written (format v4 seekable compression); the index stays random
+	// access, each frame decompressing independently through it.
+	Compress bool `json:"compress,omitempty"`
+	// FlightEpochs > 0 switches the recording to flight-recorder mode:
+	// instead of streaming the whole run into the store, a bounded ring
+	// retains roughly the last FlightEpochs epochs, and at run end (fault
+	// or clean exit) the retained suffix spills into the store as a trace
+	// that replays from its leading checkpoint. Recording cost stays
+	// O(epoch), disk stays O(FlightEpochs), however long the run.
+	// CheckpointEvery defaults to 1 in this mode (the ring trims at
+	// checkpoints); KeyframeEvery is ignored.
+	FlightEpochs int `json:"flight_epochs,omitempty"`
 }
 
 // RecordResult is a completed recording's summary.
@@ -146,6 +160,10 @@ type RecordResult struct {
 	// fault is the prime replay candidate), so it is not an error.
 	Fault  string `json:"fault,omitempty"`
 	WallNS int64  `json:"wall_ns"`
+	// Suffix marks a flight-recorder spill: the trace replays from its
+	// leading checkpoint (FirstEpoch) instead of program start.
+	Suffix     bool  `json:"suffix,omitempty"`
+	FirstEpoch int64 `json:"first_epoch,omitempty"`
 }
 
 // RecordTrace runs the named workload under the recorder, streaming epoch
@@ -192,6 +210,9 @@ func RecordTrace(st *trace.Store, req RecordRequest, interrupt func() error) (*R
 	if name == "" {
 		name = req.App
 	}
+	if req.FlightEpochs > 0 {
+		return recordFlight(st, req, name, mod, appIters, setupOS, interrupt)
+	}
 
 	// Stream epoch frames straight to the partial file as the runtime
 	// flushes them; Abort below is crash insurance (no-op after Commit).
@@ -207,6 +228,7 @@ func RecordTrace(st *trace.Store, req RecordRequest, interrupt func() error) (*R
 		VarCap:     0,
 		Seed:       req.Seed,
 		AppIters:   appIters,
+		Compressed: req.Compress,
 	})
 	if err != nil {
 		return nil, err
@@ -263,6 +285,76 @@ func RecordTrace(st *trace.Store, req RecordRequest, interrupt func() error) (*R
 		Bytes:       bytes,
 		Exit:        rep.Exit,
 		WallNS:      time.Since(start).Nanoseconds(),
+	}
+	if runErr != nil {
+		res.Fault = runErr.Error()
+	}
+	return res, nil
+}
+
+// recordFlight is RecordTrace's flight-recorder arm: the run streams into
+// a bounded ring beside the store instead of a growing partial file, and
+// the ring's retained suffix spills into the store when the run ends —
+// with the real exit/output oracle when the program actually finished
+// (clean or faulted), or as a partial trace when the recording was
+// interrupted. Either way the stored trace replays from its leading
+// checkpoint; the disk cost of an arbitrarily long run stays bounded.
+func recordFlight(st *trace.Store, req RecordRequest, name string, mod *tir.Module,
+	appIters int, setupOS func(*core.Runtime), interrupt func() error) (*RecordResult, error) {
+	rec, err := flight.New(flight.RingPath(st, name), trace.Header{
+		App:        req.App,
+		ModuleHash: tir.Fingerprint(mod),
+		EventCap:   req.EventCap,
+		Seed:       req.Seed,
+		AppIters:   appIters,
+	}, req.FlightEpochs)
+	if err != nil {
+		return nil, err
+	}
+	defer rec.Close()
+	var events int64
+	opts := core.Options{
+		Seed: req.Seed, EventCap: req.EventCap, Interrupt: interrupt,
+		CheckpointEvery: req.CheckpointEvery, FlightRecorder: rec,
+	}
+	opts.TraceSink = func(ep *record.EpochLog) error {
+		events += int64(ep.EventCount())
+		return nil
+	}
+	rt, err := core.New(mod, opts)
+	if err != nil {
+		return nil, err
+	}
+	if setupOS != nil {
+		setupOS(rt)
+	}
+	start := time.Now()
+	rep, runErr := rt.Run()
+	if rep == nil {
+		return nil, runErr
+	}
+	var sum *trace.Summary
+	if !isInterrupt(runErr) {
+		sum = &trace.Summary{Exit: rep.Exit, Output: rep.Output}
+	}
+	stats, err := rec.Spill(st, name, sum)
+	if err != nil {
+		return nil, err
+	}
+	if isInterrupt(runErr) {
+		// The partial suffix is stored; the job still reports the cancel.
+		return nil, runErr
+	}
+	res := &RecordResult{
+		Trace:      name,
+		Path:       st.Path(name),
+		Epochs:     stats.Epochs,
+		Events:     events,
+		Bytes:      stats.Bytes,
+		Exit:       rep.Exit,
+		WallNS:     time.Since(start).Nanoseconds(),
+		Suffix:     stats.Suffix,
+		FirstEpoch: stats.FirstEpoch,
 	}
 	if runErr != nil {
 		res.Fault = runErr.Error()

@@ -9,6 +9,9 @@
 //
 //	GET    /api/v1/traces            store inventory (scanned, not decoded)
 //	GET    /api/v1/traces/{name}     one trace's header and frame statistics
+//	DELETE /api/v1/traces/{name}     remove a trace; 409 while a job holds it
+//	POST   /api/v1/traces/{name}/compact  submit a low-priority compact job
+//	POST   /api/v1/gc                run one synchronous retention pass
 //	POST   /api/v1/jobs              submit a job; 202 Accepted, 429 when the
 //	                                 queue is full, 503 while draining
 //	GET    /api/v1/jobs              every retained job, by ID
@@ -29,6 +32,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"io/fs"
 	"net/http"
 	"strconv"
 	"sync"
@@ -51,7 +56,19 @@ type Config struct {
 	// QueueDepth bounds waiting jobs; submissions past it get 429
 	// (<= 0: sched.DefaultQueueDepth).
 	QueueDepth int
+	// GC is the store retention policy. A zero policy disables the
+	// background pass (POST /api/v1/gc still runs manual passes, which are
+	// then no-op scans). Pinned traces — including those the daemon pins
+	// itself when an analyze job surfaces findings — are never removed.
+	GC trace.GCPolicy
+	// GCInterval is the background GC cadence; <= 0 with a non-zero policy
+	// selects DefaultGCInterval.
+	GCInterval time.Duration
 }
+
+// DefaultGCInterval is the background retention pass cadence when a GC
+// policy is configured without an explicit interval.
+const DefaultGCInterval = time.Minute
 
 // Server owns the scheduler and the HTTP handler. It implements
 // http.Handler; plug it into any http.Server (cmd/ir-served does).
@@ -66,12 +83,24 @@ type Server struct {
 	// the daemon's throughput numerator.
 	eventsReplayed atomic.Int64
 
-	// recording reserves trace names with an in-flight record job: two
-	// concurrent recordings of one name would truncate and interleave
-	// writes into the same store file. The reservation is taken when the
-	// job starts executing and checked at submission for an early 409.
+	// recording reserves trace names with an in-flight record or compact
+	// job (both rewrite the named file): two concurrent writers of one name
+	// would truncate and interleave writes into the same store file. The
+	// reservation is taken when the job starts executing and checked at
+	// submission for an early 409. reading counts running jobs replaying or
+	// analyzing a name; together they are the "held" state that blocks
+	// DELETE /traces/{name} and shields a trace from a GC pass.
 	recMu     sync.Mutex
 	recording map[string]struct{}
+	reading   map[string]int
+
+	// GC state: the configured policy, the background loop's stop channel,
+	// and the cumulative reclaim counters /metrics exports.
+	gcPolicy    trace.GCPolicy
+	gcStop      chan struct{}
+	gcStopOnce  sync.Once
+	gcRuns      atomic.Int64
+	gcReclaimed atomic.Int64
 }
 
 func (s *Server) tryReserveRecord(name string) bool {
@@ -97,6 +126,33 @@ func (s *Server) recordHeld(name string) bool {
 	return busy
 }
 
+// holdRead marks a running job as consuming the named trace; the returned
+// func releases it.
+func (s *Server) holdRead(name string) func() {
+	s.recMu.Lock()
+	s.reading[name]++
+	s.recMu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.recMu.Lock()
+			if s.reading[name]--; s.reading[name] <= 0 {
+				delete(s.reading, name)
+			}
+			s.recMu.Unlock()
+		})
+	}
+}
+
+// held reports whether any running job — writer or reader — is using the
+// named trace.
+func (s *Server) held(name string) bool {
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	_, rec := s.recording[name]
+	return rec || s.reading[name] > 0
+}
+
 // New builds a Server and starts its worker pool.
 func New(cfg Config) (*Server, error) {
 	if cfg.Store == nil {
@@ -108,9 +164,15 @@ func New(cfg Config) (*Server, error) {
 		mux:       http.NewServeMux(),
 		start:     time.Now(),
 		recording: make(map[string]struct{}),
+		reading:   make(map[string]int),
+		gcPolicy:  cfg.GC,
+		gcStop:    make(chan struct{}),
 	}
 	s.mux.HandleFunc("GET /api/v1/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /api/v1/traces/{name}", s.handleTrace)
+	s.mux.HandleFunc("DELETE /api/v1/traces/{name}", s.handleDeleteTrace)
+	s.mux.HandleFunc("POST /api/v1/traces/{name}/compact", s.handleCompactTrace)
+	s.mux.HandleFunc("POST /api/v1/gc", s.handleGC)
 	s.mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /api/v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)
@@ -118,6 +180,13 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if cfg.GC.MaxBytes > 0 || cfg.GC.MaxAge > 0 {
+		interval := cfg.GCInterval
+		if interval <= 0 {
+			interval = DefaultGCInterval
+		}
+		go s.gcLoop(interval)
+	}
 	return s, nil
 }
 
@@ -129,9 +198,42 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Scheduler exposes the job scheduler (tests, the daemon's drain path).
 func (s *Server) Scheduler() *sched.Scheduler { return s.sched }
 
-// Drain stops accepting jobs, lets accepted work finish (canceling it if
-// ctx expires first), and returns when every worker goroutine exited.
-func (s *Server) Drain(ctx context.Context) error { return s.sched.Drain(ctx) }
+// Drain stops accepting jobs and the GC loop, lets accepted work finish
+// (canceling it if ctx expires first), and returns when every worker
+// goroutine exited.
+func (s *Server) Drain(ctx context.Context) error {
+	s.gcStopOnce.Do(func() { close(s.gcStop) })
+	return s.sched.Drain(ctx)
+}
+
+// gcLoop runs the configured retention policy at the configured cadence
+// until Drain.
+func (s *Server) gcLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.runGC()
+		case <-s.gcStop:
+			return
+		}
+	}
+}
+
+// runGC executes one retention pass, shielding traces running jobs hold,
+// and feeds the cumulative counters /metrics exports.
+func (s *Server) runGC() (trace.GCStats, error) {
+	pol := s.gcPolicy
+	pol.Keep = s.held
+	stats, err := s.store.GC(pol)
+	if err != nil {
+		return stats, err
+	}
+	s.gcRuns.Add(1)
+	s.gcReclaimed.Add(stats.ReclaimedBytes)
+	return stats, nil
+}
 
 // --- traces ---
 
@@ -201,12 +303,67 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, NewTraceEntry(entry))
 }
 
+// handleDeleteTrace removes a stored trace (and its pin). 409 while any
+// running job holds the name — a record/compact writer or a replay/analyze
+// reader. The held check and the remove do not exchange a lock with job
+// startup; the residual race is harmless (a reader that wins it keeps its
+// open descriptor, POSIX semantics).
+func (s *Server) handleDeleteTrace(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if s.held(name) {
+		httpError(w, http.StatusConflict, fmt.Errorf("trace %q is held by a running job", name))
+		return
+	}
+	if err := s.store.Remove(name); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, fs.ErrNotExist) {
+			status = http.StatusNotFound
+		}
+		httpError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": name})
+}
+
+// handleCompactTrace submits a compact job for the named trace — low
+// priority unless the (optional) body raises it, so housekeeping yields
+// the worker pool to recording and analysis.
+func (s *Server) handleCompactTrace(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Priority      string `json:"priority"`
+		KeyframeEvery int    `json:"keyframe_every"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil && !errors.Is(err, io.EOF) {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad compact request: %w", err))
+		return
+	}
+	if body.Priority == "" {
+		body.Priority = "low"
+	}
+	s.submit(w, &JobRequest{
+		Kind:          "compact",
+		Trace:         r.PathValue("name"),
+		Priority:      body.Priority,
+		KeyframeEvery: body.KeyframeEvery,
+	})
+}
+
+// handleGC runs one synchronous retention pass and reports it.
+func (s *Server) handleGC(w http.ResponseWriter, r *http.Request) {
+	stats, err := s.runGC()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
 // --- jobs ---
 
 // JobRequest is the POST /api/v1/jobs body. Kind selects the work; the
 // remaining fields parameterize it (unused ones are ignored).
 type JobRequest struct {
-	// Kind: "record", "replay", "segment-replay", or "analyze".
+	// Kind: "record", "replay", "segment-replay", "analyze", or "compact".
 	Kind string `json:"kind"`
 	// Priority: "low", "normal" (default), or "high".
 	Priority string `json:"priority,omitempty"`
@@ -224,6 +381,10 @@ type JobRequest struct {
 	// GOMAXPROCS). Other kinds occupy exactly one scheduler slot.
 	Workers int `json:"workers,omitempty"`
 
+	// KeyframeEvery sets a compact job's rewritten keyframe interval
+	// (<= 0: the writer default).
+	KeyframeEvery int `json:"keyframe_every,omitempty"`
+
 	// Record-job parameters.
 	Record RecordRequest `json:"record"`
 }
@@ -239,10 +400,14 @@ type ReplayResult struct {
 	WallNS int64  `json:"wall_ns"`
 }
 
-// AnalyzeJobResult extends ReplayResult with the findings.
+// AnalyzeJobResult extends ReplayResult with the findings. Pinned reports
+// that the daemon pinned the trace because the run surfaced findings — the
+// reproducing evidence is shielded from retention GC until an operator
+// unpins it.
 type AnalyzeJobResult struct {
 	ReplayResult
 	Findings []analysis.Finding `json:"findings"`
+	Pinned   bool               `json:"pinned,omitempty"`
 }
 
 // SegmentReplayResult is a segment-replay job's result payload.
@@ -254,18 +419,34 @@ type SegmentReplayResult struct {
 	WallNS   int64  `json:"wall_ns"`
 }
 
+// CompactResult is a compact job's result payload.
+type CompactResult struct {
+	Trace       string `json:"trace"`
+	OldBytes    int64  `json:"old_bytes"`
+	NewBytes    int64  `json:"new_bytes"`
+	Epochs      int    `json:"epochs"`
+	Checkpoints int    `json:"checkpoints"`
+	WallNS      int64  `json:"wall_ns"`
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad job request: %w", err))
 		return
 	}
+	s.submit(w, &req)
+}
+
+// submit validates, builds, and enqueues one job request, writing the
+// HTTP response — shared by POST /jobs and the per-trace compact route.
+func (s *Server) submit(w http.ResponseWriter, req *JobRequest) {
 	prio, err := sched.ParsePriority(req.Priority)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	job, err := s.buildJob(&req)
+	job, err := s.buildJob(req)
 	if err != nil {
 		status := http.StatusBadRequest
 		switch {
@@ -364,15 +545,18 @@ func (s *Server) buildJob(req *JobRequest) (*sched.Job, error) {
 		}
 		name := req.Kind + "/" + req.Trace
 		opts := core.Options{MaxReplays: req.MaxReplays, DelayOnDivergence: !req.NoDelay}
+		tname := req.Trace
 		return &sched.Job{
 			Name: name,
 			Run: func(ctx context.Context) (any, error) {
+				release := s.holdRead(tname)
+				defer release()
 				// Module and trace are resolved here, not at submission: a
 				// queued job must not pin a trace handle and a rebuilt
 				// module for its whole time in the queue. The handle itself
 				// decodes lazily — the worker streams epochs through the
 				// store's frame cache as the replay consumes them.
-				job, err := ResolveJob(s.store, req.Trace, opts)
+				job, err := ResolveJob(s.store, tname, opts)
 				if err != nil {
 					return nil, err
 				}
@@ -393,11 +577,14 @@ func (s *Server) buildJob(req *JobRequest) (*sched.Job, error) {
 			return nil, err
 		}
 		workers := req.Workers
+		tname := req.Trace
 		opts := core.Options{MaxReplays: req.MaxReplays, DelayOnDivergence: !req.NoDelay}
 		return &sched.Job{
-			Name: "segment-replay/" + req.Trace,
+			Name: "segment-replay/" + tname,
 			Run: func(ctx context.Context) (any, error) {
-				job, err := ResolveJob(s.store, req.Trace, opts)
+				release := s.holdRead(tname)
+				defer release()
+				job, err := ResolveJob(s.store, tname, opts)
 				if err != nil {
 					return nil, err
 				}
@@ -418,8 +605,54 @@ func (s *Server) buildJob(req *JobRequest) (*sched.Job, error) {
 				}, nil
 			},
 		}, nil
+
+	case "compact":
+		if req.Trace == "" {
+			return nil, errors.New("compact job: trace is required")
+		}
+		// Unlike replay, compact accepts an incomplete trace (a crashed
+		// recording compacts to a complete partial-summary trace), so the
+		// submission check is existence + readability only.
+		entry, err := s.store.Entry(req.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errNoSuchTrace, err)
+		}
+		if entry.Err != nil {
+			return nil, fmt.Errorf("trace %q is unreadable: %v", req.Trace, entry.Err)
+		}
+		tname := req.Trace
+		keyEvery := req.KeyframeEvery
+		return &sched.Job{
+			Name: "compact/" + tname,
+			Run: func(ctx context.Context) (any, error) {
+				// Compact rewrites the file, so it takes the same write
+				// reservation as a record job. Concurrent readers are safe —
+				// the rename-in-place leaves their open descriptors on the
+				// old inode and the frame cache keys on content marks.
+				if !s.tryReserveRecord(tname) {
+					return nil, fmt.Errorf("%w: trace %q is being written", errConflict, tname)
+				}
+				defer s.releaseRecord(tname)
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				cs, err := s.store.Compact(tname, keyEvery)
+				if err != nil {
+					return nil, err
+				}
+				return &CompactResult{
+					Trace:       tname,
+					OldBytes:    cs.OldBytes,
+					NewBytes:    cs.NewBytes,
+					Epochs:      cs.Epochs,
+					Checkpoints: cs.Checkpoints,
+					WallNS:      time.Since(start).Nanoseconds(),
+				}, nil
+			},
+		}, nil
 	}
-	return nil, fmt.Errorf("unknown job kind %q (record, replay, segment-replay, analyze)", req.Kind)
+	return nil, fmt.Errorf("unknown job kind %q (record, replay, segment-replay, analyze, compact)", req.Kind)
 }
 
 // validateTrace is the cheap submission-time check for trace-consuming
@@ -496,6 +729,13 @@ func (s *Server) runAnalyze(job *trace.Job, factory func() []analysis.Analyzer) 
 	}
 	if r.Err != nil {
 		res.Fault = r.Err.Error()
+	}
+	// A trace that reproduced a finding is evidence; pin it so no
+	// retention policy reclaims it out from under the investigation.
+	if len(res.Findings) > 0 {
+		if err := s.store.Pin(job.Name); err == nil {
+			res.Pinned = true
+		}
 	}
 	return res, nil
 }
@@ -616,6 +856,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "ir_served_store_cache_limit_bytes %d\n", st.LimitBytes)
 	fmt.Fprintf(w, "# HELP ir_served_store_cache_hit_rate Decode-cache hits / loads since start.\n")
 	fmt.Fprintf(w, "ir_served_store_cache_hit_rate %g\n", st.HitRate())
+	fmt.Fprintf(w, "ir_served_store_cached_frames %d\n", st.CachedFrames)
+	if ds, err := s.store.DiskStats(); err == nil {
+		fmt.Fprintf(w, "# HELP ir_served_store_bytes Summed size of stored trace files.\n")
+		fmt.Fprintf(w, "# TYPE ir_served_store_bytes gauge\n")
+		fmt.Fprintf(w, "ir_served_store_bytes %d\n", ds.TotalBytes)
+		fmt.Fprintf(w, "ir_served_store_traces %d\n", ds.Traces)
+	}
+	if entries, err := s.store.List(); err == nil {
+		hot, cold := 0, 0
+		for _, e := range entries {
+			if e.Err == nil && e.Header.Compressed {
+				cold++
+			} else {
+				hot++
+			}
+		}
+		fmt.Fprintf(w, "# HELP ir_served_store_traces_by_tier Traces by encoding tier (cold = compressed frame bodies).\n")
+		fmt.Fprintf(w, "# TYPE ir_served_store_traces_by_tier gauge\n")
+		fmt.Fprintf(w, "ir_served_store_traces_by_tier{tier=\"hot\"} %d\n", hot)
+		fmt.Fprintf(w, "ir_served_store_traces_by_tier{tier=\"cold\"} %d\n", cold)
+	}
+	if pins, err := s.store.Pins(); err == nil {
+		fmt.Fprintf(w, "ir_served_store_pinned_traces %d\n", len(pins))
+	}
+	fmt.Fprintf(w, "# HELP ir_served_gc_reclaimed_bytes_total Bytes reclaimed by retention GC passes.\n")
+	fmt.Fprintf(w, "# TYPE ir_served_gc_reclaimed_bytes_total counter\n")
+	fmt.Fprintf(w, "ir_served_gc_runs_total %d\n", s.gcRuns.Load())
+	fmt.Fprintf(w, "ir_served_gc_reclaimed_bytes_total %d\n", s.gcReclaimed.Load())
 	fmt.Fprintf(w, "ir_served_uptime_seconds %g\n", uptime)
 }
 

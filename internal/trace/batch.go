@@ -136,10 +136,12 @@ func (j *Job) validate() error {
 }
 
 // compareSummary checks a replayed report against the recorded oracle;
-// nil when the trace carries no summary frame.
+// nil when the trace carries no summary frame, or a partial one (the
+// recording stopped before program end, so exit and output are not
+// oracles).
 func (j *Job) compareSummary(rep *core.Report) error {
 	sum := j.Handle.Summary()
-	if sum == nil {
+	if sum == nil || sum.Partial {
 		return nil
 	}
 	if rep.Exit != sum.Exit {
@@ -164,7 +166,25 @@ func runJob(j *Job) (res Result) {
 		res.Err = err
 		return res
 	}
-	rep, err := core.ReplayFromTrace(j.Module, epochs, j.Opts, j.Setup)
+	var rep *core.Report
+	if j.Handle.LeadingCheckpoint() {
+		// Suffix trace (flight-recorder spill): resume from the leading
+		// checkpoint instead of program start. Setup is skipped — the
+		// checkpoint restores the recording-time OS state itself.
+		start, cerr := j.Handle.CheckpointAt(0)
+		if cerr != nil {
+			res.Err = cerr
+			return res
+		}
+		rt, perr := core.PrepareReplayAt(j.Module, start, epochs, nil, j.Opts)
+		if perr != nil {
+			res.Err = perr
+			return res
+		}
+		rep, err = rt.RunReplay()
+	} else {
+		rep, err = core.ReplayFromTrace(j.Module, epochs, j.Opts, j.Setup)
+	}
 	res.Report = rep
 	if rep == nil {
 		// No report at all: the replay never matched (or setup failed).

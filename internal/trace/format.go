@@ -90,6 +90,9 @@ func (d *decoder) count() (int, error) {
 
 // --- header frame ---
 
+// Header flag bits (format v4; a flags varint closes the header payload).
+const hdrCompressed = 1 << 0
+
 func appendHeader(b []byte, h Header, ver int) []byte {
 	b = putUvarint(b, uint64(ver))
 	b = putString(b, h.App)
@@ -98,6 +101,13 @@ func appendHeader(b []byte, h Header, ver int) []byte {
 	b = putUvarint(b, uint64(h.VarCap))
 	b = putVarint(b, h.Seed)
 	b = putUvarint(b, uint64(h.AppIters))
+	if ver >= 4 {
+		var flags uint64
+		if h.Compressed {
+			flags |= hdrCompressed
+		}
+		b = putUvarint(b, flags)
+	}
 	return b
 }
 
@@ -135,6 +145,13 @@ func decodeHeader(payload []byte) (Header, error) {
 		return h, err
 	}
 	h.AppIters = int(iters)
+	if ver >= 4 {
+		flags, err := d.uvarint()
+		if err != nil {
+			return h, err
+		}
+		h.Compressed = flags&hdrCompressed != 0
+	}
 	return h, nil
 }
 
@@ -640,12 +657,24 @@ func peekCheckpointMeta(payload []byte, ver int, first bool) (epoch int64, keyfr
 
 // --- summary frame ---
 
-func appendSummary(b []byte, s *Summary) []byte {
+// Summary flag bits (format v4; a flags varint closes the summary
+// payload — absent in v1–v3 summaries, so the decoder reads it only when
+// payload bytes remain).
+const sumPartial = 1 << 0
+
+func appendSummary(b []byte, s *Summary, ver int) []byte {
 	if s == nil {
 		s = &Summary{}
 	}
 	b = putUvarint(b, s.Exit)
 	b = putString(b, s.Output)
+	if ver >= 4 {
+		var flags uint64
+		if s.Partial {
+			flags |= sumPartial
+		}
+		b = putUvarint(b, flags)
+	}
 	return b
 }
 
@@ -658,6 +687,13 @@ func decodeSummary(payload []byte) (*Summary, error) {
 	}
 	if s.Output, err = d.str(); err != nil {
 		return nil, err
+	}
+	if !d.done() {
+		flags, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		s.Partial = flags&sumPartial != 0
 	}
 	return s, nil
 }

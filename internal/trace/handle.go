@@ -166,6 +166,14 @@ func (h *Handle) NumCheckpoints() int { return len(h.idx.ckpts) }
 // Keyframes returns how many checkpoints are keyframes.
 func (h *Handle) Keyframes() int { return h.idx.keyframes() }
 
+// LeadingCheckpoint reports whether the trace begins with a checkpoint at
+// its first epoch frame — a suffix trace (a flight-recorder spill) that
+// replays from the checkpoint instead of program start.
+func (h *Handle) LeadingCheckpoint() bool {
+	return len(h.idx.ckpts) > 0 && len(h.idx.epochs) > 0 &&
+		h.idx.ckpts[0].epoch == h.idx.epochs[0].seq
+}
+
 // EventCount sums the recorded events across all epochs, from the index —
 // no decode.
 func (h *Handle) EventCount() int64 { return h.idx.events() }

@@ -388,7 +388,13 @@ func scanIndex(r io.Reader) (Header, *fileIndex, error) {
 		if err != nil {
 			return Header{}, nil, err
 		}
+		// The ref describes the stored (possibly compressed) payload — that
+		// is what readFrameAt will fetch and checksum — while the statistics
+		// peeks below need the raw bytes.
 		ref := frameRef{off: off, plen: len(payload), crc: crc32.ChecksumIEEE(payload)}
+		if kind, payload, err = inflatePayload(kind, payload); err != nil {
+			return Header{}, nil, err
+		}
 		switch kind {
 		case frameEpoch:
 			seq, events, err := peekEpochMeta(payload)
@@ -417,15 +423,17 @@ func scanIndex(r io.Reader) (Header, *fileIndex, error) {
 }
 
 // readFrameAt fetches one indexed frame by pread and verifies it against
-// the index: the kind byte, the payload length, and the CRC (checked both
-// against the stored frame checksum and the index's copy). A mismatch
-// means the index and the file disagree — hard corruption.
+// the index: the kind byte (ignoring the compression bit), the stored
+// payload length, and the CRC (checked both against the stored frame
+// checksum and the index's copy). A mismatch means the index and the file
+// disagree — hard corruption. Compressed frames are inflated only after
+// every check passes; the caller always receives the raw payload.
 func readFrameAt(src io.ReaderAt, ref frameRef, want byte) ([]byte, error) {
 	buf := make([]byte, ref.size())
 	if _, err := src.ReadAt(buf, ref.off); err != nil {
 		return nil, fmt.Errorf("trace: reading indexed frame at %d: %w", ref.off, err)
 	}
-	if buf[0] != want {
+	if buf[0]&^frameCompressed != want {
 		return nil, fmt.Errorf("trace: index points at frame kind %d at offset %d, want kind %d",
 			buf[0], ref.off, want)
 	}
@@ -440,7 +448,11 @@ func readFrameAt(src io.ReaderAt, ref frameRef, want byte) ([]byte, error) {
 		return nil, fmt.Errorf("trace: indexed frame at %d fails its checksum (%#x stored, %#x indexed, %#x computed)",
 			ref.off, want32, ref.crc, got)
 	}
-	return payload, nil
+	_, raw, err := inflatePayload(buf[0], payload)
+	if err != nil {
+		return nil, fmt.Errorf("trace: indexed frame at %d: %w", ref.off, err)
+	}
+	return raw, nil
 }
 
 // openFileIndex opens path's index: the footer when intact, the scan

@@ -127,13 +127,12 @@ func (r *Reader) readFrameBody() ([]byte, error) {
 	// stream can still hold (when its size is known), and never beyond the
 	// generic cap. A flipped bit in the length varint must not allocate
 	// gigabytes before the CRC check ever runs.
-	const maxFrame = 1 << 30
 	if r.size >= 0 {
 		if remaining := r.size - r.consumed; int64(n)+4 > remaining {
 			return nil, fmt.Errorf("trace: implausible frame length %d with %d bytes left", n, remaining)
 		}
 	}
-	if n > maxFrame {
+	if n > maxFramePayload {
 		return nil, fmt.Errorf("trace: implausible frame length %d", n)
 	}
 	// Inside a frame a bare io.EOF is still a torn frame; do not let it
@@ -223,6 +222,10 @@ func (r *Reader) Next() (*record.EpochLog, error) {
 			}
 			return nil, err
 		}
+		// Decompression strictly after the CRC check readFrame performed.
+		if kind, payload, err = inflatePayload(kind, payload); err != nil {
+			return nil, err
+		}
 		switch kind {
 		case frameEpoch:
 			return decodeEpoch(payload)
@@ -294,4 +297,34 @@ func ReadFile(path string) (*Trace, error) {
 	}
 	defer f.Close()
 	return ReadTrace(f)
+}
+
+// ReadPrefix decodes the longest clean prefix of a trace stream: whole,
+// CRC-valid frames up to the first torn or corrupt one, which is treated
+// as the stream's end rather than an error. This is the crash-salvage
+// loader — a recorder killed by SIGKILL can leave a final partially
+// written frame, and the epochs before it are still a valid recording.
+// Only the magic and header must be intact. Trailing checkpoints that pin
+// no epoch are dropped exactly as in ReadTrace.
+func ReadPrefix(r io.Reader) (*Trace, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	out := &Trace{Header: tr.Header()}
+	for {
+		ep, err := tr.Next()
+		if err != nil {
+			break // io.EOF, a torn tail, or a corrupt frame: keep the prefix
+		}
+		out.Epochs = append(out.Epochs, ep)
+	}
+	out.Summary = tr.Summary()
+	cks := tr.Checkpoints()
+	for len(cks) > 0 &&
+		(len(out.Epochs) == 0 || cks[len(cks)-1].Epoch() > out.Epochs[len(out.Epochs)-1].Epoch) {
+		cks = cks[:len(cks)-1]
+	}
+	out.Checkpoints = cks
+	return out, nil
 }

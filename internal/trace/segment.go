@@ -65,6 +65,15 @@ func planSegments(ix *fileIndex) ([]segPlan, error) {
 		seq := ix.epochs[i].seq
 		for ci < len(ix.ckpts) && ix.ckpts[ci].epoch == seq {
 			if cur.first == 0 {
+				if len(plans) == 0 && ci == 0 && cur.startCk == -1 {
+					// Suffix trace: a checkpoint at the very first epoch frame
+					// is the recording's resume point (a flight-recorder
+					// spill), not an empty segment — it bounds segment 0 the
+					// way an interior checkpoint bounds the segment after it.
+					cur.startCk = 0
+					ci++
+					continue
+				}
 				return nil, fmt.Errorf("trace: empty segment before checkpoint at epoch %d", seq)
 			}
 			cur.endCk = ci
@@ -136,7 +145,7 @@ func ReplaySegments(j Job, workers int) ([]SegmentResult, BatchStats, error) {
 	// must reproduce the recorded program output exactly. (Each segment's
 	// volume was already checked against its end checkpoint's attribution;
 	// this catches content-level mismatches across the whole run.)
-	if firstErr == nil && j.Handle.Summary() != nil {
+	if firstErr == nil && j.Handle.Summary() != nil && !j.Handle.Summary().Partial {
 		if got := strings.Join(outputs, ""); got != j.Handle.Summary().Output {
 			firstErr = fmt.Errorf("trace: stitched output (%d bytes) differs from recording (%d bytes)",
 				len(got), len(j.Handle.Summary().Output))
@@ -232,8 +241,9 @@ func runSegment(j *Job, i int, plan *segPlan) (res SegmentResult) {
 	res.Err = err // a reproduced fault arrives here, alongside the report
 	if endCk == nil {
 		// Final segment: the recorded exit value is the oracle (output is
-		// stitched across all segments by the caller).
-		if sum := j.Handle.Summary(); sum != nil && rep.Exit != sum.Exit {
+		// stitched across all segments by the caller). A partial summary —
+		// the recording stopped before program end — carries no oracle.
+		if sum := j.Handle.Summary(); sum != nil && !sum.Partial && rep.Exit != sum.Exit {
 			res.Matched = false
 			res.Err = fmt.Errorf("trace: final segment replayed exit %d, recorded %d", rep.Exit, sum.Exit)
 		}

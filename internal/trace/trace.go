@@ -45,6 +45,20 @@
 // deltas. A damaged index region degrades the file to the v2 scan path; an
 // index that parses but lies about the file is hard corruption.
 //
+// Format v4 adds seekable per-frame compression and suffix recordings.
+// A compressed epoch or checkpoint frame carries the frameCompressed bit
+// in its kind byte and stores a raw-length varint plus a deflate stream;
+// CRCs and index entries cover the stored bytes, so random access through
+// the footer is unchanged and decompression runs only after the checksum
+// passes (compress.go). The header gains a flags field whose compressed
+// bit declares a trace written with compression (Header.Compressed — the
+// store's hot/cold signal), and the summary gains a flags field whose
+// partial bit (Summary.Partial) marks a recording that stopped before
+// program end — a flight-recorder spill — whose exit and output are not
+// replay oracles. A trace may begin with a keyframe checkpoint at its
+// first epoch frame: such a suffix trace replays from the checkpoint
+// instead of program start (segment.go, batch.go).
+//
 // Writer streams epochs as the runtime flushes them (Writer.Sink plugs
 // directly into core.Options.TraceSink, Writer.CheckpointSink into
 // core.Options.CheckpointSink); Reader validates and decodes. Store manages
@@ -69,9 +83,10 @@ const Magic = "IRTRACE1"
 
 // Version is the current header version. Version 2 added checkpoint
 // frames; version 3 added the index footer frame, the checkpoint flags
-// field (keyframe bit), and the keyframe interval. v1 and v2 traces load
-// unchanged through the scan path.
-const Version = 3
+// field (keyframe bit), and the keyframe interval; version 4 added
+// per-frame compression, header flags, and summary flags. v1–v3 traces
+// load unchanged through their original paths.
+const Version = 4
 
 // MinVersion is the oldest header version the reader accepts.
 const MinVersion = 1
@@ -109,6 +124,12 @@ type Header struct {
 	// recorder exposes, stored so replay can rebuild the exact module
 	// instead of searching for a fingerprint match.
 	AppIters int
+	// Compressed declares a trace written with per-frame compression
+	// (format v4): epoch and checkpoint bodies that shrink are stored
+	// deflated. Set it before NewWriter to enable compression; on decode
+	// it is the store's cheap hot/cold classification — no frame needs to
+	// be touched to know a trace has been compacted.
+	Compressed bool
 }
 
 // Summary is the recorded run's observable outcome, stored in the end
@@ -116,6 +137,13 @@ type Header struct {
 type Summary struct {
 	Exit   uint64
 	Output string
+	// Partial (format v4) marks a recording that ended before the program
+	// did — a flight-recorder spill on demand or signal, or a salvaged
+	// crash ring. Exit and Output are then not oracles: replay consumes
+	// the recorded events and verifies schedule reproduction, but skips
+	// the exit/output comparison (Output may still carry the suffix output
+	// when the spiller knew it).
+	Partial bool
 }
 
 // Checkpoint is one decoded checkpoint frame. State carries everything but

@@ -34,11 +34,18 @@ type Writer struct {
 	// synthesize v1/v2 corpora.
 	ver int
 
-	// off is the byte offset the next frame lands at; lastCRC is the CRC of
-	// the last frame written. Together they feed the index.
-	off     int64
-	lastCRC uint32
-	index   fileIndex
+	// off is the byte offset the next frame lands at; lastCRC and lastPlen
+	// describe the last frame written (its stored payload, compressed or
+	// not). Together they feed the index.
+	off      int64
+	lastCRC  uint32
+	lastPlen int
+	index    fileIndex
+
+	// compress enables per-frame deflate of epoch and checkpoint bodies
+	// (format v4, Header.Compressed); z is the reused compressor.
+	compress bool
+	z        deflater
 
 	// keyEvery is the keyframe interval (SetKeyframeEvery).
 	keyEvery int
@@ -61,7 +68,8 @@ func NewWriter(w io.Writer, hdr Header) (*Writer, error) {
 // back-compat corpora in the tests are written through it (v1: no
 // checkpoints or index; v2: unflagged checkpoint frames, no index).
 func newWriterVersion(w io.Writer, hdr Header, ver int) (*Writer, error) {
-	tw := &Writer{w: w, ver: ver, keyEvery: DefaultKeyframeEvery}
+	tw := &Writer{w: w, ver: ver, keyEvery: DefaultKeyframeEvery,
+		compress: hdr.Compressed && ver >= 4}
 	if _, err := io.WriteString(w, Magic); err != nil {
 		return nil, fmt.Errorf("trace: writing magic: %w", err)
 	}
@@ -92,6 +100,7 @@ func (tw *Writer) frame(kind byte, payload []byte) error {
 	buf = binary.AppendUvarint(buf, uint64(len(payload)))
 	buf = append(buf, payload...)
 	tw.lastCRC = crc32.ChecksumIEEE(payload)
+	tw.lastPlen = len(payload)
 	buf = binary.LittleEndian.AppendUint32(buf, tw.lastCRC)
 	tw.scratch = buf[:0]
 	if _, err := tw.w.Write(buf); err != nil {
@@ -102,6 +111,19 @@ func (tw *Writer) frame(kind byte, payload []byte) error {
 	return nil
 }
 
+// dataFrame emits one epoch or checkpoint frame, deflating the payload
+// when compression is on and pays (the stored form would be smaller). The
+// index entry the caller appends must use lastPlen/lastCRC — they describe
+// the stored bytes, which is what readFrameAt fetches and checksums.
+func (tw *Writer) dataFrame(kind byte, payload []byte) error {
+	if tw.compress {
+		if stored, ok := tw.z.deflate(payload); ok {
+			return tw.frame(kind|frameCompressed, stored)
+		}
+	}
+	return tw.frame(kind, payload)
+}
+
 // WriteEpoch appends one epoch frame.
 func (tw *Writer) WriteEpoch(ep *record.EpochLog) error {
 	if tw.finished {
@@ -109,11 +131,11 @@ func (tw *Writer) WriteEpoch(ep *record.EpochLog) error {
 	}
 	payload := appendEpoch(nil, ep)
 	off := tw.off
-	if err := tw.frame(frameEpoch, payload); err != nil {
+	if err := tw.dataFrame(frameEpoch, payload); err != nil {
 		return err
 	}
 	tw.index.epochs = append(tw.index.epochs, epochRef{
-		frameRef: frameRef{off: off, plen: len(payload), crc: tw.lastCRC},
+		frameRef: frameRef{off: off, plen: tw.lastPlen, crc: tw.lastCRC},
 		seq:      ep.Epoch,
 		events:   int64(ep.EventCount()),
 	})
@@ -179,11 +201,11 @@ func (tw *Writer) writeRawCheckpoint(ck *Checkpoint) error {
 // emitCheckpoint writes a prepared checkpoint payload and indexes it.
 func (tw *Writer) emitCheckpoint(payload []byte, epoch int64, keyframe bool, snap *mem.Snapshot) error {
 	off := tw.off
-	if err := tw.frame(frameCkpt, payload); err != nil {
+	if err := tw.dataFrame(frameCkpt, payload); err != nil {
 		return err
 	}
 	tw.index.ckpts = append(tw.index.ckpts, ckptRef{
-		frameRef: frameRef{off: off, plen: len(payload), crc: tw.lastCRC},
+		frameRef: frameRef{off: off, plen: tw.lastPlen, crc: tw.lastCRC},
 		epoch:    epoch,
 		keyframe: keyframe,
 	})
@@ -216,7 +238,7 @@ func (tw *Writer) Finish(sum *Summary) error {
 		return tw.err
 	}
 	sumOff := tw.off
-	sumPayload := appendSummary(nil, sum)
+	sumPayload := appendSummary(nil, sum, tw.ver)
 	if err := tw.frame(frameSum, sumPayload); err != nil {
 		return err
 	}
