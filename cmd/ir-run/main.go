@@ -21,6 +21,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/flight"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/tir"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -59,11 +61,20 @@ func main() {
 	flightDir := flag.String("flight-dir", "traces", "trace store the flight recorder spills into")
 	flightName := flag.String("flight-name", "", "trace name for the spill (default: the app name)")
 	spill := flag.Bool("spill", false, "with -flight: spill the retained suffix on clean exit too")
+	logLevel := flag.String("log-level", "info", "stderr diagnostic verbosity: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit stderr diagnostics as JSON lines")
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ir-run:", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level, *logJSON)
 
 	if *asmFile != "" {
 		if err := runAsm(*asmFile, *replay); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			logger.Error("asm run failed", "file", *asmFile, "err", err)
 			os.Exit(1)
 		}
 		return
@@ -89,8 +100,8 @@ func main() {
 		}
 	}
 	if *flightN > 0 {
-		if err := runFlight(spec, *flightDir, *flightName, *flightN, *seed, *eventCap, *spill); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+		if err := runFlight(logger, spec, *flightDir, *flightName, *flightN, *seed, *eventCap, *spill); err != nil {
+			logger.Error("flight run failed", "app", spec.Name, "err", err)
 			os.Exit(1)
 		}
 		return
@@ -98,14 +109,14 @@ func main() {
 	start := time.Now()
 	d, err := bench.RunOnce(spec, system, *seed)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "run failed: %v\n", err)
+		logger.Error("run failed", "app", spec.Name, "sys", *sys, "err", err)
 		os.Exit(1)
 	}
 	fmt.Printf("%s under %s: %v (wall %v)\n", spec.Name, *sys, d, time.Since(start))
 	if *norm {
 		r, err := bench.Normalized(spec, system, 3)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "normalize failed: %v\n", err)
+			logger.Error("normalize failed", "app", spec.Name, "err", err)
 			os.Exit(1)
 		}
 		fmt.Printf("normalized runtime: %.3f\n", r)
@@ -117,7 +128,7 @@ func main() {
 // always spills the retained suffix (the evidence), a clean exit discards
 // the ring unless -spill asked for it, and SIGKILL (which no process can
 // catch) leaves the ring behind for `ir-trace salvage`.
-func runFlight(spec workloads.Spec, dir, name string, retain int, seed int64, eventCap int, spillClean bool) error {
+func runFlight(logger *slog.Logger, spec workloads.Spec, dir, name string, retain int, seed int64, eventCap int, spillClean bool) error {
 	mod, err := spec.Build()
 	if err != nil {
 		return err
@@ -166,6 +177,8 @@ func runFlight(spec workloads.Spec, dir, name string, retain int, seed int64, ev
 		if err != nil {
 			return fmt.Errorf("flight spill: %w", err)
 		}
+		logger.Debug("flight spill", "why", why, "epochs", stats.Epochs,
+			"first_epoch", stats.FirstEpoch, "bytes", stats.Bytes, "path", st.Path(name))
 		fmt.Printf("flight: %s; spilled %d epochs (from epoch %d), %d bytes -> %s\n",
 			why, stats.Epochs, stats.FirstEpoch, stats.Bytes, st.Path(name))
 		return nil

@@ -21,6 +21,12 @@
 //	     -d '{"kind":"analyze","trace":"pfscan","analyzers":"race,leak"}'
 //	curl -s localhost:7077/api/v1/jobs/2/stream    # watch it run
 //	curl -s localhost:7077/metrics                 # queue depth, throughput
+//
+// Observability: structured logs go to stderr (-log-level, -log-json),
+// /metrics serves the Prometheus exposition, GET /api/v1/jobs/{id}/timeline
+// serves per-job Chrome trace timelines, and -debug-addr opts into a
+// second listener with net/http/pprof (never on the API address). See
+// docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -28,13 +34,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/trace"
 )
@@ -53,7 +61,23 @@ func main() {
 		"remove unpinned traces not modified within this window (0 = unlimited)")
 	gcInterval := flag.Duration("gc-interval", 0,
 		"background retention pass cadence (0 = default 1m; only runs when a bound is set)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON lines instead of text")
+	debugAddr := flag.String("debug-addr", "",
+		"serve net/http/pprof on this extra address (empty = disabled)")
+	noTelemetry := flag.Bool("no-telemetry", false,
+		"disable span and histogram collection (series render at zero)")
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ir-served:", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level, *logJSON)
+	if *noTelemetry {
+		obs.SetEnabled(false)
+	}
 
 	cfg := server.Config{
 		Workers:    *workers,
@@ -61,13 +85,14 @@ func main() {
 		GC:         trace.GCPolicy{MaxBytes: *gcMaxMB << 20, MaxAge: *gcMaxAge},
 		GCInterval: *gcInterval,
 	}
-	if err := run(*addr, *dir, *cacheMB, *drainTimeout, cfg); err != nil {
-		fmt.Fprintln(os.Stderr, "ir-served:", err)
+	if err := run(logger, *addr, *dir, *debugAddr, *cacheMB, *drainTimeout, cfg); err != nil {
+		logger.Error("exiting", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dir string, cacheMB int64, drainTimeout time.Duration, cfg server.Config) error {
+func run(logger *slog.Logger, addr, dir, debugAddr string, cacheMB int64,
+	drainTimeout time.Duration, cfg server.Config) error {
 	st, err := trace.OpenStore(dir)
 	if err != nil {
 		return err
@@ -85,9 +110,21 @@ func run(addr, dir string, cacheMB int64, drainTimeout time.Duration, cfg server
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if debugAddr != "" {
+		dbg := debugServer(debugAddr)
+		go func() {
+			logger.Info("pprof listening", "addr", debugAddr)
+			if err := dbg.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("pprof listener failed", "err", err)
+			}
+		}()
+		defer dbg.Close()
+	}
+
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("ir-served: serving %s on %s", st.Dir(), addr)
+		logger.Info("serving", "dir", st.Dir(), "addr", addr,
+			"telemetry", obs.Enabled())
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 			return
@@ -101,11 +138,11 @@ func run(addr, dir string, cacheMB int64, drainTimeout time.Duration, cfg server
 	case <-ctx.Done():
 	}
 
-	log.Printf("ir-served: draining (timeout %v)", drainTimeout)
+	logger.Info("draining", "timeout", drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := srv.Drain(drainCtx); err != nil {
-		log.Printf("ir-served: %v", err)
+		logger.Warn("drain incomplete", "err", err)
 	}
 	// The scheduler is down; close the listener and in-flight handlers
 	// (status streams end once their jobs went terminal above).
@@ -113,6 +150,19 @@ func run(addr, dir string, cacheMB int64, drainTimeout time.Duration, cfg server
 		httpSrv.Close()
 	}
 	<-errCh
-	log.Printf("ir-served: stopped")
+	logger.Info("stopped")
 	return nil
+}
+
+// debugServer builds the opt-in pprof listener. The profiling surface is
+// registered on its own mux and address — never on the API listener — so
+// exposing the service port does not expose heap dumps and CPU profiles.
+func debugServer(addr string) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return &http.Server{Addr: addr, Handler: mux}
 }

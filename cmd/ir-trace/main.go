@@ -17,6 +17,7 @@
 //	ir-trace gc -dir ./traces -max-mb 512 -max-age 72h # retention (pins exempt)
 //	ir-trace pin -name pfscan; ir-trace rm -name old   # lifecycle
 //	ir-trace salvage -name pfscan -dir ./traces        # recover a crashed ring
+//	ir-trace timeline -name pfscan -o t.json           # Chrome trace timeline
 //
 // Traces are stored one file per recording ("<name>.irt"), indexed by the
 // recorded module's fingerprint; replay rebuilds the named workload, checks
@@ -29,6 +30,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"text/tabwriter"
 	"time"
@@ -36,6 +38,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/flight"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -70,6 +73,8 @@ func main() {
 		err = cmdPin(os.Args[2:], false)
 	case "salvage":
 		err = cmdSalvage(os.Args[2:])
+	case "timeline":
+		err = cmdTimeline(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -85,7 +90,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `usage: ir-trace <record|replay|ls|verify|analyze|compact|rm|gc|pin|unpin|salvage> [flags]
+	fmt.Fprint(os.Stderr, `usage: ir-trace <record|replay|ls|verify|analyze|compact|rm|gc|pin|unpin|salvage|timeline> [flags]
 
   record   -app NAME [-name N] [-dir D] [-scale S] [-seed N] [-eventcap N] [-checkpoint-every N] [-keyframe-every K] [-compress] [-flight N]
   replay   -name N [-dir D] [-n COPIES] [-workers W] [-max-replays N] [-delay] [-segments]
@@ -98,6 +103,7 @@ func usage() {
   pin      -name N [-dir D]                       shield a trace from gc
   unpin    -name N [-dir D]
   salvage  -name N [-dir D] [-as NAME]            recover a crashed run's flight-recorder ring
+  timeline -name N [-dir D] [-workers W] [-o F]   segment-replay with span capture; Chrome trace JSON
 
 known apps:
 `)
@@ -550,6 +556,58 @@ func cmdPin(args []string, pin bool) error {
 		return err
 	}
 	fmt.Printf("%sned %s\n", verb, *name)
+	return nil
+}
+
+// cmdTimeline replays one trace segment-parallel with span capture and
+// writes the timeline as Chrome trace-event JSON — the offline twin of the
+// daemon's GET /api/v1/jobs/{id}/timeline. Load the output in
+// chrome://tracing or Perfetto: one track per segment, with the
+// fold/decode/execute/stitch stages nested inside each segment span.
+func cmdTimeline(args []string) error {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	name := fs.String("name", "", "trace to replay")
+	dir := fs.String("dir", "traces", "trace store directory")
+	workers := fs.Int("workers", 0, "segment worker pool size (0 = GOMAXPROCS)")
+	out := fs.String("o", "", "output file (default: stdout)")
+	fs.Parse(args)
+	if *name == "" {
+		return fmt.Errorf("timeline: -name is required")
+	}
+	st, err := trace.OpenStore(*dir)
+	if err != nil {
+		return err
+	}
+	job, err := loadJob(st, *name, core.Options{DelayOnDivergence: true})
+	if err != nil {
+		return err
+	}
+	defer job.Handle.Close()
+
+	rec := obs.NewRecorder(4096)
+	root := rec.Start("segment-replay/" + *name)
+	job.Span = root
+	_, stats, rerr := trace.ReplaySegments(job, *workers)
+	root.End()
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	spans, dropped := rec.Snapshot()
+	if err := obs.ChromeTrace(w, spans); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "timeline %s: %d/%d segments stitched, %d spans captured (%d dropped); view in chrome://tracing or Perfetto\n",
+		*name, stats.Matched, stats.Jobs, len(spans), dropped)
+	if rerr != nil {
+		return fmt.Errorf("segment replay: %w", rerr)
+	}
 	return nil
 }
 

@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/flight"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/server"
 	"repro/internal/tir"
@@ -279,6 +280,44 @@ func perfSegments(rep *PerfReport, scale float64, workerSweep []int) error {
 		rep.Results = append(rep.Results, PerfResult{
 			Name:         "segment-replay/" + spec.Name,
 			Workers:      w,
+			Ops:          sstats.Jobs,
+			NsPerOp:      sstats.Elapsed.Nanoseconds(),
+			EventsPerSec: perSec(sstats.Events, sstats.Elapsed),
+		})
+	}
+
+	// Telemetry tax: the same whole-trace and segment replays re-run with
+	// collection explicitly on (histograms observed, a live span recorder
+	// attached, as under the daemon) vs off. The acceptance budget is the
+	// "on" rows staying within ~5% events/sec of the "off" rows.
+	for _, mode := range []struct {
+		tag string
+		on  bool
+	}{{"telemetry-off", false}, {"telemetry-on", true}} {
+		prev := obs.SetEnabled(mode.on)
+		tjob := job
+		if mode.on {
+			rec := obs.NewRecorder(4096)
+			tjob.Span = rec.Start("bench/" + spec.Name)
+		}
+		wres, wstats := trace.ReplayBatch([]trace.Job{tjob}, 1)
+		if wstats.Failed > 0 {
+			obs.SetEnabled(prev)
+			return fmt.Errorf("bench: %s whole replay of %s: %v", mode.tag, spec.Name, firstErr(wres))
+		}
+		rep.Results = append(rep.Results, PerfResult{
+			Name:         "replay-whole-" + mode.tag + "/" + spec.Name,
+			Ops:          1,
+			NsPerOp:      wstats.Elapsed.Nanoseconds(),
+			EventsPerSec: perSec(wstats.Events, wstats.Elapsed),
+		})
+		sres, sstats, err := trace.ReplaySegments(tjob, 0)
+		obs.SetEnabled(prev)
+		if err != nil {
+			return fmt.Errorf("bench: %s segment replay of %s: %w (results %+v)", mode.tag, spec.Name, err, sres)
+		}
+		rep.Results = append(rep.Results, PerfResult{
+			Name:         "segment-replay-" + mode.tag + "/" + spec.Name,
 			Ops:          sstats.Jobs,
 			NsPerOp:      sstats.Elapsed.Nanoseconds(),
 			EventsPerSec: perSec(sstats.Events, sstats.Elapsed),

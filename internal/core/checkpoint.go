@@ -24,6 +24,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/heap"
 	"repro/internal/interp"
@@ -206,6 +207,7 @@ func PrepareReplayAt(mod *tir.Module, start *Checkpoint, epochs []*record.EpochL
 	rt.stopReason = StopReason(epochs[len(epochs)-1].Reason)
 	rt.epochSeq = start.Epoch
 	rt.stats.Epochs = int64(len(epochs))
+	rt.epochStart = time.Now()
 
 	// Geometry and allocator selection must match the checkpoint or restores
 	// would silently corrupt state.

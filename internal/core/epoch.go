@@ -7,6 +7,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/interp"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/record"
 )
 
@@ -203,12 +204,24 @@ func (rt *Runtime) monitor() {
 			rt.shutdown()
 			return
 		}
+		qs := time.Now()
 		rt.awaitQuiescence()
+		rt.observeQuiescence(qs)
 		if done := rt.handleEpochEnd(); done {
 			rt.shutdown()
 			return
 		}
 	}
+}
+
+// observeQuiescence accounts one completed quiescence wait that began at
+// start: cumulative stats, the latency histogram, and the interval the next
+// epoch span records as its quiescence child. Monitor-goroutine only.
+func (rt *Runtime) observeQuiescence(start time.Time) {
+	rt.qStart, rt.qEnd = start, time.Now()
+	d := rt.qEnd.Sub(rt.qStart)
+	rt.stats.QuiescenceNS += d.Nanoseconds()
+	obs.CoreQuiescence.Observe(d.Seconds())
 }
 
 // awaitQuiescence blocks until no thread is running and the world has been
@@ -282,6 +295,23 @@ func (rt *Runtime) handleEpochEnd() bool {
 	rt.stopMu.Unlock()
 	info := EpochEndInfo{Epoch: rt.epochSeq, Reason: reason, TID: stopTID, Fault: rt.progErr}
 
+	// The epoch's timeline span covers the whole epoch — begin-of-epoch
+	// through the end of this boundary's processing (quiescence, tool
+	// decisions, any rollbacks) — so a recording timeline shows where the
+	// wall time of each epoch went.
+	bnd := rt.opts.Span.ChildAt(fmt.Sprintf("epoch %d", rt.epochSeq), rt.epochStart)
+	bnd.Record("quiescence", rt.qStart, rt.qEnd)
+	rollbacks := 0
+	defer func() {
+		obs.CoreEpoch.Observe(time.Since(rt.epochStart).Seconds())
+		bnd.SetAttr("reason", reason.String())
+		if rollbacks > 0 {
+			bnd.SetAttr("rollbacks", fmt.Sprintf("%d", rollbacks))
+		}
+		bnd.End()
+		rt.epochStart = time.Now()
+	}()
+
 	decision := rt.epochDecision(
 		func() Decision {
 			if rt.opts.OnEpochEnd == nil {
@@ -312,8 +342,14 @@ func (rt *Runtime) handleEpochEnd() bool {
 			break
 		}
 		rt.stats.Replays++
+		rollbacks = attempt
+		obs.CoreRollbacks.Inc()
+		rbStart := time.Now()
 		rt.rollbackAndReplay()
+		qs := time.Now()
 		rt.awaitQuiescence()
+		rt.observeQuiescence(qs)
+		bnd.Record(fmt.Sprintf("rollback %d", attempt), rbStart, time.Now())
 
 		if rt.replayMatched() {
 			rt.stats.MatchedReplays++

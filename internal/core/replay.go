@@ -105,6 +105,7 @@ func prepareReplay(mod *tir.Module, epochs []*record.EpochLog, opts Options, pre
 	main.cpu.Start(rt.mod.Entry, nil)
 	rt.epochSeq = 1
 	rt.stats.Epochs = int64(len(epochs))
+	rt.epochStart = time.Now()
 	rt.takeCheckpoint()
 	go main.trampoline()
 	// Once any trampoline is live, error paths must reap it.

@@ -13,6 +13,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/interp"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/tir"
 	"repro/internal/vsys"
@@ -107,6 +108,12 @@ type Options struct {
 	// (the ASan baseline interposes shadow bookkeeping this way). Ignored
 	// with UseLibCAllocator.
 	WrapAllocator func(*heap.Deterministic) heap.Allocator
+	// Span, when set, is the parent the runtime records its epoch timeline
+	// under: one child span per epoch boundary (start of the epoch to the
+	// end of its boundary processing) with a quiescence child, one child
+	// per rollback attempt, and reason/rollback attributes. Nil disables
+	// span recording; latency histograms observe regardless.
+	Span *obs.Span
 }
 
 // FlightSink is the surface a flight recorder presents to the runtime: the
@@ -145,6 +152,9 @@ type Stats struct {
 	Divergences        int64
 	LastReplayAttempts int
 	EventsRecorded     int64
+	// QuiescenceNS is the cumulative time the coordinator spent waiting for
+	// the world to quiesce at epoch boundaries (including replay retries).
+	QuiescenceNS int64
 }
 
 // Runtime executes one TIR program under iReplayer semantics.
@@ -192,6 +202,11 @@ type Runtime struct {
 
 	epochSeq int64
 	ckpt     *checkpoint
+	// epochStart anchors the current epoch's wall time; qStart/qEnd are the
+	// most recent quiescence wait. All three are monitor-goroutine state
+	// (initialized before the monitor starts).
+	epochStart   time.Time
+	qStart, qEnd time.Time
 
 	// offline marks a runtime built by PrepareReplay: it re-executes a stored
 	// trace from program start instead of recording, with program output
@@ -393,6 +408,7 @@ func (rt *Runtime) Run() (*Report, error) {
 	main.cpu.Start(rt.mod.Entry, nil)
 	rt.epochSeq = 1
 	rt.stats.Epochs = 1
+	rt.epochStart = time.Now()
 	rt.takeCheckpoint()
 	rt.setPhase(phRecord)
 	go rt.monitor()

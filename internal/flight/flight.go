@@ -29,8 +29,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/trace"
 )
@@ -193,6 +195,7 @@ func (r *Recorder) maybeRotate() error {
 	if best < 0 || r.marks[best].epochsBefore == 0 {
 		return nil // no cut point that drops anything yet
 	}
+	defer obs.FlightRotate.ObserveSince(time.Now())
 	m := r.marks[best]
 
 	tmp, err := os.CreateTemp(filepath.Dir(r.path), filepath.Base(r.path)+".*.tmp")
@@ -286,6 +289,7 @@ func (r *Recorder) Spill(st *trace.Store, name string, sum *trace.Summary) (Spil
 	if r.closed {
 		return SpillStats{}, fmt.Errorf("flight: recorder closed")
 	}
+	defer obs.FlightSpill.ObserveSince(time.Now())
 	tr, err := trace.ReadPrefix(io.NewSectionReader(r.rf.f, 0, r.rf.n))
 	if err != nil {
 		return SpillStats{}, fmt.Errorf("flight: decoding ring: %w", err)

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one Chrome trace-event ("X" complete event). Timestamps
+// and durations are microseconds, per the trace-event format spec.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	DisplayUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace writes the spans as Chrome trace-event JSON ("X" complete
+// events), loadable directly in Perfetto or chrome://tracing. Timestamps
+// are rebased so the earliest span starts at ts=0; events are emitted in
+// ascending-ts order with parents before their children.
+func ChromeTrace(w io.Writer, spans []SpanRecord) error {
+	evs := make([]chromeEvent, 0, len(spans))
+	if len(spans) > 0 {
+		base := spans[0].Start
+		for _, s := range spans[1:] {
+			if s.Start.Before(base) {
+				base = s.Start
+			}
+		}
+		for _, s := range spans {
+			ev := chromeEvent{
+				Name: s.Name,
+				Ph:   "X",
+				Ts:   float64(s.Start.Sub(base).Nanoseconds()) / 1e3,
+				Dur:  float64(s.Dur().Nanoseconds()) / 1e3,
+				PID:  1,
+				TID:  s.TID,
+			}
+			if len(s.Attrs) > 0 {
+				ev.Args = make(map[string]string, len(s.Attrs))
+				for _, a := range s.Attrs {
+					ev.Args[a.Key] = a.Value
+				}
+			}
+			evs = append(evs, ev)
+		}
+		// Ascending start time; at equal ts the longer (enclosing) span
+		// first so viewers nest children correctly.
+		sort.SliceStable(evs, func(i, j int) bool {
+			if evs[i].Ts != evs[j].Ts {
+				return evs[i].Ts < evs[j].Ts
+			}
+			return evs[i].Dur > evs[j].Dur
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayUnit: "ms"})
+}

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintProm checks a Prometheus text exposition for the conformance rules the
+// repo enforces: every sample must belong to a family that declared # HELP
+// and # TYPE before its first sample, counters must end in _total, histogram
+// bucket counts must be monotone in le with a +Inf bucket matching _count,
+// and no family may be declared twice. It returns one message per problem,
+// empty when the exposition is clean.
+func LintProm(text string) []string {
+	var probs []string
+	helpSeen := map[string]bool{}
+	typeSeen := map[string]string{}
+
+	type bucketKey struct{ fam, labels string }
+	buckets := map[bucketKey][]struct {
+		le  float64
+		val float64
+		raw string
+	}{}
+	counts := map[bucketKey]float64{}
+
+	lineNo := 0
+	for _, line := range strings.Split(text, "\n") {
+		lineNo++
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // other comments are legal
+			}
+			fam := fields[2]
+			switch fields[1] {
+			case "HELP":
+				if helpSeen[fam] {
+					probs = append(probs, fmt.Sprintf("line %d: duplicate HELP for %s", lineNo, fam))
+				}
+				helpSeen[fam] = true
+			case "TYPE":
+				if _, dup := typeSeen[fam]; dup {
+					probs = append(probs, fmt.Sprintf("line %d: duplicate TYPE for %s", lineNo, fam))
+				}
+				typ := ""
+				if len(fields) >= 4 {
+					typ = strings.TrimSpace(fields[3])
+				}
+				typeSeen[fam] = typ
+				if typ == "counter" && !strings.HasSuffix(fam, "_total") {
+					probs = append(probs, fmt.Sprintf("line %d: counter %s does not end in _total", lineNo, fam))
+				}
+			}
+			continue
+		}
+
+		// Sample line: name[{labels}] value [timestamp]
+		name := line
+		labels := ""
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			name = line[:i]
+			j := strings.IndexByte(line[i:], '}')
+			if j < 0 {
+				probs = append(probs, fmt.Sprintf("line %d: unterminated label set", lineNo))
+				continue
+			}
+			labels = line[i+1 : i+j]
+			line = name + line[i+j+1:]
+		} else if i := strings.IndexByte(line, ' '); i >= 0 {
+			name = line[:i]
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(line, name))
+		valStr := strings.Fields(rest)
+		if len(valStr) == 0 {
+			probs = append(probs, fmt.Sprintf("line %d: sample %s has no value", lineNo, name))
+			continue
+		}
+		val, err := strconv.ParseFloat(valStr[0], 64)
+		if err != nil {
+			probs = append(probs, fmt.Sprintf("line %d: sample %s has bad value %q", lineNo, name, valStr[0]))
+			continue
+		}
+
+		fam, sampleKind := familyOf(name, typeSeen)
+		if !helpSeen[fam] || typeSeen[fam] == "" {
+			probs = append(probs, fmt.Sprintf("line %d: sample %s not preceded by both HELP and TYPE for %s", lineNo, name, fam))
+			continue
+		}
+		typ := typeSeen[fam]
+		if typ == "histogram" && sampleKind == "" {
+			probs = append(probs, fmt.Sprintf("line %d: histogram %s has stray sample %s", lineNo, fam, name))
+		}
+		if typ == "histogram" {
+			key := bucketKey{fam, stripLE(labels)}
+			switch sampleKind {
+			case "bucket":
+				le, ok := leOf(labels)
+				if !ok {
+					probs = append(probs, fmt.Sprintf("line %d: %s_bucket without le label", lineNo, fam))
+					continue
+				}
+				buckets[key] = append(buckets[key], struct {
+					le  float64
+					val float64
+					raw string
+				}{le, val, name})
+			case "count":
+				counts[key] = val
+			}
+		}
+	}
+
+	// Histogram shape checks, deterministic order.
+	keys := make([]bucketKey, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].fam != keys[j].fam {
+			return keys[i].fam < keys[j].fam
+		}
+		return keys[i].labels < keys[j].labels
+	})
+	for _, k := range keys {
+		bs := buckets[k]
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		last := -1.0
+		hasInf := false
+		for _, b := range bs {
+			if b.val < last {
+				probs = append(probs, fmt.Sprintf("%s{%s}: bucket counts not monotone in le", k.fam, k.labels))
+				break
+			}
+			last = b.val
+			if b.le > 1e308 { // +Inf parsed
+				hasInf = true
+				if c, ok := counts[k]; ok && c != b.val {
+					probs = append(probs, fmt.Sprintf("%s{%s}: +Inf bucket %v != _count %v", k.fam, k.labels, b.val, c))
+				}
+			}
+		}
+		if !hasInf {
+			probs = append(probs, fmt.Sprintf("%s{%s}: missing le=\"+Inf\" bucket", k.fam, k.labels))
+		}
+	}
+	return probs
+}
+
+// familyOf resolves a sample name to its metric family. Histogram and
+// summary samples use the _bucket/_sum/_count suffixes of their family name.
+func familyOf(name string, types map[string]string) (fam, kind string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if t := types[base]; t == "histogram" || t == "summary" {
+				return base, strings.TrimPrefix(suf, "_")
+			}
+		}
+	}
+	return name, ""
+}
+
+// stripLE removes the le label from a label string so bucket series of one
+// histogram child group under the same key.
+func stripLE(labels string) string {
+	var out []string
+	for _, p := range splitLabels(labels) {
+		if !strings.HasPrefix(p, "le=") {
+			out = append(out, p)
+		}
+	}
+	return strings.Join(out, ",")
+}
+
+// leOf extracts the le label value as a float (+Inf allowed).
+func leOf(labels string) (float64, bool) {
+	for _, p := range splitLabels(labels) {
+		if v, ok := strings.CutPrefix(p, "le="); ok {
+			v = strings.Trim(v, `"`)
+			if v == "+Inf" {
+				return math.Inf(1), true
+			}
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return 0, false
+			}
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(labels string) []string {
+	var parts []string
+	depth := false
+	start := 0
+	for i := 0; i < len(labels); i++ {
+		switch labels[i] {
+		case '"':
+			if i == 0 || labels[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				parts = append(parts, labels[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(labels) {
+		parts = append(parts, labels[start:])
+	}
+	return parts
+}

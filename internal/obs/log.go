@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel maps a -log-level flag value to a slog level. Accepted values
+// are debug, info, warn and error (case-insensitive).
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// NewLogger builds the shared slog logger the binaries use: text by default,
+// JSON lines when jsonOut is set. It does not touch slog's process default;
+// callers decide whether to slog.SetDefault it.
+func NewLogger(w io.Writer, level slog.Level, jsonOut bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if jsonOut {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}

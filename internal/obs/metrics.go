@@ -1,0 +1,40 @@
+package obs
+
+// Standard instrument catalog. Library packages observe into these; the
+// daemon's /metrics renders Default() after its own registry. Keeping the
+// declarations in one place doubles as the metric inventory for
+// docs/OBSERVABILITY.md.
+var (
+	// Scheduler: queue wait (enqueue -> dispatch) and run time
+	// (dispatch -> finish) per job kind.
+	SchedQueueWait = Default().NewHistogramVec("ir_sched_queue_wait_seconds",
+		"Time jobs spend queued before a worker picks them up.", "kind", nil)
+	SchedRun = Default().NewHistogramVec("ir_sched_run_seconds",
+		"Wall time jobs spend executing on a worker.", "kind", nil)
+
+	// Trace store and random-access handles.
+	TraceHandleOpen = Default().NewHistogram("ir_trace_handle_open_seconds",
+		"Time to open a random-access trace handle (index footer read + validation).", nil)
+	TraceFrameFetch = Default().NewHistogramVec("ir_trace_frame_fetch_seconds",
+		"Cache-miss frame fetch latency (pread + CRC + decode) by frame kind.", "kind", nil)
+	TraceInflate = Default().NewHistogram("ir_trace_inflate_seconds",
+		"Time to inflate a compressed frame payload.", nil)
+	TraceCkptFold = Default().NewHistogram("ir_trace_checkpoint_fold_seconds",
+		"Time to materialize a checkpoint by folding deltas from the nearest keyframe.", nil)
+	StoreGC = Default().NewHistogram("ir_store_gc_seconds",
+		"Duration of store retention GC passes.", nil)
+
+	// Flight recorder.
+	FlightRotate = Default().NewHistogram("ir_flight_rotate_seconds",
+		"Duration of flight-recorder ring rotations (suffix rewrite + rename).", nil)
+	FlightSpill = Default().NewHistogram("ir_flight_spill_seconds",
+		"Duration of flight-recorder spills into a trace store.", nil)
+
+	// Recording runtime epoch machinery.
+	CoreEpoch = Default().NewHistogram("ir_core_epoch_seconds",
+		"Recorded epoch wall time, epoch begin to quiescent boundary.", nil)
+	CoreQuiescence = Default().NewHistogram("ir_core_quiescence_wait_seconds",
+		"Time the coordinator waits for application threads to quiesce at an epoch boundary.", nil)
+	CoreRollbacks = Default().NewCounter("ir_core_rollbacks_total",
+		"In-situ replay rollbacks (re-executions after a divergent replay attempt).")
+)

@@ -1,0 +1,28 @@
+// Package obs is the repository's dependency-free telemetry layer:
+// hierarchical spans with a bounded ring of completed records, fixed-bucket
+// latency histograms rendered in Prometheus text exposition format, a Chrome
+// trace-event exporter for job timelines, and a shared log/slog setup for the
+// command-line binaries.
+//
+// The package deliberately has no third-party dependencies and no background
+// goroutines. Metric instruments are cheap enough to leave in hot paths
+// (an atomic add per observation); the process-wide Enabled gate exists so
+// the bench suite can price exactly that cost.
+package obs
+
+import "sync/atomic"
+
+// enabled gates metric observation and span recording process-wide.
+// It defaults to on; the bench suite flips it to measure telemetry overhead.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled turns telemetry collection on or off process-wide and reports
+// the previous state. With telemetry off, histogram/counter observations and
+// span recording become no-ops (rendering still works and shows whatever was
+// collected while enabled).
+func SetEnabled(on bool) (prev bool) { return enabled.Swap(on) }
+
+// Enabled reports whether telemetry collection is currently on.
+func Enabled() bool { return enabled.Load() }

@@ -1,0 +1,30 @@
+// Command promlint reads a Prometheus text exposition on stdin and applies
+// the repo's conformance lint (HELP+TYPE before every sample, counters end
+// in _total, histogram buckets monotone with a +Inf bucket matching _count).
+// It exits non-zero and prints one line per problem when the exposition is
+// not clean; CI pipes the daemon's /metrics through it.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promlint: read stdin:", err)
+		os.Exit(2)
+	}
+	probs := obs.LintProm(string(data))
+	for _, p := range probs {
+		fmt.Fprintln(os.Stderr, "promlint:", p)
+	}
+	if len(probs) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("promlint: ok (%d bytes)\n", len(data))
+}

@@ -38,6 +38,7 @@ func RunPool(n, workers int, run func(i int)) time.Duration {
 	for i := 0; i < n; i++ {
 		if _, err := s.Submit(Job{
 			Name: fmt.Sprintf("pool#%d", i),
+			Kind: "pool",
 			Run: func(context.Context) (any, error) {
 				defer func() {
 					if r := recover(); r != nil {

@@ -42,6 +42,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Priority orders dispatch: higher runs first; equal priorities are FIFO.
@@ -177,6 +179,10 @@ var (
 type Job struct {
 	// Name labels the job in Info and metrics; it need not be unique.
 	Name string
+	// Kind labels the job in the queue-wait/run-time latency histograms
+	// (ir_sched_queue_wait_seconds, ir_sched_run_seconds). Empty means
+	// "job". Use a low-cardinality value (the API job kind, "pool", ...).
+	Kind string
 	// Priority orders dispatch (default Normal).
 	Priority Priority
 	// Run executes the job. The context is canceled by Cancel and by a
@@ -200,6 +206,10 @@ type Info struct {
 	Enqueued time.Time `json:"enqueued"`
 	Started  time.Time `json:"started"`
 	Finished time.Time `json:"finished"`
+	// QueueMS is the time spent waiting for a worker (still growing while
+	// queued); RunMS is the execution wall time so far (zero while queued).
+	QueueMS float64 `json:"queue_ms"`
+	RunMS   float64 `json:"run_ms"`
 }
 
 // Wall returns the job's execution time so far (zero before it starts).
@@ -263,11 +273,11 @@ type job struct {
 	started  time.Time
 	finished time.Time
 
-	ctx          context.Context
-	cancel       context.CancelFunc
-	cancelAsked  bool
-	watchers     []chan Info
-	doneCh       chan struct{} // closed at terminal state
+	ctx         context.Context
+	cancel      context.CancelFunc
+	cancelAsked bool
+	watchers    []chan Info
+	doneCh      chan struct{} // closed at terminal state
 }
 
 // Scheduler dispatches submitted jobs across a fixed worker pool.
@@ -376,12 +386,14 @@ func (s *Scheduler) worker() {
 		jb.notifyLocked()
 		s.pulseLocked()
 		s.mu.Unlock()
+		obs.SchedQueueWait.With(jb.kind()).Observe(jb.started.Sub(jb.enqueued).Seconds())
 
 		res, err := runGuarded(jb)
 
 		s.mu.Lock()
 		s.running--
 		jb.finished = time.Now()
+		obs.SchedRun.With(jb.kind()).Observe(jb.finished.Sub(jb.started).Seconds())
 		jb.result = res
 		jb.err = err
 		switch {
@@ -645,6 +657,14 @@ func (s *Scheduler) cancelPending() {
 	}
 }
 
+// kind returns the histogram label for the job.
+func (jb *job) kind() string {
+	if jb.Kind == "" {
+		return "job"
+	}
+	return jb.Kind
+}
+
 // snapshotLocked builds an Info; caller holds s.mu.
 func (jb *job) snapshotLocked() Info {
 	info := Info{
@@ -657,10 +677,24 @@ func (jb *job) snapshotLocked() Info {
 		Started:  jb.started,
 		Finished: jb.finished,
 	}
+	switch {
+	case !jb.started.IsZero():
+		info.QueueMS = msSince(jb.enqueued, jb.started)
+	case !jb.finished.IsZero(): // canceled while still queued
+		info.QueueMS = msSince(jb.enqueued, jb.finished)
+	default:
+		info.QueueMS = msSince(jb.enqueued, time.Now())
+	}
+	info.RunMS = float64(info.Wall().Nanoseconds()) / 1e6
 	if jb.err != nil {
 		info.Err = jb.err.Error()
 	}
 	return info
+}
+
+// msSince returns the from..to interval in (fractional) milliseconds.
+func msSince(from, to time.Time) float64 {
+	return float64(to.Sub(from).Nanoseconds()) / 1e6
 }
 
 // notifyLocked fans the current snapshot out to watchers; caller holds s.mu.

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/flight"
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/tir"
 	"repro/internal/trace"
@@ -164,6 +165,8 @@ type RecordResult struct {
 	// leading checkpoint (FirstEpoch) instead of program start.
 	Suffix     bool  `json:"suffix,omitempty"`
 	FirstEpoch int64 `json:"first_epoch,omitempty"`
+	// Timing is the daemon's latency breakdown (nil for CLI recordings).
+	Timing *JobTiming `json:"timing,omitempty"`
 }
 
 // RecordTrace runs the named workload under the recorder, streaming epoch
@@ -179,6 +182,15 @@ type RecordResult struct {
 // one name are the caller's responsibility to exclude — the daemon
 // serializes them per name.
 func RecordTrace(st *trace.Store, req RecordRequest, interrupt func() error) (*RecordResult, error) {
+	return RecordTraceSpan(st, req, interrupt, nil)
+}
+
+// RecordTraceSpan is RecordTrace with a telemetry span: span, when
+// non-nil, is handed to the runtime as core.Options.Span, so the
+// recording's epoch boundaries (with quiescence waits and rollbacks)
+// become children on the caller's timeline. The daemon's record jobs pass
+// their root job span; the CLI passes nil.
+func RecordTraceSpan(st *trace.Store, req RecordRequest, interrupt func() error, span *obs.Span) (*RecordResult, error) {
 	if req.App == "" {
 		return nil, fmt.Errorf("record: app is required")
 	}
@@ -211,7 +223,7 @@ func RecordTrace(st *trace.Store, req RecordRequest, interrupt func() error) (*R
 		name = req.App
 	}
 	if req.FlightEpochs > 0 {
-		return recordFlight(st, req, name, mod, appIters, setupOS, interrupt)
+		return recordFlight(st, req, name, mod, appIters, setupOS, interrupt, span)
 	}
 
 	// Stream epoch frames straight to the partial file as the runtime
@@ -237,7 +249,7 @@ func RecordTrace(st *trace.Store, req RecordRequest, interrupt func() error) (*R
 		w.SetKeyframeEvery(req.KeyframeEvery)
 	}
 	var events int64
-	opts := core.Options{Seed: req.Seed, EventCap: req.EventCap, Interrupt: interrupt}
+	opts := core.Options{Seed: req.Seed, EventCap: req.EventCap, Interrupt: interrupt, Span: span}
 	sink := w.Sink()
 	opts.TraceSink = func(ep *record.EpochLog) error {
 		events += int64(ep.EventCount())
@@ -300,7 +312,7 @@ func RecordTrace(st *trace.Store, req RecordRequest, interrupt func() error) (*R
 // interrupted. Either way the stored trace replays from its leading
 // checkpoint; the disk cost of an arbitrarily long run stays bounded.
 func recordFlight(st *trace.Store, req RecordRequest, name string, mod *tir.Module,
-	appIters int, setupOS func(*core.Runtime), interrupt func() error) (*RecordResult, error) {
+	appIters int, setupOS func(*core.Runtime), interrupt func() error, span *obs.Span) (*RecordResult, error) {
 	rec, err := flight.New(flight.RingPath(st, name), trace.Header{
 		App:        req.App,
 		ModuleHash: tir.Fingerprint(mod),
@@ -315,7 +327,7 @@ func recordFlight(st *trace.Store, req RecordRequest, name string, mod *tir.Modu
 	var events int64
 	opts := core.Options{
 		Seed: req.Seed, EventCap: req.EventCap, Interrupt: interrupt,
-		CheckpointEvery: req.CheckpointEvery, FlightRecorder: rec,
+		CheckpointEvery: req.CheckpointEvery, FlightRecorder: rec, Span: span,
 	}
 	opts.TraceSink = func(ep *record.EpochLog) error {
 		events += int64(ep.EventCount())

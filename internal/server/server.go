@@ -17,10 +17,15 @@
 //	GET    /api/v1/jobs              every retained job, by ID
 //	GET    /api/v1/jobs/{id}         one job's snapshot (result once done)
 //	GET    /api/v1/jobs/{id}/stream  NDJSON stream of state transitions
+//	GET    /api/v1/jobs/{id}/timeline  the job's span timeline as Chrome
+//	                                 trace-event JSON (chrome://tracing)
 //	DELETE /api/v1/jobs/{id}         cancel (queued: immediate; running: the
 //	                                 job's context is canceled and the replay
 //	                                 layers unwind at their next gated point)
-//	GET    /metrics                  Prometheus text: scheduler + store gauges
+//	GET    /api/v1/debug/spans       recent HTTP request spans, Chrome JSON
+//	GET    /metrics                  Prometheus text: scheduler + store state,
+//	                                 route latency, and the process-wide
+//	                                 obs.Default() histograms
 //	GET    /healthz                  liveness
 //
 // Job state machine and backpressure rules are documented in DESIGN.md
@@ -42,6 +47,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -101,6 +107,15 @@ type Server struct {
 	gcStopOnce  sync.Once
 	gcRuns      atomic.Int64
 	gcReclaimed atomic.Int64
+
+	// Telemetry: the /metrics registry, the bounded ring of recent HTTP
+	// request spans, and the per-job span recorders the timeline endpoint
+	// serves (FIFO-bounded at maxTimelines; see telemetry.go).
+	met       *serverMetrics
+	reqSpans  *obs.Recorder
+	tlMu      sync.Mutex
+	timelines map[uint64]*obs.Recorder
+	tlOrder   []uint64
 }
 
 func (s *Server) tryReserveRecord(name string) bool {
@@ -167,19 +182,24 @@ func New(cfg Config) (*Server, error) {
 		reading:   make(map[string]int),
 		gcPolicy:  cfg.GC,
 		gcStop:    make(chan struct{}),
+		met:       newServerMetrics(),
+		reqSpans:  obs.NewRecorder(1024),
+		timelines: make(map[uint64]*obs.Recorder),
 	}
-	s.mux.HandleFunc("GET /api/v1/traces", s.handleTraces)
-	s.mux.HandleFunc("GET /api/v1/traces/{name}", s.handleTrace)
-	s.mux.HandleFunc("DELETE /api/v1/traces/{name}", s.handleDeleteTrace)
-	s.mux.HandleFunc("POST /api/v1/traces/{name}/compact", s.handleCompactTrace)
-	s.mux.HandleFunc("POST /api/v1/gc", s.handleGC)
-	s.mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /api/v1/jobs", s.handleJobs)
-	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)
-	s.mux.HandleFunc("GET /api/v1/jobs/{id}/stream", s.handleJobStream)
-	s.mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.route("GET /api/v1/traces", "traces", s.handleTraces)
+	s.route("GET /api/v1/traces/{name}", "trace", s.handleTrace)
+	s.route("DELETE /api/v1/traces/{name}", "trace_delete", s.handleDeleteTrace)
+	s.route("POST /api/v1/traces/{name}/compact", "trace_compact", s.handleCompactTrace)
+	s.route("POST /api/v1/gc", "gc", s.handleGC)
+	s.route("POST /api/v1/jobs", "jobs_submit", s.handleSubmit)
+	s.route("GET /api/v1/jobs", "jobs", s.handleJobs)
+	s.route("GET /api/v1/jobs/{id}", "job", s.handleJob)
+	s.route("GET /api/v1/jobs/{id}/stream", "job_stream", s.handleJobStream)
+	s.route("GET /api/v1/jobs/{id}/timeline", "job_timeline", s.handleJobTimeline)
+	s.route("DELETE /api/v1/jobs/{id}", "job_cancel", s.handleCancel)
+	s.route("GET /api/v1/debug/spans", "debug_spans", s.handleDebugSpans)
+	s.route("GET /metrics", "metrics", s.handleMetrics)
+	s.route("GET /healthz", "healthz", s.handleHealthz)
 	if cfg.GC.MaxBytes > 0 || cfg.GC.MaxAge > 0 {
 		interval := cfg.GCInterval
 		if interval <= 0 {
@@ -396,8 +416,9 @@ type ReplayResult struct {
 	Attempts int    `json:"attempts"`
 	Events   int64  `json:"events"`
 	// Fault is a reproduced recorded fault (a success, not an error).
-	Fault  string `json:"fault,omitempty"`
-	WallNS int64  `json:"wall_ns"`
+	Fault  string     `json:"fault,omitempty"`
+	WallNS int64      `json:"wall_ns"`
+	Timing *JobTiming `json:"timing,omitempty"`
 }
 
 // AnalyzeJobResult extends ReplayResult with the findings. Pinned reports
@@ -412,21 +433,23 @@ type AnalyzeJobResult struct {
 
 // SegmentReplayResult is a segment-replay job's result payload.
 type SegmentReplayResult struct {
-	Trace    string `json:"trace"`
-	Segments int    `json:"segments"`
-	Matched  int    `json:"matched"`
-	Events   int64  `json:"events"`
-	WallNS   int64  `json:"wall_ns"`
+	Trace    string     `json:"trace"`
+	Segments int        `json:"segments"`
+	Matched  int        `json:"matched"`
+	Events   int64      `json:"events"`
+	WallNS   int64      `json:"wall_ns"`
+	Timing   *JobTiming `json:"timing,omitempty"`
 }
 
 // CompactResult is a compact job's result payload.
 type CompactResult struct {
-	Trace       string `json:"trace"`
-	OldBytes    int64  `json:"old_bytes"`
-	NewBytes    int64  `json:"new_bytes"`
-	Epochs      int    `json:"epochs"`
-	Checkpoints int    `json:"checkpoints"`
-	WallNS      int64  `json:"wall_ns"`
+	Trace       string     `json:"trace"`
+	OldBytes    int64      `json:"old_bytes"`
+	NewBytes    int64      `json:"new_bytes"`
+	Epochs      int        `json:"epochs"`
+	Checkpoints int        `json:"checkpoints"`
+	WallNS      int64      `json:"wall_ns"`
+	Timing      *JobTiming `json:"timing,omitempty"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -446,7 +469,7 @@ func (s *Server) submit(w http.ResponseWriter, req *JobRequest) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	job, err := s.buildJob(req)
+	job, tel, err := s.buildJob(req)
 	if err != nil {
 		status := http.StatusBadRequest
 		switch {
@@ -459,6 +482,7 @@ func (s *Server) submit(w http.ResponseWriter, req *JobRequest) {
 		return
 	}
 	job.Priority = prio
+	job.Kind = req.Kind
 	info, err := s.sched.Submit(*job)
 	switch {
 	case errors.Is(err, sched.ErrQueueFull):
@@ -472,6 +496,7 @@ func (s *Server) submit(w http.ResponseWriter, req *JobRequest) {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
+	s.putTimeline(info.ID, tel.rec)
 	writeJSON(w, http.StatusAccepted, info)
 }
 
@@ -482,17 +507,19 @@ var (
 
 // buildJob validates a request eagerly — a bad trace name or analyzer list
 // fails the submission, not the job — and returns the scheduler job whose
-// closure runs it. Every closure threads its context into the replay
-// runtime through core.Options.Interrupt, so DELETE cancels mid-execution.
-func (s *Server) buildJob(req *JobRequest) (*sched.Job, error) {
+// closure runs it, plus the telemetry capsule submit registers under the
+// job ID for the timeline endpoint. Every closure threads its context into
+// the replay runtime through core.Options.Interrupt, so DELETE cancels
+// mid-execution, and opens a root span covering queue wait + execution.
+func (s *Server) buildJob(req *JobRequest) (*sched.Job, *jobTel, error) {
 	switch req.Kind {
 	case "record":
 		rr := req.Record
 		if rr.App == "" {
-			return nil, errors.New("record job: record.app is required")
+			return nil, nil, errors.New("record job: record.app is required")
 		}
 		if !workloads.Known(rr.App) {
-			return nil, fmt.Errorf("record job: unknown app %q", rr.App)
+			return nil, nil, fmt.Errorf("record job: unknown app %q", rr.App)
 		}
 		name := rr.Name
 		if name == "" {
@@ -504,27 +531,31 @@ func (s *Server) buildJob(req *JobRequest) (*sched.Job, error) {
 		// (the loser fails with a conflict) instead of interleaving writes
 		// into one store file.
 		if s.recordHeld(name) {
-			return nil, fmt.Errorf("%w: trace %q is already being recorded", errConflict, name)
+			return nil, nil, fmt.Errorf("%w: trace %q is already being recorded", errConflict, name)
 		}
+		tel := newJobTel("record/" + name)
 		return &sched.Job{
 			Name: "record/" + name,
 			Run: func(ctx context.Context) (any, error) {
+				root, start := tel.begin()
+				defer root.End()
 				if !s.tryReserveRecord(name) {
 					return nil, fmt.Errorf("%w: trace %q is already being recorded", errConflict, name)
 				}
 				defer s.releaseRecord(name)
-				res, err := RecordTrace(s.store, rr, ctx.Err)
+				res, err := RecordTraceSpan(s.store, rr, ctx.Err, root)
 				if err != nil {
 					return nil, err
 				}
 				s.eventsReplayed.Add(res.Events)
+				res.Timing = tel.timing(start, 0)
 				return res, nil
 			},
-		}, nil
+		}, tel, nil
 
 	case "replay", "analyze":
 		if req.Trace == "" {
-			return nil, fmt.Errorf("%s job: trace is required", req.Kind)
+			return nil, nil, fmt.Errorf("%s job: trace is required", req.Kind)
 		}
 		var factory func() []analysis.Analyzer
 		if req.Kind == "analyze" {
@@ -533,7 +564,7 @@ func (s *Server) buildJob(req *JobRequest) (*sched.Job, error) {
 				spec = "race,leak"
 			}
 			if _, err := analysis.FromSpec(spec); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			factory = func() []analysis.Analyzer {
 				az, _ := analysis.FromSpec(spec) // validated above
@@ -541,14 +572,17 @@ func (s *Server) buildJob(req *JobRequest) (*sched.Job, error) {
 			}
 		}
 		if err := s.validateTrace(req.Trace); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		name := req.Kind + "/" + req.Trace
 		opts := core.Options{MaxReplays: req.MaxReplays, DelayOnDivergence: !req.NoDelay}
 		tname := req.Trace
+		tel := newJobTel(name)
 		return &sched.Job{
 			Name: name,
 			Run: func(ctx context.Context) (any, error) {
+				root, start := tel.begin()
+				defer root.End()
 				release := s.holdRead(tname)
 				defer release()
 				// Module and trace are resolved here, not at submission: a
@@ -556,75 +590,113 @@ func (s *Server) buildJob(req *JobRequest) (*sched.Job, error) {
 				// module for its whole time in the queue. The handle itself
 				// decodes lazily — the worker streams epochs through the
 				// store's frame cache as the replay consumes them.
+				resolveStart := time.Now()
 				job, err := ResolveJob(s.store, tname, opts)
 				if err != nil {
 					return nil, err
 				}
+				resolve := time.Since(resolveStart)
+				root.Record("resolve", resolveStart, resolveStart.Add(resolve))
 				defer job.Handle.Close()
 				job.Opts.Interrupt = ctx.Err
+				job.Span = root
 				if factory == nil {
-					return s.runReplay(&job)
+					res, err := s.runReplay(&job)
+					if err != nil {
+						return nil, err
+					}
+					res.Timing = tel.timing(start, resolve)
+					return res, nil
 				}
-				return s.runAnalyze(&job, factory)
+				res, err := s.runAnalyze(&job, factory)
+				if err != nil {
+					return nil, err
+				}
+				res.Timing = tel.timing(start, resolve)
+				return res, nil
 			},
-		}, nil
+		}, tel, nil
 
 	case "segment-replay":
 		if req.Trace == "" {
-			return nil, errors.New("segment-replay job: trace is required")
+			return nil, nil, errors.New("segment-replay job: trace is required")
 		}
 		if err := s.validateTrace(req.Trace); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		workers := req.Workers
 		tname := req.Trace
 		opts := core.Options{MaxReplays: req.MaxReplays, DelayOnDivergence: !req.NoDelay}
+		tel := newJobTel("segment-replay/" + tname)
 		return &sched.Job{
 			Name: "segment-replay/" + tname,
 			Run: func(ctx context.Context) (any, error) {
+				root, begin := tel.begin()
+				defer root.End()
 				release := s.holdRead(tname)
 				defer release()
+				resolveStart := time.Now()
 				job, err := ResolveJob(s.store, tname, opts)
 				if err != nil {
 					return nil, err
 				}
+				resolve := time.Since(resolveStart)
+				root.Record("resolve", resolveStart, resolveStart.Add(resolve))
 				defer job.Handle.Close()
 				job.Opts.Interrupt = ctx.Err
+				job.Span = root
 				start := time.Now()
 				results, stats, err := trace.ReplaySegments(job, workers)
 				if err != nil {
 					return nil, err
 				}
 				s.eventsReplayed.Add(stats.Events)
+				timing := tel.timing(begin, resolve)
+				for _, sr := range results {
+					timing.Segments = append(timing.Segments, SegmentTiming{
+						Seg:        sr.Seg,
+						FirstEpoch: sr.FirstEpoch,
+						LastEpoch:  sr.LastEpoch,
+						FoldMS:     durMS(sr.Fold),
+						DecodeMS:   durMS(sr.Decode),
+						ExecuteMS:  durMS(sr.Exec),
+						StitchMS:   durMS(sr.Stitch),
+						Matched:    sr.Matched,
+					})
+				}
 				return &SegmentReplayResult{
 					Trace:    job.Name,
 					Segments: len(results),
 					Matched:  stats.Matched,
 					Events:   stats.Events,
 					WallNS:   time.Since(start).Nanoseconds(),
+					Timing:   timing,
 				}, nil
 			},
-		}, nil
+		}, tel, nil
 
 	case "compact":
 		if req.Trace == "" {
-			return nil, errors.New("compact job: trace is required")
+			return nil, nil, errors.New("compact job: trace is required")
 		}
 		// Unlike replay, compact accepts an incomplete trace (a crashed
 		// recording compacts to a complete partial-summary trace), so the
 		// submission check is existence + readability only.
 		entry, err := s.store.Entry(req.Trace)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", errNoSuchTrace, err)
+			return nil, nil, fmt.Errorf("%w: %v", errNoSuchTrace, err)
 		}
 		if entry.Err != nil {
-			return nil, fmt.Errorf("trace %q is unreadable: %v", req.Trace, entry.Err)
+			return nil, nil, fmt.Errorf("trace %q is unreadable: %v", req.Trace, entry.Err)
 		}
 		tname := req.Trace
 		keyEvery := req.KeyframeEvery
+		tel := newJobTel("compact/" + tname)
 		return &sched.Job{
 			Name: "compact/" + tname,
 			Run: func(ctx context.Context) (any, error) {
+				root, begin := tel.begin()
+				defer root.End()
 				// Compact rewrites the file, so it takes the same write
 				// reservation as a record job. Concurrent readers are safe —
 				// the rename-in-place leaves their open descriptors on the
@@ -641,6 +713,7 @@ func (s *Server) buildJob(req *JobRequest) (*sched.Job, error) {
 				if err != nil {
 					return nil, err
 				}
+				root.Record("compact", start, time.Now())
 				return &CompactResult{
 					Trace:       tname,
 					OldBytes:    cs.OldBytes,
@@ -648,11 +721,12 @@ func (s *Server) buildJob(req *JobRequest) (*sched.Job, error) {
 					Epochs:      cs.Epochs,
 					Checkpoints: cs.Checkpoints,
 					WallNS:      time.Since(start).Nanoseconds(),
+					Timing:      tel.timing(begin, 0),
 				}, nil
 			},
-		}, nil
+		}, tel, nil
 	}
-	return nil, fmt.Errorf("unknown job kind %q (record, replay, segment-replay, analyze, compact)", req.Kind)
+	return nil, nil, fmt.Errorf("unknown job kind %q (record, replay, segment-replay, analyze, compact)", req.Kind)
 }
 
 // validateTrace is the cheap submission-time check for trace-consuming
@@ -679,7 +753,7 @@ func (s *Server) validateTrace(name string) error {
 }
 
 // runReplay executes one replay job on the calling worker.
-func (s *Server) runReplay(job *trace.Job) (any, error) {
+func (s *Server) runReplay(job *trace.Job) (*ReplayResult, error) {
 	results, stats := trace.ReplayBatch([]trace.Job{*job}, 1)
 	r := results[0]
 	if !r.Matched {
@@ -702,7 +776,7 @@ func (s *Server) runReplay(job *trace.Job) (any, error) {
 }
 
 // runAnalyze executes one analyze job on the calling worker.
-func (s *Server) runAnalyze(job *trace.Job, factory func() []analysis.Analyzer) (any, error) {
+func (s *Server) runAnalyze(job *trace.Job, factory func() []analysis.Analyzer) (*AnalyzeJobResult, error) {
 	results, stats := trace.AnalyzeBatch([]trace.AnalyzeJob{{
 		Job:          *job,
 		NewAnalyzers: factory,
@@ -818,73 +892,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status": "ok",
 		"uptime": time.Since(s.start).String(),
 	})
-}
-
-// handleMetrics renders scheduler and store gauges in the Prometheus text
-// exposition format — queue depth, jobs by state, replay throughput, and
-// decode-cache effectiveness.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	m := s.sched.Metrics()
-	st := s.store.Stats()
-	uptime := time.Since(s.start).Seconds()
-	events := s.eventsReplayed.Load()
-	eps := 0.0
-	if uptime > 0 {
-		eps = float64(events) / uptime
-	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "# HELP ir_served_queue_depth Jobs waiting for a worker.\n")
-	fmt.Fprintf(w, "# TYPE ir_served_queue_depth gauge\n")
-	fmt.Fprintf(w, "ir_served_queue_depth %d\n", m.QueueDepth)
-	fmt.Fprintf(w, "ir_served_queue_limit %d\n", m.QueueLimit)
-	fmt.Fprintf(w, "ir_served_workers %d\n", m.Workers)
-	fmt.Fprintf(w, "ir_served_jobs_running %d\n", m.Running)
-	fmt.Fprintf(w, "# TYPE ir_served_jobs_total counter\n")
-	fmt.Fprintf(w, "ir_served_jobs_total{state=\"done\"} %d\n", m.Done)
-	fmt.Fprintf(w, "ir_served_jobs_total{state=\"failed\"} %d\n", m.Failed)
-	fmt.Fprintf(w, "ir_served_jobs_total{state=\"canceled\"} %d\n", m.Canceled)
-	fmt.Fprintf(w, "ir_served_jobs_submitted_total %d\n", m.Submitted)
-	fmt.Fprintf(w, "ir_served_jobs_rejected_total %d\n", m.Rejected)
-	fmt.Fprintf(w, "# HELP ir_served_events_replayed_total Recorded events re-executed (or recorded) by completed jobs.\n")
-	fmt.Fprintf(w, "# TYPE ir_served_events_replayed_total counter\n")
-	fmt.Fprintf(w, "ir_served_events_replayed_total %d\n", events)
-	fmt.Fprintf(w, "ir_served_events_per_sec %g\n", eps)
-	fmt.Fprintf(w, "ir_served_store_cache_hits_total %d\n", st.Hits)
-	fmt.Fprintf(w, "ir_served_store_cache_misses_total %d\n", st.Misses)
-	fmt.Fprintf(w, "ir_served_store_cache_evictions_total %d\n", st.Evictions)
-	fmt.Fprintf(w, "ir_served_store_cache_bytes %d\n", st.CachedBytes)
-	fmt.Fprintf(w, "ir_served_store_cache_limit_bytes %d\n", st.LimitBytes)
-	fmt.Fprintf(w, "# HELP ir_served_store_cache_hit_rate Decode-cache hits / loads since start.\n")
-	fmt.Fprintf(w, "ir_served_store_cache_hit_rate %g\n", st.HitRate())
-	fmt.Fprintf(w, "ir_served_store_cached_frames %d\n", st.CachedFrames)
-	if ds, err := s.store.DiskStats(); err == nil {
-		fmt.Fprintf(w, "# HELP ir_served_store_bytes Summed size of stored trace files.\n")
-		fmt.Fprintf(w, "# TYPE ir_served_store_bytes gauge\n")
-		fmt.Fprintf(w, "ir_served_store_bytes %d\n", ds.TotalBytes)
-		fmt.Fprintf(w, "ir_served_store_traces %d\n", ds.Traces)
-	}
-	if entries, err := s.store.List(); err == nil {
-		hot, cold := 0, 0
-		for _, e := range entries {
-			if e.Err == nil && e.Header.Compressed {
-				cold++
-			} else {
-				hot++
-			}
-		}
-		fmt.Fprintf(w, "# HELP ir_served_store_traces_by_tier Traces by encoding tier (cold = compressed frame bodies).\n")
-		fmt.Fprintf(w, "# TYPE ir_served_store_traces_by_tier gauge\n")
-		fmt.Fprintf(w, "ir_served_store_traces_by_tier{tier=\"hot\"} %d\n", hot)
-		fmt.Fprintf(w, "ir_served_store_traces_by_tier{tier=\"cold\"} %d\n", cold)
-	}
-	if pins, err := s.store.Pins(); err == nil {
-		fmt.Fprintf(w, "ir_served_store_pinned_traces %d\n", len(pins))
-	}
-	fmt.Fprintf(w, "# HELP ir_served_gc_reclaimed_bytes_total Bytes reclaimed by retention GC passes.\n")
-	fmt.Fprintf(w, "# TYPE ir_served_gc_reclaimed_bytes_total counter\n")
-	fmt.Fprintf(w, "ir_served_gc_runs_total %d\n", s.gcRuns.Load())
-	fmt.Fprintf(w, "ir_served_gc_reclaimed_bytes_total %d\n", s.gcReclaimed.Load())
-	fmt.Fprintf(w, "ir_served_uptime_seconds %g\n", uptime)
 }
 
 // --- plumbing ---

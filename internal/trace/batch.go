@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/tir"
 )
@@ -38,6 +39,11 @@ type Job struct {
 	Opts core.Options
 	// Setup recreates recording-time OS state (input files); may be nil.
 	Setup func(*core.Runtime) error
+	// Span, when non-nil, is the parent span job execution records under:
+	// whole-trace replays record decode/execute children, segment-parallel
+	// replays record one child span per segment with decode/fold/execute/
+	// stitch grandchildren. A nil Span disables span recording.
+	Span *obs.Span
 }
 
 // Result is one job's outcome.
@@ -156,34 +162,46 @@ func (j *Job) compareSummary(rep *core.Report) error {
 func runJob(j *Job) (res Result) {
 	res = Result{Name: j.Name}
 	start := time.Now()
-	defer func() { res.Wall = time.Since(start) }()
+	sp := j.Span.ChildAt("replay "+j.Name, start)
+	defer func() {
+		res.Wall = time.Since(start)
+		sp.End()
+	}()
 	if err := j.validate(); err != nil {
 		res.Err = err
 		return res
 	}
+	decodeStart := time.Now()
 	epochs, err := j.Handle.AllEpochs()
 	if err != nil {
 		res.Err = err
 		return res
 	}
+	sp.Record("decode", decodeStart, time.Now())
 	var rep *core.Report
 	if j.Handle.LeadingCheckpoint() {
 		// Suffix trace (flight-recorder spill): resume from the leading
 		// checkpoint instead of program start. Setup is skipped — the
 		// checkpoint restores the recording-time OS state itself.
+		foldStart := time.Now()
 		start, cerr := j.Handle.CheckpointAt(0)
 		if cerr != nil {
 			res.Err = cerr
 			return res
 		}
+		sp.Record("fold", foldStart, time.Now())
 		rt, perr := core.PrepareReplayAt(j.Module, start, epochs, nil, j.Opts)
 		if perr != nil {
 			res.Err = perr
 			return res
 		}
+		execStart := time.Now()
 		rep, err = rt.RunReplay()
+		sp.Record("execute", execStart, time.Now())
 	} else {
+		execStart := time.Now()
 		rep, err = core.ReplayFromTrace(j.Module, epochs, j.Opts, j.Setup)
+		sp.Record("execute", execStart, time.Now())
 	}
 	res.Report = rep
 	if rep == nil {

@@ -20,6 +20,9 @@ import (
 	"compress/flate"
 	"fmt"
 	"io"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // frameCompressed marks a deflate-compressed frame payload; it is OR-ed
@@ -40,6 +43,7 @@ func inflatePayload(kind byte, payload []byte) (byte, []byte, error) {
 	if kind&frameCompressed == 0 {
 		return kind, payload, nil
 	}
+	defer obs.TraceInflate.ObserveSince(time.Now())
 	kind &^= frameCompressed
 	d := &decoder{b: payload}
 	rawLen, err := d.uvarint()

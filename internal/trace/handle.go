@@ -14,8 +14,10 @@ import (
 	"io"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/record"
 )
 
@@ -65,6 +67,7 @@ func OpenFile(path string) (*Handle, error) {
 
 // newFileHandle indexes an open trace file and wraps it. The handle owns f.
 func newFileHandle(f *os.File, size int64) (*Handle, error) {
+	start := time.Now()
 	hdr, idx, err := openFileIndex(f, size)
 	if err != nil {
 		return nil, err
@@ -73,6 +76,7 @@ func newFileHandle(f *os.File, size int64) (*Handle, error) {
 	if err := h.loadSummary(); err != nil {
 		return nil, err
 	}
+	obs.TraceHandleOpen.ObserveSince(start)
 	return h, nil
 }
 
@@ -207,6 +211,7 @@ func (h *Handle) epochAt(i int) (*record.EpochLog, error) {
 			return ep, nil
 		}
 	}
+	fetchStart := time.Now()
 	payload, err := readFrameAt(h.src, h.idx.epochs[i].frameRef, frameEpoch)
 	if err != nil {
 		return nil, err
@@ -225,6 +230,7 @@ func (h *Handle) epochAt(i int) (*record.EpochLog, error) {
 		return nil, fmt.Errorf("trace: epoch frame %d holds %d events, index says %d",
 			i, got, h.idx.epochs[i].events)
 	}
+	obs.TraceFrameFetch.With("epoch").ObserveSince(fetchStart)
 	if h.st != nil {
 		h.st.insertEpoch(h.name, h.mark, i, ep)
 	}
@@ -242,6 +248,7 @@ func (h *Handle) ckptAt(k int) (*Checkpoint, error) {
 			return ck, nil
 		}
 	}
+	fetchStart := time.Now()
 	payload, err := readFrameAt(h.src, h.idx.ckpts[k].frameRef, frameCkpt)
 	if err != nil {
 		return nil, err
@@ -254,6 +261,7 @@ func (h *Handle) ckptAt(k int) (*Checkpoint, error) {
 		return nil, fmt.Errorf("trace: checkpoint frame %d begins epoch %d, index says %d",
 			k, ck.Epoch(), h.idx.ckpts[k].epoch)
 	}
+	obs.TraceFrameFetch.With("checkpoint").ObserveSince(fetchStart)
 	if h.st != nil {
 		h.st.insertCkpt(h.name, h.mark, k, ck)
 	}
@@ -303,6 +311,7 @@ func (h *Handle) CheckpointAt(k int) (*core.Checkpoint, error) {
 	if k < 0 || k >= len(h.idx.ckpts) {
 		return nil, fmt.Errorf("trace: checkpoint %d out of range [0,%d)", k, len(h.idx.ckpts))
 	}
+	defer obs.TraceCkptFold.ObserveSince(time.Now())
 	j := k
 	for j > 0 && !h.idx.ckpts[j].keyframe {
 		j--

@@ -19,6 +19,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // pinsFile is the pin list's name inside the store directory: one trace
@@ -211,6 +213,7 @@ type GCStats struct {
 // come from directory metadata only — no trace is opened — so a GC pass
 // over a large store costs one ReadDir.
 func (s *Store) GC(pol GCPolicy) (GCStats, error) {
+	defer obs.StoreGC.ObserveSince(time.Now())
 	des, err := os.ReadDir(s.dir)
 	if err != nil {
 		return GCStats{}, err

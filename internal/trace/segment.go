@@ -44,6 +44,11 @@ type SegmentResult struct {
 	Matched bool
 	Err     error
 	Wall    time.Duration
+	// Stage durations, summing to roughly Wall: Fold is the checkpoint
+	// folds bounding the segment, Decode the epoch-slice fetch, Exec the
+	// replay execution, Stitch the final-segment oracle check (interior
+	// segments byte-match their end checkpoint inside Exec).
+	Fold, Decode, Exec, Stitch time.Duration
 }
 
 // segPlan is one scheduled slice of the trace: an epoch range plus the
@@ -195,10 +200,25 @@ func runSegment(j *Job, i int, plan *segPlan) (res SegmentResult) {
 		LastEpoch:  plan.last,
 	}
 	start := time.Now()
-	defer func() { res.Wall = time.Since(start) }()
+	// One span per segment on its own timeline track, with the four stage
+	// children recorded as the stages complete. All of it no-ops when the
+	// job carries no span.
+	sp := j.Span.ChildAt(fmt.Sprintf("segment %d", i), start)
+	sp.SetTID(i + 1)
+	sp.SetAttr("epochs", fmt.Sprintf("%d-%d", plan.first, plan.last))
+	defer func() {
+		res.Wall = time.Since(start)
+		sp.SetAttr("matched", fmt.Sprintf("%t", res.Matched))
+		sp.End()
+	}()
+	stage := func(name string, from time.Time, d *time.Duration) {
+		*d = time.Since(from)
+		sp.Record(name, from, from.Add(*d))
+	}
 
 	var startCk, endCk *core.Checkpoint
 	var err error
+	foldStart := time.Now()
 	if plan.startCk >= 0 {
 		if startCk, err = j.Handle.CheckpointAt(plan.startCk); err != nil {
 			res.Err = err
@@ -211,12 +231,16 @@ func runSegment(j *Job, i int, plan *segPlan) (res SegmentResult) {
 			return res
 		}
 	}
+	stage("fold", foldStart, &res.Fold)
+	decodeStart := time.Now()
 	epochs, err := j.Handle.Epochs(plan.first, plan.last)
 	if err != nil {
 		res.Err = err
 		return res
 	}
+	stage("decode", decodeStart, &res.Decode)
 
+	execStart := time.Now()
 	rt, err := core.PrepareReplayAt(j.Module, startCk, epochs, endCk, j.Opts)
 	if err != nil {
 		res.Err = err
@@ -232,6 +256,7 @@ func runSegment(j *Job, i int, plan *segPlan) (res SegmentResult) {
 		}
 	}
 	rep, err := rt.RunReplay()
+	stage("execute", execStart, &res.Exec)
 	res.Report = rep
 	if rep == nil {
 		res.Err = err
@@ -239,6 +264,7 @@ func runSegment(j *Job, i int, plan *segPlan) (res SegmentResult) {
 	}
 	res.Matched = true
 	res.Err = err // a reproduced fault arrives here, alongside the report
+	stitchStart := time.Now()
 	if endCk == nil {
 		// Final segment: the recorded exit value is the oracle (output is
 		// stitched across all segments by the caller). A partial summary —
@@ -248,5 +274,6 @@ func runSegment(j *Job, i int, plan *segPlan) (res SegmentResult) {
 			res.Err = fmt.Errorf("trace: final segment replayed exit %d, recorded %d", rep.Exit, sum.Exit)
 		}
 	}
+	stage("stitch", stitchStart, &res.Stitch)
 	return res
 }
