@@ -1,0 +1,153 @@
+// Command ir-vet runs the repo's custom static-analysis suite — the
+// compile-time enforcement of the runtime's determinism and concurrency
+// invariants (see docs/STATIC_ANALYSIS.md).
+//
+// Standalone, over package patterns:
+//
+//	ir-vet ./...
+//	ir-vet -analyzers detpure,obsconst ./internal/...
+//
+// or as a vettool, sharing the go command's build graph and cache:
+//
+//	go vet -vettool=$(which ir-vet) ./...
+//
+// Exit status: 0 clean, 1 usage or load error, 2 diagnostics reported.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/vet"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// The go command probes vettools before use: -V=full must print a
+	// version line incorporating the tool's identity (it keys vet's result
+	// cache), and -flags must enumerate supported flags as JSON.
+	if len(args) == 1 {
+		switch args[0] {
+		case "-V=full", "--V=full":
+			fmt.Printf("ir-vet version 1 buildID=%s\n", selfID())
+			return 0
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return 0
+		}
+	}
+
+	fs := flag.NewFlagSet("ir-vet", flag.ContinueOnError)
+	var (
+		list      = fs.Bool("list", false, "list analyzers and exit")
+		only      = fs.String("analyzers", "", "comma-separated subset of analyzers to run")
+		jsonOut   = fs.Bool("json", false, "emit diagnostics as JSON (standalone mode)")
+		withTests = fs.Bool("tests", true, "analyze _test.go files (standalone mode)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ir-vet [flags] [package patterns]\n       ir-vet <vet.cfg>   (invoked by go vet -vettool)\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	analyzers := vet.Suite()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var sel []*vet.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				sel = append(sel, a)
+				delete(want, a.Name)
+			}
+		}
+		if len(want) > 0 {
+			for name := range want {
+				fmt.Fprintf(os.Stderr, "ir-vet: unknown analyzer %q (try -list)\n", name)
+			}
+			return 1
+		}
+		analyzers = sel
+	}
+
+	rest := fs.Args()
+
+	// Vettool mode: the go command hands us a single JSON config whose
+	// name ends in .cfg.
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return vet.RunUnit(rest[0], analyzers, os.Stderr)
+	}
+
+	// Standalone mode.
+	pkgs, err := vet.Load(vet.LoadConfig{Patterns: rest, Tests: *withTests})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ir-vet: %v\n", err)
+		return 1
+	}
+	diags, err := vet.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ir-vet: %v\n", err)
+		return 1
+	}
+	if *jsonOut {
+		type jsonDiag struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// selfID hashes the executable so the go command's vet cache invalidates
+// when the tool changes.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}

@@ -54,6 +54,8 @@ func pairKey(f Finding) [2]string {
 // blame exactly the known racing pairs — each expected pair reported with
 // both call stacks, and no pair outside the expected set (zero false
 // positives; the norace-* controls expect the empty set).
+//
+//ir:racy executes the deliberately-racy analysis corpus to check blame assignment
 func TestRaceCorpusGroundTruth(t *testing.T) {
 	for _, c := range workloads.AnalysisCorpus() {
 		if c.Leaks > 0 {

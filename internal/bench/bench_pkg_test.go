@@ -62,6 +62,7 @@ func TestTable1CannealAblation(t *testing.T) {
 	}
 }
 
+//ir:racy reproduces Crasher's data race on purpose to measure replay-attempt buckets
 func TestTable2CrasherBuckets(t *testing.T) {
 	if hostrace.Enabled {
 		t.Skip("Crasher races on VM memory by design (§5.2.1)")
@@ -86,6 +87,7 @@ func TestTable2CrasherBuckets(t *testing.T) {
 	}
 }
 
+//ir:racy runs the racy benchmark sample; the races are the measurement subject
 func TestTable3ShapeOnSample(t *testing.T) {
 	if hostrace.Enabled {
 		t.Skip("timing-shape assertions are meaningless under the race detector's overhead")

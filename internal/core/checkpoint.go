@@ -207,7 +207,7 @@ func PrepareReplayAt(mod *tir.Module, start *Checkpoint, epochs []*record.EpochL
 	rt.stopReason = StopReason(epochs[len(epochs)-1].Reason)
 	rt.epochSeq = start.Epoch
 	rt.stats.Epochs = int64(len(epochs))
-	rt.epochStart = time.Now()
+	rt.epochStart = time.Now() //ir:wallclock epoch timeline telemetry
 
 	// Geometry and allocator selection must match the checkpoint or restores
 	// would silently corrupt state.

@@ -197,14 +197,14 @@ func (rt *Runtime) replayAttempt() int {
 // threads free of coordinator state.
 func (rt *Runtime) monitor() {
 	defer close(rt.done)
-	for {
+	for { //ir:nopoll woken by monitorCh/shutdownCh; shutdown is the cancellation path
 		select {
 		case <-rt.monitorCh:
 		case <-rt.shutdownCh:
 			rt.shutdown()
 			return
 		}
-		qs := time.Now()
+		qs := time.Now() //ir:wallclock quiescence latency telemetry
 		rt.awaitQuiescence()
 		rt.observeQuiescence(qs)
 		if done := rt.handleEpochEnd(); done {
@@ -218,7 +218,7 @@ func (rt *Runtime) monitor() {
 // start: cumulative stats, the latency histogram, and the interval the next
 // epoch span records as its quiescence child. Monitor-goroutine only.
 func (rt *Runtime) observeQuiescence(start time.Time) {
-	rt.qStart, rt.qEnd = start, time.Now()
+	rt.qStart, rt.qEnd = start, time.Now() //ir:wallclock quiescence latency telemetry
 	d := rt.qEnd.Sub(rt.qStart)
 	rt.stats.QuiescenceNS += d.Nanoseconds()
 	obs.CoreQuiescence.Observe(d.Seconds())
@@ -237,14 +237,14 @@ func (rt *Runtime) awaitQuiescence() {
 	const confirmations = 4
 	stable := 0
 	a1 := rt.activity.Load()
-	for {
+	for { //ir:nopoll interrupt parks guest threads at gated points; quiescence then completes and ends this wait
 		if !rt.noneRunning() {
 			stable = 0
-			time.Sleep(100 * time.Microsecond)
+			time.Sleep(100 * time.Microsecond) //ir:wallclock stability-window spacing between host-time observations
 			a1 = rt.activity.Load()
 			continue
 		}
-		time.Sleep(50 * time.Microsecond)
+		time.Sleep(50 * time.Microsecond) //ir:wallclock stability-window spacing between host-time observations
 		if a2 := rt.activity.Load(); a2 != a1 || !rt.noneRunning() {
 			stable = 0
 			a1 = rt.activity.Load()
@@ -303,13 +303,13 @@ func (rt *Runtime) handleEpochEnd() bool {
 	bnd.Record("quiescence", rt.qStart, rt.qEnd)
 	rollbacks := 0
 	defer func() {
-		obs.CoreEpoch.Observe(time.Since(rt.epochStart).Seconds())
+		obs.CoreEpoch.Observe(time.Since(rt.epochStart).Seconds()) //ir:wallclock epoch latency telemetry
 		bnd.SetAttr("reason", reason.String())
 		if rollbacks > 0 {
 			bnd.SetAttr("rollbacks", fmt.Sprintf("%d", rollbacks))
 		}
 		bnd.End()
-		rt.epochStart = time.Now()
+		rt.epochStart = time.Now() //ir:wallclock epoch timeline telemetry
 	}()
 
 	decision := rt.epochDecision(
@@ -344,12 +344,12 @@ func (rt *Runtime) handleEpochEnd() bool {
 		rt.stats.Replays++
 		rollbacks = attempt
 		obs.CoreRollbacks.Inc()
-		rbStart := time.Now()
+		rbStart := time.Now() //ir:wallclock rollback timeline telemetry
 		rt.rollbackAndReplay()
-		qs := time.Now()
+		qs := time.Now() //ir:wallclock quiescence latency telemetry
 		rt.awaitQuiescence()
 		rt.observeQuiescence(qs)
-		bnd.Record(fmt.Sprintf("rollback %d", attempt), rbStart, time.Now())
+		bnd.Record(fmt.Sprintf("rollback %d", attempt), rbStart, time.Now()) //ir:wallclock rollback timeline telemetry
 
 		if rt.replayMatched() {
 			rt.stats.MatchedReplays++
@@ -650,7 +650,7 @@ func (rt *Runtime) rollbackAndReplay() {
 // awaitAllUnwound blocks until every live thread is parked at its trampoline
 // (or is an embryo / dead).
 func (rt *Runtime) awaitAllUnwound() {
-	for {
+	for { //ir:nopoll rollback and interrupt both park every thread at its trampoline, which satisfies this wait
 		ready := true
 		rt.mu.Lock()
 		for _, t := range rt.threads {
@@ -670,7 +670,7 @@ func (rt *Runtime) awaitAllUnwound() {
 		if ready {
 			return
 		}
-		time.Sleep(50 * time.Microsecond)
+		time.Sleep(50 * time.Microsecond) //ir:wallclock spacing between unwind observations
 	}
 }
 

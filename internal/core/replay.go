@@ -105,7 +105,7 @@ func prepareReplay(mod *tir.Module, epochs []*record.EpochLog, opts Options, pre
 	main.cpu.Start(rt.mod.Entry, nil)
 	rt.epochSeq = 1
 	rt.stats.Epochs = int64(len(epochs))
-	rt.epochStart = time.Now()
+	rt.epochStart = time.Now() //ir:wallclock epoch timeline telemetry
 	rt.takeCheckpoint()
 	go main.trampoline()
 	// Once any trampoline is live, error paths must reap it.
@@ -253,7 +253,7 @@ func (rt *Runtime) RunReplay() (*Report, error) {
 				if rt.pollInterrupt() != nil {
 					break // the check below reports the cause
 				}
-				time.Sleep(500 * time.Microsecond)
+				time.Sleep(500 * time.Microsecond) //ir:wallclock divergence grace-period spacing
 				rt.awaitQuiescence()
 			}
 			if err := rt.pollInterrupt(); err != nil {

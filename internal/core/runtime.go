@@ -408,7 +408,7 @@ func (rt *Runtime) Run() (*Report, error) {
 	main.cpu.Start(rt.mod.Entry, nil)
 	rt.epochSeq = 1
 	rt.stats.Epochs = 1
-	rt.epochStart = time.Now()
+	rt.epochStart = time.Now() //ir:wallclock epoch timeline telemetry
 	rt.takeCheckpoint()
 	rt.setPhase(phRecord)
 	go rt.monitor()
@@ -545,11 +545,11 @@ func (rt *Runtime) FaultedThread() (int32, error) {
 func preciseSleep(us uint64) {
 	d := time.Duration(us) * time.Microsecond
 	if d >= time.Millisecond {
-		time.Sleep(d)
+		time.Sleep(d) //ir:wallclock recorded delay re-injection reproduces host timing by design
 		return
 	}
-	deadline := time.Now().Add(d)
-	for time.Now().Before(deadline) {
+	deadline := time.Now().Add(d)     //ir:wallclock recorded delay re-injection reproduces host timing by design
+	for time.Now().Before(deadline) { //ir:nopoll bounded spin to the sub-millisecond deadline above
 		// Yield while spinning: on a single-P host a non-yielding spin
 		// starves every other goroutine, which would *invert* the timing
 		// relationship the sleep is meant to establish.
@@ -674,7 +674,7 @@ func (h *threadHooks) Intrinsic(id int64, args []uint64) (ret uint64, err error)
 		if err := t.intercept(); err != nil {
 			return 0, err
 		}
-		time.Sleep(time.Microsecond)
+		time.Sleep(time.Microsecond) //ir:wallclock guest yield maps to one host-time microsecond by design
 		return 0, nil
 	case tir.IntrinUsleep:
 		if err := t.intercept(); err != nil {
@@ -849,7 +849,7 @@ func (h *threadHooks) plainIntrinsic(id int64, args []uint64) (uint64, error) {
 	case tir.IntrinSelfTID:
 		return uint64(t.id), nil
 	case tir.IntrinYield:
-		time.Sleep(time.Microsecond)
+		time.Sleep(time.Microsecond) //ir:wallclock guest yield maps to one host-time microsecond by design
 		return 0, nil
 	case tir.IntrinUsleep:
 		preciseSleep(arg(0))

@@ -270,7 +270,7 @@ func (t *Thread) intercept() error {
 	}
 	if rt.phase() == phReplay && rt.replayAttempt() > 1 && rt.opts.DelayOnDivergence {
 		if t.delayRng.Intn(4) == 0 {
-			time.Sleep(time.Duration(t.delayRng.Intn(50)+1) * time.Microsecond)
+			time.Sleep(time.Duration(t.delayRng.Intn(50)+1) * time.Microsecond) //ir:wallclock divergence delay injection is host-time by design
 		}
 	}
 	for {

@@ -102,6 +102,7 @@ func TestWatchRollbackIdentifiesWriter(t *testing.T) {
 	}
 }
 
+//ir:racy drives Crasher to its racy fault to exercise the debug session
 func TestSessionOnCrasherFault(t *testing.T) {
 	if hostrace.Enabled {
 		t.Skip("Crasher races on VM memory by design (§5.2.1)")

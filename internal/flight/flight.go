@@ -91,9 +91,9 @@ type Recorder struct {
 	// are rotation cut points.
 	keyEvery int
 
-	rf     ringFile
-	w      *trace.Writer
-	closed bool
+	rf     ringFile      // guarded by mu
+	w      *trace.Writer // guarded by mu
+	closed bool          // guarded by mu
 
 	headerEnd int64 // offset of the first frame after magic+header
 	epochs    int   // epoch frames currently in the ring
@@ -155,7 +155,7 @@ func (r *Recorder) RecordEpoch(ep *record.EpochLog) error {
 		return err
 	}
 	r.epochs++
-	return r.maybeRotate()
+	return r.maybeRotateLocked()
 }
 
 // RecordCheckpoint appends one checkpoint frame (core.FlightSink),
@@ -178,10 +178,10 @@ func (r *Recorder) RecordCheckpoint(ck *core.Checkpoint) error {
 	return nil
 }
 
-// maybeRotate trims the ring once it holds 2x the retention target: the
+// maybeRotateLocked trims the ring once it holds 2x the retention target: the
 // newest keyframe that still leaves >= retain epochs behind it becomes the
 // file's first frame. Called with r.mu held.
-func (r *Recorder) maybeRotate() error {
+func (r *Recorder) maybeRotateLocked() error {
 	if r.epochs < 2*r.retain {
 		return nil
 	}

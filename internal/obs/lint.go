@@ -55,8 +55,13 @@ func LintProm(text string) []string {
 					typ = strings.TrimSpace(fields[3])
 				}
 				typeSeen[fam] = typ
-				if typ == "counter" && !strings.HasSuffix(fam, "_total") {
-					probs = append(probs, fmt.Sprintf("line %d: counter %s does not end in _total", lineNo, fam))
+				switch typ {
+				case KindCounter, KindGauge, KindHistogram:
+					// Same static name rules the registry constructors and
+					// the ir-vet obsconst analyzer enforce (rules.go).
+					for _, p := range LintName(typ, fam) {
+						probs = append(probs, fmt.Sprintf("line %d: %s", lineNo, p))
+					}
 				}
 			}
 			continue

@@ -147,9 +147,7 @@ type Counter struct {
 
 // NewCounter registers and returns a counter. The name must end in _total.
 func (r *Registry) NewCounter(name, help string) *Counter {
-	if !strings.HasSuffix(name, "_total") {
-		panic("obs: counter " + name + " must end in _total")
-	}
+	checkInstrument(KindCounter, name, "")
 	c := &Counter{nm: name, help: help}
 	r.register(name, c)
 	return c
@@ -190,6 +188,7 @@ type Gauge struct {
 
 // NewGauge registers and returns a gauge.
 func (r *Registry) NewGauge(name, help string) *Gauge {
+	checkInstrument(KindGauge, name, "")
 	g := &Gauge{nm: name, help: help}
 	r.register(name, g)
 	return g
@@ -219,6 +218,7 @@ type GaugeFunc struct {
 
 // NewGaugeFunc registers a gauge evaluated lazily on every scrape.
 func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) *GaugeFunc {
+	checkInstrument(KindGauge, name, "")
 	g := &GaugeFunc{nm: name, help: help, fn: fn}
 	r.register(name, g)
 	return g
@@ -245,6 +245,7 @@ type Histogram struct {
 // NewHistogram registers a histogram with the given bucket upper bounds
 // (seconds for latency series). Nil buckets mean DefBuckets.
 func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	checkInstrument(KindHistogram, name, "")
 	h := newHistogram(name, help, buckets, "")
 	r.register(name, h)
 	return h
@@ -361,9 +362,7 @@ func (c *labeledCounter) renderTo(b *strings.Builder) {
 
 // NewCounterVec registers a counter family with one label dimension.
 func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
-	if !strings.HasSuffix(name, "_total") {
-		panic("obs: counter " + name + " must end in _total")
-	}
+	checkInstrument(KindCounter, name, label)
 	cv := &CounterVec{vec[*labeledCounter]{
 		nm: name, help: help, label: label,
 		children: make(map[string]*labeledCounter),
@@ -405,6 +404,7 @@ func (g *labeledGauge) renderTo(b *strings.Builder) {
 
 // NewGaugeVec registers a gauge family with one label dimension.
 func (r *Registry) NewGaugeVec(name, help, label string) *GaugeVec {
+	checkInstrument(KindGauge, name, label)
 	gv := &GaugeVec{vec[*labeledGauge]{
 		nm: name, help: help, label: label,
 		children: make(map[string]*labeledGauge),
@@ -445,6 +445,7 @@ type HistogramVec struct {
 // NewHistogramVec registers a histogram family with one label dimension.
 // Nil buckets mean DefBuckets.
 func (r *Registry) NewHistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	checkInstrument(KindHistogram, name, label)
 	hv := &HistogramVec{vec[*Histogram]{
 		nm: name, help: help, label: label,
 		children: make(map[string]*Histogram),

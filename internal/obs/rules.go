@@ -1,0 +1,103 @@
+package obs
+
+// Static conformance rules for instrument names and label names. This file
+// is the single rule implementation shared by three enforcement layers:
+//
+//   - Registry constructors (NewCounter, NewHistogramVec, ...) panic at
+//     registration time when a name or label violates them;
+//   - LintProm applies them to every family a text exposition declares, so
+//     a foreign exposition merged into ours is held to the same bar;
+//   - the ir-vet `obsconst` analyzer applies them at compile time to the
+//     constant arguments of registration call sites.
+//
+// Keeping one implementation here is what lets the runtime exposition lint
+// and the static call-site lint never drift (docs/STATIC_ANALYSIS.md).
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Instrument kinds as LintName spells them. These match the Prometheus TYPE
+// vocabulary for the types the registry can build.
+const (
+	KindCounter   = "counter"
+	KindGauge     = "gauge"
+	KindHistogram = "histogram"
+)
+
+// reservedSuffixes are sample-name suffixes the exposition format owns:
+// histogram families expand into them, so no declared family may claim one.
+var reservedSuffixes = []string{"_bucket", "_sum", "_count"}
+
+// LintName checks one instrument name against the repo's static rules for
+// the given kind (KindCounter, KindGauge, KindHistogram, or "" when the
+// kind is unknown). It returns one message per problem, empty when clean.
+func LintName(kind, name string) []string {
+	var probs []string
+	if !validMetricName(name) {
+		probs = append(probs, fmt.Sprintf("invalid metric name %q (want [a-zA-Z_:][a-zA-Z0-9_:]*)", name))
+		return probs
+	}
+	for _, suf := range reservedSuffixes {
+		if strings.HasSuffix(name, suf) {
+			probs = append(probs, fmt.Sprintf("metric %s ends in reserved histogram suffix %s", name, suf))
+		}
+	}
+	switch kind {
+	case KindCounter:
+		if !strings.HasSuffix(name, "_total") {
+			probs = append(probs, fmt.Sprintf("counter %s does not end in _total", name))
+		}
+	case KindGauge, KindHistogram:
+		if strings.HasSuffix(name, "_total") {
+			probs = append(probs, fmt.Sprintf("%s %s must not end in _total (reserved for counters)", kind, name))
+		}
+	}
+	return probs
+}
+
+// LintLabel checks one label name. The "le" label is reserved for histogram
+// buckets and the "__"-prefixed space is reserved by Prometheus itself.
+func LintLabel(label string) []string {
+	var probs []string
+	if !validLabelName(label) {
+		probs = append(probs, fmt.Sprintf("invalid label name %q (want [a-zA-Z_][a-zA-Z0-9_]*)", label))
+		return probs
+	}
+	if strings.HasPrefix(label, "__") {
+		probs = append(probs, fmt.Sprintf("label %s uses the reserved __ prefix", label))
+	}
+	if label == "le" {
+		probs = append(probs, "label le is reserved for histogram buckets")
+	}
+	return probs
+}
+
+// checkInstrument enforces LintName/LintLabel at registration time; the
+// constructors call it before touching the registry. An empty label means
+// the instrument is unlabeled.
+func checkInstrument(kind, name, label string) {
+	if probs := LintName(kind, name); len(probs) > 0 {
+		panic("obs: " + probs[0])
+	}
+	if label != "" {
+		if probs := LintLabel(label); len(probs) > 0 {
+			panic("obs: " + probs[0])
+		}
+	}
+}
+
+func validLabelName(label string) bool {
+	if label == "" {
+		return false
+	}
+	for i, r := range label {
+		ok := r == '_' || ('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z') ||
+			(i > 0 && '0' <= r && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -150,10 +150,14 @@ func LoadVarList(order []int32) *VarList {
 // Order returns the recorded thread-ID order (read-only view).
 func (l *VarList) Order() []int32 { return l.order[:l.n] }
 
-// ParseKind inverts Kind.String for the mnemonic kinds.
+// ParseKind inverts Kind.String for the mnemonic kinds. It scans kinds in
+// numeric order rather than ranging over kindNames: map iteration order
+// would make the answer depend on the iteration should two kinds ever share
+// a mnemonic, and a duplicated name would then be a silent coin flip
+// instead of a deterministic (lowest-kind) answer.
 func ParseKind(s string) (Kind, bool) {
-	for k, name := range kindNames {
-		if name == s {
+	for k := KMutexLock; k <= KBlockFetch; k++ {
+		if kindNames[k] == s {
 			return k, true
 		}
 	}

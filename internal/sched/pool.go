@@ -39,7 +39,7 @@ func RunPool(n, workers int, run func(i int)) time.Duration {
 		if _, err := s.Submit(Job{
 			Name: fmt.Sprintf("pool#%d", i),
 			Kind: "pool",
-			Run: func(context.Context) (any, error) {
+			Run: func(context.Context) (any, error) { //ir:noctx pool batches are never canceled; the queue is sized to the batch and drained synchronously
 				defer func() {
 					if r := recover(); r != nil {
 						panicMu.Lock()

@@ -285,10 +285,10 @@ type Scheduler struct {
 	opts Options
 
 	mu       sync.Mutex
-	cond     *sync.Cond // wakes workers: queue non-empty or state change
-	pq       jobPQ
-	jobs     map[uint64]*job
-	terminal []uint64 // terminal IDs, oldest first (retention ring)
+	cond     *sync.Cond      // wakes workers: queue non-empty or state change
+	pq       jobPQ           // guarded by mu
+	jobs     map[uint64]*job // guarded by mu
+	terminal []uint64        // guarded by mu; terminal IDs, oldest first (retention ring)
 	nextID   uint64
 	nextSeq  uint64
 	state    int

@@ -53,41 +53,41 @@ func newServerMetrics() *serverMetrics {
 	return &serverMetrics{
 		reg: r,
 
-		httpLatency: r.NewHistogramVec("ir_served_http_request_seconds",
+		httpLatency: r.NewHistogramVec(obs.MServedHTTPLatency,
 			"API request latency by route.", "route", obs.DefBuckets),
-		httpReqs: r.NewCounterVec("ir_served_http_requests_total",
+		httpReqs: r.NewCounterVec(obs.MServedHTTPRequests,
 			"API requests served, by route.", "route"),
 
-		queueDepth: r.NewGauge("ir_served_queue_depth", "Jobs waiting for a worker."),
-		queueLimit: r.NewGauge("ir_served_queue_limit", "Queue capacity; submissions past it get 429."),
-		workers:    r.NewGauge("ir_served_workers", "Worker pool size."),
-		running:    r.NewGauge("ir_served_jobs_running", "Jobs executing right now."),
-		jobsTotal: r.NewCounterVec("ir_served_jobs_total",
+		queueDepth: r.NewGauge(obs.MServedQueueDepth, "Jobs waiting for a worker."),
+		queueLimit: r.NewGauge(obs.MServedQueueLimit, "Queue capacity; submissions past it get 429."),
+		workers:    r.NewGauge(obs.MServedWorkers, "Worker pool size."),
+		running:    r.NewGauge(obs.MServedJobsRunning, "Jobs executing right now."),
+		jobsTotal: r.NewCounterVec(obs.MServedJobsTotal,
 			"Terminal jobs by final state.", "state"),
-		submitted: r.NewCounter("ir_served_jobs_submitted_total", "Jobs accepted into the queue."),
-		rejected:  r.NewCounter("ir_served_jobs_rejected_total", "Submissions refused by backpressure."),
-		eventsReplayed: r.NewCounter("ir_served_events_replayed_total",
+		submitted: r.NewCounter(obs.MServedJobsSubmitted, "Jobs accepted into the queue."),
+		rejected:  r.NewCounter(obs.MServedJobsRejected, "Submissions refused by backpressure."),
+		eventsReplayed: r.NewCounter(obs.MServedEventsReplayed,
 			"Recorded events re-executed (or recorded) by completed jobs."),
-		eventsPerSec: r.NewGauge("ir_served_events_per_sec",
+		eventsPerSec: r.NewGauge(obs.MServedEventsPerSec,
 			"Replay throughput: events_replayed_total / uptime."),
 
-		cacheHits:      r.NewCounter("ir_served_store_cache_hits_total", "Decode-cache hits."),
-		cacheMisses:    r.NewCounter("ir_served_store_cache_misses_total", "Decode-cache misses."),
-		cacheEvictions: r.NewCounter("ir_served_store_cache_evictions_total", "Decode-cache evictions."),
-		cacheBytes:     r.NewGauge("ir_served_store_cache_bytes", "Bytes of decoded frames cached."),
-		cacheLimit:     r.NewGauge("ir_served_store_cache_limit_bytes", "Decode-cache byte budget."),
-		cacheHitRate:   r.NewGauge("ir_served_store_cache_hit_rate", "Decode-cache hits / loads since start."),
-		cachedFrames:   r.NewGauge("ir_served_store_cached_frames", "Decoded frames resident in the cache."),
+		cacheHits:      r.NewCounter(obs.MServedCacheHits, "Decode-cache hits."),
+		cacheMisses:    r.NewCounter(obs.MServedCacheMisses, "Decode-cache misses."),
+		cacheEvictions: r.NewCounter(obs.MServedCacheEvictions, "Decode-cache evictions."),
+		cacheBytes:     r.NewGauge(obs.MServedCacheBytes, "Bytes of decoded frames cached."),
+		cacheLimit:     r.NewGauge(obs.MServedCacheLimit, "Decode-cache byte budget."),
+		cacheHitRate:   r.NewGauge(obs.MServedCacheHitRate, "Decode-cache hits / loads since start."),
+		cachedFrames:   r.NewGauge(obs.MServedCachedFrames, "Decoded frames resident in the cache."),
 
-		storeBytes:  r.NewGauge("ir_served_store_bytes", "Summed size of stored trace files."),
-		storeTraces: r.NewGauge("ir_served_store_traces", "Stored traces."),
-		tierTraces: r.NewGaugeVec("ir_served_store_traces_by_tier",
+		storeBytes:  r.NewGauge(obs.MServedStoreBytes, "Summed size of stored trace files."),
+		storeTraces: r.NewGauge(obs.MServedStoreTraces, "Stored traces."),
+		tierTraces: r.NewGaugeVec(obs.MServedTracesByTier,
 			"Traces by encoding tier (cold = compressed frame bodies).", "tier"),
-		pinned: r.NewGauge("ir_served_store_pinned_traces", "Traces pinned against retention GC."),
+		pinned: r.NewGauge(obs.MServedPinnedTraces, "Traces pinned against retention GC."),
 
-		gcRuns:      r.NewCounter("ir_served_gc_runs_total", "Retention GC passes completed."),
-		gcReclaimed: r.NewCounter("ir_served_gc_reclaimed_bytes_total", "Bytes reclaimed by retention GC passes."),
-		uptime:      r.NewGauge("ir_served_uptime_seconds", "Seconds since the server started."),
+		gcRuns:      r.NewCounter(obs.MServedGCRuns, "Retention GC passes completed."),
+		gcReclaimed: r.NewCounter(obs.MServedGCReclaimed, "Bytes reclaimed by retention GC passes."),
+		uptime:      r.NewGauge(obs.MServedUptimeSeconds, "Seconds since the server started."),
 	}
 }
 

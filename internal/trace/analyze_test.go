@@ -42,6 +42,8 @@ func recordCorpusTrace(t testing.TB, name string) (*tir.Module, *Trace) {
 
 // TestAnalyzeBatch fans race and leak analyses across a mixed store of
 // corpus traces and checks the findings land on the right traces.
+//
+//ir:racy analyzes traces recorded from the racy corpus
 func TestAnalyzeBatch(t *testing.T) {
 	if hostrace.Enabled {
 		t.Skip("batch includes deliberately racy corpus programs")

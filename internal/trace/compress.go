@@ -43,7 +43,7 @@ func inflatePayload(kind byte, payload []byte) (byte, []byte, error) {
 	if kind&frameCompressed == 0 {
 		return kind, payload, nil
 	}
-	defer obs.TraceInflate.ObserveSince(time.Now())
+	defer obs.TraceInflate.ObserveSince(time.Now()) //ir:wallclock inflate latency telemetry
 	kind &^= frameCompressed
 	d := &decoder{b: payload}
 	rawLen, err := d.uvarint()

@@ -38,8 +38,8 @@ type Store struct {
 
 	mu sync.Mutex
 	// cache maps frame key → element in lru; lru's front is most recent.
-	cache map[frameKey]*list.Element
-	lru   *list.List // of *cachedFrame
+	cache map[frameKey]*list.Element // guarded by mu
+	lru   *list.List                 // guarded by mu; of *cachedFrame
 	// limit/used implement the byte budget; hits/misses/evictions feed
 	// Stats (and the daemon's /metrics).
 	limit     int64

@@ -1,0 +1,56 @@
+package vet
+
+// annot: the //ir: annotation grammar is itself checked. Every suppression
+// the other analyzers honor must be a known verb carrying a non-empty
+// reason — `//ir:wallclock epoch latency telemetry`, never a bare
+// `//ir:wallclock`. An unknown verb is almost always a typo that would
+// silently fail to suppress (or worse, suggest a suppression that is not
+// happening), so it is diagnosed too.
+
+// knownVerbs is the annotation vocabulary; docs/STATIC_ANALYSIS.md is the
+// prose catalog.
+var knownVerbs = map[string]string{
+	"wallclock": "detpure: reviewed wall-clock read (telemetry, stall detection)",
+	"nondet":    "detpure: reviewed nondeterminism (rand, map order)",
+	"nonatomic": "atomicmix: reviewed mixed atomic/plain access",
+	"unguarded": "guardedby: reviewed access without the annotated mutex",
+	"noctx":     "ctxpoll: job closure whose cancellation flows elsewhere",
+	"nopoll":    "ctxpoll: wait loop woken by the quiescence protocol itself",
+	"racy":      "racyskip: test exercising the deliberately-racy corpus",
+}
+
+// NewAnnot returns the annotation-grammar analyzer.
+func NewAnnot() *Analyzer {
+	a := &Analyzer{
+		Name: "annot",
+		Doc:  "//ir: annotations must use a known verb and carry a reason",
+	}
+	a.Run = runAnnot
+	return a
+}
+
+func runAnnot(pass *Pass) error {
+	for _, an := range pass.Annotations() {
+		if _, ok := knownVerbs[an.Verb]; !ok {
+			pass.Reportf(an.Pos, "unknown annotation verb //ir:%s (known: %s)", an.Verb, verbList())
+			continue
+		}
+		if an.Reason == "" {
+			pass.Reportf(an.Pos, "annotation //ir:%s needs a reason: //ir:%s <why this site is exempt>", an.Verb, an.Verb)
+		}
+	}
+	return nil
+}
+
+func verbList() string {
+	// Stable order for deterministic diagnostics.
+	order := []string{"wallclock", "nondet", "nonatomic", "unguarded", "noctx", "nopoll", "racy"}
+	s := ""
+	for i, v := range order {
+		if i > 0 {
+			s += ", "
+		}
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,114 @@
+package vet
+
+// atomicmix: a variable or struct field accessed through sync/atomic
+// anywhere in a package must be accessed atomically everywhere in that
+// package — the exact shape of the shadow-table publication race the -race
+// CI job caught in PR 2 (a field published behind an atomic pointer but
+// read plainly on another path). Initialization inside a composite literal
+// of the owning struct is exempt (the value is unpublished), and a reviewed
+// mixed-access site can carry //ir:nonatomic <reason>.
+//
+// The check is package-scoped, which is sound for the unexported fields it
+// is aimed at: they cannot be touched from outside their package. Fields of
+// the typed atomic.Int32/atomic.Pointer family need no checking — the type
+// system already forces atomic access — so this analyzer is about the raw
+// word-sized fields sync/atomic functions take by address.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewAtomicMix returns the mixed atomic/plain access analyzer.
+func NewAtomicMix() *Analyzer {
+	a := &Analyzer{
+		Name: "atomicmix",
+		Doc:  "a field accessed with sync/atomic anywhere must be accessed atomically everywhere",
+	}
+	a.Run = runAtomicMix
+	return a
+}
+
+func runAtomicMix(pass *Pass) error {
+	// Pass 1: objects that appear as &obj arguments of sync/atomic calls,
+	// plus the identifier positions of those sanctioned accesses.
+	atomicObjs := map[*types.Var]token.Pos{} // first atomic use, for the message
+	sanctioned := map[token.Pos]bool{}
+	inspectStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(pass.Info, call)
+		if f == nil || funcPkgPath(f) != "sync/atomic" || recvNamed(f) != nil {
+			return true
+		}
+		for _, arg := range call.Args {
+			un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			v := fieldOrVarOf(pass.Info, un.X)
+			if v == nil {
+				continue
+			}
+			if _, seen := atomicObjs[v]; !seen {
+				atomicObjs[v] = un.Pos()
+			}
+			// Every identifier inside the &obj expression is sanctioned
+			// (base selectors included: &s.x.f sanctions s, x, and f —
+			// only f is the atomic word, the rest are path steps).
+			var ids []*ast.Ident
+			freeIdents(un, &ids)
+			for _, id := range ids {
+				sanctioned[id.Pos()] = true
+			}
+		}
+		return true
+	})
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other use of those objects is a plain access.
+	inspectStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, isUse := pass.Info.Uses[id].(*types.Var)
+		if !isUse {
+			return true
+		}
+		firstAtomic, tracked := atomicObjs[obj]
+		if !tracked || sanctioned[id.Pos()] {
+			return true
+		}
+		if inOwningCompositeLit(pass, id, obj, stack) {
+			return true
+		}
+		if pass.Allowed(id.Pos(), "nonatomic") {
+			return true
+		}
+		pass.Reportf(id.Pos(), "%s is accessed with sync/atomic at %s but plainly here — mixed atomic/plain access races; use the atomic API or annotate //ir:nonatomic <reason>",
+			obj.Name(), pass.Fset.Position(firstAtomic))
+		return true
+	})
+	return nil
+}
+
+// inOwningCompositeLit reports whether id is the key of a composite-literal
+// field initialization (T{f: v}) — writing a field of a struct value that
+// is still being constructed, before publication.
+func inOwningCompositeLit(pass *Pass, id *ast.Ident, obj *types.Var, stack []ast.Node) bool {
+	if !obj.IsField() || len(stack) < 3 {
+		return false
+	}
+	kv, ok := stack[len(stack)-2].(*ast.KeyValueExpr)
+	if !ok || kv.Key != id {
+		return false
+	}
+	_, ok = stack[len(stack)-3].(*ast.CompositeLit)
+	return ok
+}

@@ -1,0 +1,256 @@
+package vet
+
+// detpure: replay-critical packages must be deterministic. Inside the
+// configured package set it flags
+//
+//   - wall-clock reads (time.Now/Since/Until/Sleep and timer construction)
+//     unless the site carries //ir:wallclock <reason> — the reviewed
+//     allowlist for telemetry and stall-detection reads;
+//   - math/rand calls that consume the process-global, time-seeded source
+//     (rand.New over an explicit deterministic NewSource is fine) unless
+//     annotated //ir:nondet <reason>;
+//   - `for range` over a map whose iteration order escapes the loop. Order
+//     does not escape when every effect in the body is commutative —
+//     deletes, keyed map writes, += style accumulation — or when the body
+//     only appends to a slice that the function visibly sorts afterwards
+//     (the repo's canonical collect-then-sort encode idiom). Anything else
+//     (appends without a sort, sends, returns, plain assignments, calls)
+//     is order-dependent and needs a rewrite or //ir:nondet <reason>.
+//
+// Test files are exempt: tests run on host time by design.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// wallclockFuncs are the time package entry points that read the host
+// clock or start host timers.
+var wallclockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// globalRandExempt are the math/rand package functions that do NOT touch
+// the global source: explicit-source construction.
+var globalRandExempt = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// NewDetPure returns the determinism analyzer restricted to the given
+// scope: package path → file basenames to check, where a nil slice means
+// every file in the package. File scoping exists for packages like the
+// trace codec, where the on-disk format files are replay-critical but the
+// host-side fetch/cache layers legitimately read the clock for telemetry.
+func NewDetPure(scope map[string][]string) *Analyzer {
+	a := &Analyzer{
+		Name: "detpure",
+		Doc:  "forbids wall-clock reads, global randomness, and order-escaping map iteration in replay-critical packages",
+	}
+	a.Run = func(pass *Pass) error {
+		files, ok := scope[basePath(pass.Pkg.Path())]
+		if !ok {
+			return nil
+		}
+		var only map[string]bool
+		if files != nil {
+			only = make(map[string]bool, len(files))
+			for _, f := range files {
+				only[f] = true
+			}
+		}
+		for _, file := range pass.Files {
+			if pass.IsTestFile(file.Pos()) {
+				continue
+			}
+			if only != nil && !only[filepath.Base(pass.Fset.Position(file.Pos()).Filename)] {
+				continue
+			}
+			runDetPure(pass, file)
+		}
+		return nil
+	}
+	return a
+}
+
+func runDetPure(pass *Pass, file *ast.File) {
+	inspectStack([]*ast.File{file}, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			f := calleeFunc(pass.Info, n)
+			if f == nil {
+				return true
+			}
+			switch funcPkgPath(f) {
+			case "time":
+				if recvNamed(f) == nil && wallclockFuncs[f.Name()] && !pass.Allowed(n.Pos(), "wallclock") {
+					pass.Reportf(n.Pos(), "call to time.%s in deterministic package %s (replay-critical code must not read the wall clock; annotate //ir:wallclock <reason> if this is telemetry or stall detection)",
+						f.Name(), basePath(pass.Pkg.Path()))
+				}
+			case "math/rand", "math/rand/v2":
+				if recvNamed(f) == nil && !globalRandExempt[f.Name()] && !pass.Allowed(n.Pos(), "nondet") {
+					pass.Reportf(n.Pos(), "call to rand.%s uses the process-global random source in deterministic package %s (seed an explicit rand.New(rand.NewSource(...)) instead, or annotate //ir:nondet <reason>)",
+						f.Name(), basePath(pass.Pkg.Path()))
+				}
+			}
+		case *ast.RangeStmt:
+			t := pass.Info.TypeOf(n.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.Allowed(n.For, "nondet") {
+				return true
+			}
+			encl, _ := enclosingFunc(stack)
+			if mapOrderEscapes(pass, n, encl) {
+				pass.Reportf(n.For, "map iteration order escapes this loop in deterministic package %s (collect and sort the keys, keep the body commutative, or annotate //ir:nondet <reason>)",
+					basePath(pass.Pkg.Path()))
+			}
+		}
+		return true
+	})
+}
+
+// mapOrderEscapes reports whether the body of a map-range loop has any
+// order-dependent effect. encl is the enclosing function body, used to
+// look for a sort of appended-to slices after the loop.
+func mapOrderEscapes(pass *Pass, rng *ast.RangeStmt, encl *ast.BlockStmt) bool {
+	for _, stmt := range rng.Body.List {
+		if stmtOrderEscapes(pass, stmt, rng, encl) {
+			return true
+		}
+	}
+	return false
+}
+
+func stmtOrderEscapes(pass *Pass, stmt ast.Stmt, rng *ast.RangeStmt, encl *ast.BlockStmt) bool {
+	switch s := stmt.(type) {
+	case *ast.EmptyStmt, *ast.BranchStmt:
+		// continue/break don't themselves leak order.
+		return false
+	case *ast.IncDecStmt:
+		return false
+	case *ast.ExprStmt:
+		// Only delete(m, k) is a known-commutative call.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "delete" && isBuiltin(pass.Info, id) {
+				return false
+			}
+		}
+		return true
+	case *ast.AssignStmt:
+		return assignOrderEscapes(pass, s, rng, encl)
+	case *ast.IfStmt:
+		if s.Init != nil && stmtOrderEscapes(pass, s.Init, rng, encl) {
+			return true
+		}
+		for _, st := range s.Body.List {
+			if stmtOrderEscapes(pass, st, rng, encl) {
+				return true
+			}
+		}
+		if s.Else != nil {
+			if blk, ok := s.Else.(*ast.BlockStmt); ok {
+				for _, st := range blk.List {
+					if stmtOrderEscapes(pass, st, rng, encl) {
+						return true
+					}
+				}
+				return false
+			}
+			return stmtOrderEscapes(pass, s.Else, rng, encl)
+		}
+		return false
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			if stmtOrderEscapes(pass, st, rng, encl) {
+				return true
+			}
+		}
+		return false
+	case *ast.DeclStmt:
+		return false
+	default:
+		// returns, sends, gos, defers, nested ranges, switches: treat as
+		// order-dependent rather than reason about them.
+		return true
+	}
+}
+
+// assignOrderEscapes classifies one assignment inside a map-range body.
+func assignOrderEscapes(pass *Pass, s *ast.AssignStmt, rng *ast.RangeStmt, encl *ast.BlockStmt) bool {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		// Commutative accumulation.
+		return false
+	case token.DEFINE:
+		// Fresh locals are order-free until used; their uses are judged
+		// where they occur.
+		return false
+	case token.ASSIGN:
+		// x = append(x, ...) is order-free iff x is visibly sorted after
+		// the loop; keyed map writes m[k] = v are order-free.
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+			if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && isBuiltin(pass.Info, id) {
+					if target := fieldOrVarOf(pass.Info, s.Lhs[0]); target != nil {
+						return !sortedAfter(pass, target, rng, encl)
+					}
+				}
+			}
+			if idx, ok := ast.Unparen(s.Lhs[0]).(*ast.IndexExpr); ok {
+				if bt := pass.Info.TypeOf(idx.X); bt != nil {
+					if _, isMap := bt.Underlying().(*types.Map); isMap {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// sortedAfter reports whether, after the range loop, the enclosing function
+// passes v to a sort/slices call — the collect-then-sort idiom that makes
+// an order-free append acceptable.
+func sortedAfter(pass *Pass, v *types.Var, rng *ast.RangeStmt, encl *ast.BlockStmt) bool {
+	if encl == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		f := calleeFunc(pass.Info, call)
+		if f == nil {
+			return true
+		}
+		if p := funcPkgPath(f); p != "sort" && p != "slices" {
+			return true
+		}
+		var ids []*ast.Ident
+		for _, arg := range call.Args {
+			freeIdents(arg, &ids)
+		}
+		for _, id := range ids {
+			if identObj(pass.Info, id) == v {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

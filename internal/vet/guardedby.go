@@ -1,0 +1,209 @@
+package vet
+
+// guardedby: struct fields annotated `// guarded by <mu>` may only be
+// touched in functions that visibly acquire that mutex first. It is a
+// lightweight, function-local discipline checker for the runtime's shadow
+// and scheduler structures, not a full lockset analysis: within the
+// function containing an access to s.f (guarded by mu), one of these must
+// hold or the access is flagged:
+//
+//   - a preceding s.mu.Lock()/RLock()/TryLock() call on the same base
+//     expression (defer s.mu.Unlock() placement is not checked);
+//   - the function's name ends in "Locked" — the repo convention for
+//     helpers whose callers hold the lock;
+//   - the base is a fresh, unpublished local (declared in this function
+//     from a composite literal or new(T)) — the copy-on-write idiom;
+//   - the access initializes the field in a composite literal;
+//   - a reviewed //ir:unguarded <reason> annotation.
+//
+// The guard name is a sibling field ("mu" means base.mu); a dotted guard
+// ("rt.schedMu") names an absolute expression. A malformed guard target is
+// itself diagnosed.
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+var guardedByRe = regexp.MustCompile(`guarded by +([A-Za-z_][A-Za-z0-9_.]*)`)
+
+var lockMethods = map[string]bool{"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true}
+
+// NewGuardedBy returns the guarded-by discipline analyzer.
+func NewGuardedBy() *Analyzer {
+	a := &Analyzer{
+		Name: "guardedby",
+		Doc:  "fields annotated `// guarded by <mu>` must be accessed with that mutex held",
+	}
+	a.Run = runGuardedBy
+	return a
+}
+
+func runGuardedBy(pass *Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	inspectStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := identObj(pass.Info, sel.Sel).(*types.Var)
+		if !ok {
+			return true
+		}
+		guard, guarded := guards[obj]
+		if !guarded {
+			return true
+		}
+		if okGuardedAccess(pass, sel, guard, stack) {
+			return true
+		}
+		if pass.Allowed(sel.Sel.Pos(), "unguarded") {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(), "field %s is guarded by %s but this function never acquires it before the access (lock it, rename the function *Locked, or annotate //ir:unguarded <reason>)",
+			obj.Name(), guard)
+		return true
+	})
+	return nil
+}
+
+// collectGuards maps annotated field objects to their guard spec.
+func collectGuards(pass *Pass) map[*types.Var]string {
+	guards := map[*types.Var]string{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				text := ""
+				if field.Doc != nil {
+					text += field.Doc.Text() + "\n"
+				}
+				if field.Comment != nil {
+					text += field.Comment.Text()
+				}
+				if !strings.Contains(text, "guarded by") {
+					continue
+				}
+				m := guardedByRe.FindStringSubmatch(text)
+				if m == nil {
+					pass.Reportf(field.Pos(), "malformed guard annotation: want `// guarded by <mu>` with a field or dotted mutex name")
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						guards[v] = m[1]
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// okGuardedAccess decides whether one guarded access is disciplined.
+func okGuardedAccess(pass *Pass, sel *ast.SelectorExpr, guard string, stack []ast.Node) bool {
+	// Composite-literal initialization: T{f: v}.
+	if len(stack) >= 3 {
+		if kv, ok := stack[len(stack)-2].(*ast.KeyValueExpr); ok && kv.Key == sel {
+			// Selectors are never composite keys; keep for symmetry.
+			_ = kv
+		}
+	}
+	body, fname := enclosingFunc(append(stack, sel))
+	if strings.HasSuffix(fname, "Locked") {
+		return true
+	}
+	if body == nil {
+		return false // package-level initializer: construction
+	}
+
+	base := ast.Unparen(sel.X)
+	// An undotted guard usually names a sibling field (base.mu) but may be a
+	// package-level mutex; a dotted guard is an absolute expression.
+	candidates := []string{guard}
+	if !strings.Contains(guard, ".") {
+		candidates = append(candidates, types.ExprString(base)+"."+guard)
+	}
+
+	// Fresh unpublished local?
+	if id, ok := base.(*ast.Ident); ok {
+		if v, ok := identObj(pass.Info, id).(*types.Var); ok && freshLocal(pass, v, body) {
+			return true
+		}
+	}
+
+	// A preceding acquisition of guardExpr anywhere in this function.
+	held := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if held {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() > sel.Pos() {
+			return true
+		}
+		cs, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !lockMethods[cs.Sel.Name] {
+			return true
+		}
+		lockee := types.ExprString(ast.Unparen(cs.X))
+		for _, want := range candidates {
+			if lockee == want {
+				held = true
+				return false
+			}
+		}
+		return true
+	})
+	return held
+}
+
+// freshLocal reports whether v is declared inside body from a composite
+// literal, &composite, or new(...) — a private value not yet published.
+func freshLocal(pass *Pass, v *types.Var, body *ast.BlockStmt) bool {
+	if v.Pos() < body.Pos() || v.Pos() > body.End() {
+		return false
+	}
+	fresh := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fresh {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || pass.Info.Defs[id] != v {
+				continue
+			}
+			if i >= len(as.Rhs) {
+				continue
+			}
+			switch rhs := ast.Unparen(as.Rhs[i]).(type) {
+			case *ast.CompositeLit:
+				fresh = true
+			case *ast.UnaryExpr:
+				if _, ok := rhs.X.(*ast.CompositeLit); ok {
+					fresh = true
+				}
+			case *ast.CallExpr:
+				if fn, ok := ast.Unparen(rhs.Fun).(*ast.Ident); ok && fn.Name == "new" && isBuiltin(pass.Info, fn) {
+					fresh = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}

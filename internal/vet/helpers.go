@@ -1,0 +1,126 @@
+package vet
+
+// Shared AST/type-resolution helpers the analyzers build on.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// calleeFunc resolves a call expression to the *types.Func it statically
+// invokes (package function or method), or nil for indirect calls,
+// conversions, and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// funcPkgPath returns the defining package path of f, "" for builtins.
+func funcPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// recvNamed returns the named type of f's receiver (through pointers), or
+// nil for package-level functions.
+func recvNamed(f *types.Func) *types.Named {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// inspectStack walks every node in every file, handing the visitor the
+// enclosing-node stack (outermost first, current node last). Returning
+// false prunes the subtree.
+func inspectStack(files []*ast.File, visit func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if !visit(n, stack) {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// enclosingFunc returns the innermost function (decl or literal) in stack,
+// excluding the node itself, as its body block plus a printable name.
+func enclosingFunc(stack []ast.Node) (body *ast.BlockStmt, name string) {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body, fn.Name.Name
+		case *ast.FuncLit:
+			return fn.Body, "func literal"
+		}
+	}
+	return nil, ""
+}
+
+// identObj resolves an identifier to its object through both Uses and Defs.
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// fieldOrVarOf resolves an expression that names storage — a plain
+// identifier or a field selector — to its *types.Var.
+func fieldOrVarOf(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := identObj(info, e).(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		v, _ := identObj(info, e.Sel).(*types.Var)
+		return v
+	}
+	return nil
+}
+
+// freeIdents appends every identifier used (not defined) under e.
+func freeIdents(e ast.Node, out *[]*ast.Ident) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			*out = append(*out, id)
+		}
+		return true
+	})
+}
+
+// posBefore reports a < b within one file.
+func posBefore(a, b token.Pos) bool { return a < b }
+
+// isBuiltin reports whether id resolves to a predeclared builtin function
+// (append, delete, ...) rather than a user identifier shadowing the name.
+func isBuiltin(info *types.Info, id *ast.Ident) bool {
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}

@@ -1,0 +1,175 @@
+package vet
+
+// The standalone loader: `go list -export` package discovery plus go/types
+// checking through the standard library's gc export-data importer. This is
+// what `ir-vet ./...` and the repo-clean meta-test run on. It deliberately
+// avoids golang.org/x/tools (unavailable in the build environment): the go
+// command produces export data for every dependency into its build cache,
+// `-json` hands us the file graph, and types.Config with a lookup-based
+// importer.ForCompiler does the rest. Test files are analyzed through the
+// `-test` package variants (p [p.test], p_test [p.test]) exactly the way
+// `go vet` sees them.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// LoadConfig configures Load.
+type LoadConfig struct {
+	// Dir is the directory to run `go list` from (any directory inside
+	// the module).
+	Dir string
+	// Patterns are go package patterns; empty means ./...
+	Patterns []string
+	// Tests includes _test.go files via the go list -test variants.
+	Tests bool
+}
+
+// listPkg is the slice of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	ForTest    string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load discovers, parses, and type-checks the packages matching the
+// patterns, returning them ready for Run.
+func Load(cfg LoadConfig) ([]*Package, error) {
+	if len(cfg.Patterns) == 0 {
+		cfg.Patterns = []string{"./..."}
+	}
+	args := []string{"list", "-e", "-export", "-deps"}
+	if cfg.Tests {
+		args = append(args, "-test")
+	}
+	args = append(args, "-json=ImportPath,Dir,Export,GoFiles,ImportMap,ForTest,Standard,DepOnly,Incomplete,Error")
+	args = append(args, cfg.Patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %w\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		pkgs = append(pkgs, p)
+	}
+
+	// Pick what to analyze: local non-dep packages. When a -test variant
+	// exists ("p [p.test]" with ForTest=p), it supersedes plain p — same
+	// files plus the in-package tests. Generated test mains (".test") are
+	// never analyzed.
+	variants := map[string]bool{}
+	for _, p := range pkgs {
+		if p.ForTest != "" && strings.HasPrefix(p.ImportPath, p.ForTest+" [") {
+			variants[p.ForTest] = true
+		}
+	}
+	var targets []listPkg
+	for _, p := range pkgs {
+		switch {
+		case p.Standard || p.DepOnly || len(p.GoFiles) == 0:
+			continue
+		case strings.HasSuffix(p.ImportPath, ".test"):
+			continue
+		case p.ForTest == "" && variants[p.ImportPath]:
+			continue // superseded by its test variant
+		}
+		if p.Error != nil || p.Incomplete {
+			msg := "package did not compile"
+			if p.Error != nil {
+				msg = p.Error.Err
+			}
+			return nil, fmt.Errorf("load %s: %s", p.ImportPath, msg)
+		}
+		targets = append(targets, p)
+	}
+
+	var loaded []*Package
+	for _, p := range targets {
+		pkg, err := typecheck(p, exports)
+		if err != nil {
+			return nil, err
+		}
+		loaded = append(loaded, pkg)
+	}
+	return loaded, nil
+}
+
+// typecheck parses and type-checks one package from source, importing its
+// dependencies from build-cache export data.
+func typecheck(p listPkg, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, gf := range p.GoFiles {
+		path := gf
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, gf)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := p.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (imported by %s)", path, p.ImportPath)
+		}
+		return os.Open(file)
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	path := basePath(p.ImportPath)
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", p.ImportPath, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,127 @@
+package vet
+
+// racyskip: the deliberately-racy corpus contract, machine-readable. The
+// repo's ground-truth racy workloads are genuine Go-level data races, so
+// tests that execute them consult hostrace.Enabled and skip under
+// `go test -race`. That used to be convention; this analyzer pins it both
+// ways in _test.go files:
+//
+//   - a test (or benchmark) that skips on hostrace.Enabled must carry an
+//     //ir:racy <reason> annotation in its doc comment, so the skip is a
+//     reviewed statement that the workload races by design;
+//   - a function annotated //ir:racy must actually consult
+//     hostrace.Enabled and skip — an annotation whose guard was lost in a
+//     refactor would otherwise silently put the racy workload back into
+//     the -race CI job.
+//
+// A guard may live in the function body or one helper call deep (a
+// same-package skipIfHostRace(t)-style helper).
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NewRacySkip returns the racy-corpus contract analyzer. hostracePkgSuffix
+// identifies the hostrace package by import-path suffix.
+func NewRacySkip(hostracePkgSuffix string) *Analyzer {
+	a := &Analyzer{
+		Name: "racyskip",
+		Doc:  "tests skipping under the host race detector must be annotated //ir:racy, and vice versa",
+	}
+	a.Run = func(pass *Pass) error {
+		runRacySkip(pass, hostracePkgSuffix)
+		return nil
+	}
+	return a
+}
+
+func runRacySkip(pass *Pass, hostracePkgSuffix string) {
+	// Index function declarations for one-level helper resolution.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		if !pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			annotated := docHasRacy(fd)
+			guarded := guardsOnHostRace(pass, fd.Body, hostracePkgSuffix, decls, true)
+			switch {
+			case guarded && !annotated:
+				pass.Reportf(fd.Name.Pos(), "%s skips under the host race detector but has no //ir:racy <reason> annotation in its doc comment — make the racy-corpus contract explicit", fd.Name.Name)
+			case annotated && !guarded:
+				pass.Reportf(fd.Name.Pos(), "%s is annotated //ir:racy but never consults hostrace.Enabled to skip — the -race CI job would execute the racy workload", fd.Name.Name)
+			}
+		}
+	}
+}
+
+func docHasRacy(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, "//ir:racy") {
+			return true
+		}
+	}
+	return false
+}
+
+// guardsOnHostRace reports whether body both references hostrace.Enabled
+// and calls a skip method — directly, or (when recurse) through one
+// same-package helper call.
+func guardsOnHostRace(pass *Pass, body *ast.BlockStmt, suffix string, decls map[*types.Func]*ast.FuncDecl, recurse bool) bool {
+	enabledRef, skips := false, false
+	var helpers []*ast.FuncDecl
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if n.Sel.Name != "Enabled" {
+				return true
+			}
+			if obj := identObj(pass.Info, n.Sel); obj != nil && obj.Pkg() != nil &&
+				strings.HasSuffix(obj.Pkg().Path(), suffix) {
+				enabledRef = true
+			}
+		case *ast.CallExpr:
+			if f := calleeFunc(pass.Info, n); f != nil {
+				switch f.Name() {
+				case "Skip", "Skipf", "SkipNow":
+					skips = true
+				}
+				if recurse && f.Pkg() == pass.Pkg {
+					if fd := decls[f]; fd != nil && fd.Body != nil {
+						helpers = append(helpers, fd)
+					}
+				}
+			}
+		}
+		return true
+	})
+	if enabledRef && skips {
+		return true
+	}
+	if recurse {
+		for _, h := range helpers {
+			if guardsOnHostRace(pass, h.Body, suffix, decls, false) {
+				return true
+			}
+		}
+	}
+	return false
+}

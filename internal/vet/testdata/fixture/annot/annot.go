@@ -1,0 +1,14 @@
+// Package annot exercises the annotation-grammar analyzer.
+package annot
+
+import "time"
+
+func wellFormed() time.Time {
+	return time.Now() //ir:wallclock fixture: reviewed read
+}
+
+// !want annot
+var typo = 1 //ir:wallclok reviewed read
+
+// !want annot
+var bare = 2 //ir:wallclock

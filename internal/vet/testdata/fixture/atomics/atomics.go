@@ -1,0 +1,35 @@
+// Package atomics exercises the atomicmix analyzer: a field touched through
+// sync/atomic anywhere must be touched atomically everywhere.
+package atomics
+
+import "sync/atomic"
+
+type counter struct {
+	n int64
+	m int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) readAtomic() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *counter) readPlain() int64 {
+	return c.n //!want atomicmix
+}
+
+func (c *counter) readAnnotated() int64 {
+	return c.n //ir:nonatomic fixture: single-goroutine teardown read
+}
+
+func (c *counter) plainOnly() int64 {
+	c.m++
+	return c.m
+}
+
+func construct() *counter {
+	return &counter{n: 7}
+}

@@ -1,0 +1,80 @@
+// Package det exercises the detpure analyzer: wall-clock reads, global
+// randomness, and map-iteration order.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() //!want detpure
+}
+
+func clockAllowed() time.Time {
+	return time.Now() //ir:wallclock fixture telemetry read
+}
+
+func clockStacked() time.Time {
+	//ir:wallclock fixture stacked annotation block
+	return time.Now()
+}
+
+func roll() int {
+	return rand.Intn(6) //!want detpure
+}
+
+func rollSeeded() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(6)
+}
+
+func orderEscapes(m map[string]int) []string {
+	var out []string
+	for k := range m { //!want detpure
+		out = append(out, k)
+	}
+	return out
+}
+
+func collectThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func accumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+func invert(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+func orderAnnotated(m map[string]int) []string {
+	var out []string
+	for k := range m { //ir:nondet fixture: order genuinely irrelevant here
+		out = append(out, k)
+	}
+	return out
+}

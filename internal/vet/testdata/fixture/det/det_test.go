@@ -1,0 +1,6 @@
+package det
+
+import "time"
+
+// Test files run on host time by design: no detpure finding expected here.
+func helperClock() time.Time { return time.Now() }

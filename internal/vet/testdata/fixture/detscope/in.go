@@ -1,0 +1,9 @@
+// Package detscope checks file-scoped detpure configuration: only in.go is
+// inside the configured scope.
+package detscope
+
+import "time"
+
+func scopedClock() time.Time {
+	return time.Now() //!want detpure
+}

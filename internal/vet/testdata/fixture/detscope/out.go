@@ -1,0 +1,5 @@
+package detscope
+
+import "time"
+
+func unscopedClock() time.Time { return time.Now() }

@@ -1,0 +1,56 @@
+// Package guarded exercises the guardedby analyzer.
+package guarded
+
+import "sync"
+
+type table struct {
+	mu sync.Mutex
+	// guarded by mu
+	count int
+}
+
+func (t *table) inc() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.count++
+}
+
+func (t *table) peek() int {
+	return t.count //!want guardedby
+}
+
+func (t *table) peekLocked() int {
+	return t.count
+}
+
+func (t *table) peekAnnotated() int {
+	return t.count //ir:unguarded fixture: racy snapshot is tolerated
+}
+
+func fresh() *table {
+	t := &table{}
+	t.count = 1
+	return t
+}
+
+type global struct {
+	// guarded by pkgMu
+	state int
+}
+
+var pkgMu sync.Mutex
+
+func (g *global) set(v int) {
+	pkgMu.Lock()
+	defer pkgMu.Unlock()
+	g.state = v
+}
+
+func (g *global) get() int {
+	return g.state //!want guardedby
+}
+
+type malformed struct {
+	// guarded by
+	x int //!want guardedby
+}

@@ -1,0 +1,5 @@
+// Package hostrace is the fixture stand-in for the repo's race-detector
+// probe.
+package hostrace
+
+var Enabled bool

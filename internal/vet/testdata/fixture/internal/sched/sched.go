@@ -1,0 +1,10 @@
+// Package sched is the fixture stand-in for the repo's scheduler: the Job
+// shape whose Run closures ctxpoll checks.
+package sched
+
+import "context"
+
+type Job struct {
+	Name string
+	Run  func(context.Context) (any, error)
+}

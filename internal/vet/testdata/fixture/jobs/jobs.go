@@ -1,0 +1,34 @@
+// Package jobs exercises ctxpoll rule 1: sched.Job Run closures must use
+// their context.
+package jobs
+
+import (
+	"context"
+
+	"fixture/internal/sched"
+)
+
+func makeJobs(work func() error) []sched.Job {
+	return []sched.Job{
+		{Name: "ok", Run: func(ctx context.Context) (any, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, work()
+		}},
+		{Name: "forwards", Run: func(ctx context.Context) (any, error) {
+			return nil, run(ctx)
+		}},
+		{Name: "unnamed", Run: func(context.Context) (any, error) { return nil, work() }},      //!want ctxpoll
+		{Name: "underscore", Run: func(_ context.Context) (any, error) { return nil, work() }}, //!want ctxpoll
+		{Name: "dropped", Run: func(ctx context.Context) (any, error) { return nil, work() }},  //!want ctxpoll
+		//ir:noctx fixture: cancellation is wired through the work closure itself
+		{Name: "annotated", Run: func(context.Context) (any, error) { return nil, work() }},
+	}
+}
+
+func patch(j *sched.Job, work func() error) {
+	j.Run = func(context.Context) (any, error) { return nil, work() } //!want ctxpoll
+}
+
+func run(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,2 @@
+// Package racy exercises the racyskip analyzer (its tests do).
+package racy

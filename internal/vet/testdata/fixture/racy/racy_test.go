@@ -1,0 +1,27 @@
+package racy
+
+import (
+	"testing"
+
+	"fixture/internal/hostrace"
+)
+
+func TestGuardedUnannotated(t *testing.T) { //!want racyskip
+	if hostrace.Enabled {
+		t.Skip("racy workload")
+	}
+}
+
+//ir:racy fixture: the data race is the property under test
+func TestGuardedAnnotated(t *testing.T) {
+	if hostrace.Enabled {
+		t.Skip("racy workload")
+	}
+}
+
+//ir:racy fixture: stale annotation with no hostrace guard
+func TestAnnotatedUnguarded(t *testing.T) { //!want racyskip
+	_ = t
+}
+
+func TestPlain(t *testing.T) { _ = t }

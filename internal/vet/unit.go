@@ -1,0 +1,150 @@
+package vet
+
+// The vettool side: `go vet -vettool=$(which ir-vet)` invokes the tool once
+// per package with a JSON config file describing the parsed unit — file
+// list, import map, and the export-data file for every dependency (the same
+// protocol golang.org/x/tools/go/analysis/unitchecker speaks, implemented
+// here on the standard library). The go command handles build-graph
+// discovery, caching, and parallelism; we type-check the unit and run the
+// suite. Facts are not exchanged — every analyzer in the suite is
+// package-local — so the .vetx output is a placeholder written only because
+// the protocol requires the file to exist.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// UnitConfig mirrors the vet.cfg JSON the go command writes for -vettool.
+type UnitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit executes the suite over one vet.cfg unit, printing diagnostics to
+// w. It returns the process exit code: 0 clean, 1 internal error (written
+// to w too), 2 diagnostics found.
+func RunUnit(cfgPath string, analyzers []*Analyzer, w io.Writer) int {
+	cfg, err := readUnitConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintf(w, "ir-vet: %v\n", err)
+		return 1
+	}
+	// Dependencies are presented facts-only; with no cross-package facts
+	// in the suite there is nothing to compute, but the output file must
+	// exist for the go command to cache the unit.
+	if cfg.VetxOnly {
+		if err := writeVetx(cfg.VetxOutput); err != nil {
+			fmt.Fprintf(w, "ir-vet: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	pkg, err := typecheckUnit(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			_ = writeVetx(cfg.VetxOutput)
+			return 0
+		}
+		fmt.Fprintf(w, "ir-vet: %v\n", err)
+		return 1
+	}
+	diags, err := Run([]*Package{pkg}, analyzers)
+	if err != nil {
+		fmt.Fprintf(w, "ir-vet: %v\n", err)
+		return 1
+	}
+	if err := writeVetx(cfg.VetxOutput); err != nil {
+		fmt.Fprintf(w, "ir-vet: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func readUnitConfig(path string) (*UnitConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(UnitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if !strings.HasSuffix(path, ".cfg") {
+		return nil, fmt.Errorf("%s: vet config files must end in .cfg", path)
+	}
+	if cfg.Compiler == "" {
+		cfg.Compiler = "gc"
+	}
+	return cfg, nil
+}
+
+func writeVetx(path string) error {
+	if path == "" {
+		return nil
+	}
+	return os.WriteFile(path, []byte("ir-vet: no facts\n"), 0o666)
+}
+
+func typecheckUnit(cfg *UnitConfig) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, gf := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, gf, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", gf, err)
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (importing %s)", path, cfg.ImportPath)
+		}
+		return os.Open(file)
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, cfg.Compiler, lookup),
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	path := basePath(cfg.ImportPath)
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", cfg.ImportPath, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,208 @@
+// Package vet implements ir-vet, the repo's custom static-analysis suite.
+//
+// The runtime's whole record-and-replay contract rests on invariants the Go
+// compiler never checks: replay-critical packages must be deterministic (no
+// wall clock, no global randomness, no map-iteration-order dependence),
+// shared state must follow the publication discipline the -race CI job
+// polices dynamically, metric registration must stay inside the
+// internal/obs catalog, and cancellation must keep being polled. Each
+// invariant here is a small analyzer over the type-checked AST, in the
+// spirit of go/analysis, built on the standard library only (the container
+// has no golang.org/x/tools): an Analyzer inspects one Pass — one
+// type-checked package — and reports Diagnostics.
+//
+// Suppressions are never silent: every escape hatch is a reviewed
+// `//ir:<verb> <reason>` comment whose grammar the `annot` analyzer itself
+// enforces. See docs/STATIC_ANALYSIS.md for the catalog and the annotation
+// grammar.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one invariant checker. Run inspects a single type-checked
+// package and reports findings through the Pass; it returns an error only
+// for internal failures, never for findings.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass presents one type-checked package to one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	annots map[annotKey][]Annotation
+	diags  *[]Diagnostic
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Annotation is one parsed //ir:<verb> <reason> marker comment.
+type Annotation struct {
+	Verb   string
+	Reason string
+	Pos    token.Pos
+}
+
+type annotKey struct {
+	file string
+	line int
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Allowed reports whether the line holding pos, or the line directly above
+// it, carries an //ir:<verb> annotation — the escape-hatch convention every
+// analyzer shares. The annotation must carry a reason to count; bare verbs
+// are themselves diagnosed by the annot analyzer.
+func (p *Pass) Allowed(pos token.Pos, verb string) bool {
+	position := p.Fset.Position(pos)
+	// The annotation may sit on the flagged line itself or on a contiguous
+	// block of annotation lines immediately above it — a site that trips two
+	// analyzers stacks one //ir: line per verb.
+	for _, a := range p.annots[annotKey{position.Filename, position.Line}] {
+		if a.Verb == verb {
+			return true
+		}
+	}
+	for line := position.Line - 1; ; line-- {
+		as := p.annots[annotKey{position.Filename, line}]
+		if len(as) == 0 {
+			return false
+		}
+		for _, a := range as {
+			if a.Verb == verb {
+				return true
+			}
+		}
+	}
+}
+
+// Annotations returns every //ir: annotation in the package, parsed, in
+// file order. Malformed markers (unknown verb, missing reason) are included
+// so the annot analyzer can diagnose them.
+func (p *Pass) Annotations() []Annotation {
+	var out []Annotation
+	for _, as := range p.annots {
+		out = append(out, as...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// IsTestFile reports whether the file holding pos is a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// parseAnnotations indexes every //ir: marker by (file, line). The reason
+// is everything after the verb, trimmed.
+func parseAnnotations(fset *token.FileSet, files []*ast.File) map[annotKey][]Annotation {
+	idx := make(map[annotKey][]Annotation)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//ir:")
+				if !ok {
+					continue
+				}
+				verb, reason, _ := strings.Cut(text, " ")
+				pos := fset.Position(c.Pos())
+				key := annotKey{pos.Filename, pos.Line}
+				idx[key] = append(idx[key], Annotation{
+					Verb:   strings.TrimSpace(verb),
+					Reason: strings.TrimSpace(reason),
+					Pos:    c.Pos(),
+				})
+			}
+		}
+	}
+	return idx
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the canonical import path. For a test variant
+	// ("p [p.test]"), Path is the base path p and the files include the
+	// package's _test.go files.
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Run applies every analyzer to every package and returns the combined
+// findings sorted by position. Analyzer errors (not findings) abort.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		annots := parseAnnotations(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				annots:   annots,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return diags, fmt.Errorf("%s: analyzing %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// basePath strips the " [p.test]" suffix a test-variant import path
+// carries, so analyzers configured with canonical paths match variants too.
+func basePath(p string) string {
+	if i := strings.Index(p, " ["); i >= 0 {
+		return p[:i]
+	}
+	return p
+}

@@ -1,0 +1,126 @@
+package vet
+
+// Fixture-driven analyzer tests, analysistest-style: the module under
+// testdata/fixture contains one package per analyzer with hit, non-hit, and
+// //ir:-escape cases. Expected findings are marked in the fixture source
+// with `//!want <analyzer>` comments — trailing on the flagged line, or on
+// a line of their own applying to the next line (gofmt renders the
+// standalone form as `// !want`). The test loads the whole fixture module
+// through the real loader and requires the diagnostic set to match the
+// marker set exactly, both directions.
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var wantRe = regexp.MustCompile(`//\s*!want\s+([a-z]+)`)
+
+// fixtureAnalyzers mirrors Suite() with the fixture module's package paths.
+func fixtureAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		NewDetPure(map[string][]string{
+			"fixture/det":      nil,
+			"fixture/detscope": {"in.go"},
+		}),
+		NewAtomicMix(),
+		NewGuardedBy(),
+		NewObsConst("internal/obs"),
+		NewCtxPoll("internal/sched", "fixture/core"),
+		NewRacySkip("internal/hostrace"),
+		NewAnnot(),
+	}
+}
+
+func TestAnalyzersOnFixtures(t *testing.T) {
+	root, err := filepath.Abs("testdata/fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(LoadConfig{Dir: root, Patterns: []string{"./..."}, Tests: true})
+	if err != nil {
+		t.Fatalf("load fixtures: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no fixture packages loaded")
+	}
+	diags, err := Run(pkgs, fixtureAnalyzers())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	want := scanWants(t, root)
+	got := map[string]int{}
+	for _, d := range diags {
+		rel, err := filepath.Rel(root, d.Pos.Filename)
+		if err != nil {
+			rel = d.Pos.Filename
+		}
+		got[fmt.Sprintf("%s:%d:%s", rel, d.Pos.Line, d.Analyzer)]++
+	}
+
+	keys := map[string]bool{}
+	for k := range want {
+		keys[k] = true
+	}
+	for k := range got {
+		keys[k] = true
+	}
+	var sorted []string
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		switch {
+		case got[k] > 0 && want[k] == 0:
+			t.Errorf("unexpected diagnostic at %s", k)
+		case got[k] == 0 && want[k] > 0:
+			t.Errorf("missing expected diagnostic at %s", k)
+		}
+	}
+}
+
+// scanWants collects the `//!want <analyzer>` markers from every fixture
+// file as "relpath:line:analyzer" keys.
+func scanWants(t *testing.T, root string) map[string]int {
+	t.Helper()
+	want := map[string]int{}
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rel, _ := filepath.Rel(root, path)
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			m := wantRe.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			at := line
+			if strings.HasPrefix(strings.TrimSpace(sc.Text()), "//") {
+				at = line + 1 // marker on its own line applies to the next
+			}
+			want[fmt.Sprintf("%s:%d:%s", rel, at, m[1])]++
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatalf("scan fixtures: %v", err)
+	}
+	if len(want) == 0 {
+		t.Fatal("no //!want markers found in fixtures")
+	}
+	return want
+}

@@ -104,6 +104,7 @@ func TestAppIdenticalReplayExceptCanneal(t *testing.T) {
 	}
 }
 
+//ir:racy Crasher's data race and its occasional crash are the property under test
 func TestCrasherCrashesSometimes(t *testing.T) {
 	if hostrace.Enabled {
 		t.Skip("Crasher races on VM memory by design (§5.2.1)")
@@ -129,6 +130,7 @@ func TestCrasherCrashesSometimes(t *testing.T) {
 	t.Logf("crasher crashed %d/%d runs", crashes, runs)
 }
 
+//ir:racy reproduces Crasher's race via the replay divergence search
 func TestCrasherRaceReproducedByReplaySearch(t *testing.T) {
 	if hostrace.Enabled {
 		t.Skip("Crasher races on VM memory by design (§5.2.1)")
