@@ -80,12 +80,9 @@ func main() {
 		return
 	}
 
-	spec, ok := workloads.ByName(*app)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown app %q; known apps:\n", *app)
-		for _, s := range workloads.Apps() {
-			fmt.Fprintf(os.Stderr, "  %s\n", s.Name)
-		}
+	spec, err := workloads.ByNameStrict(*app)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ir-run:", err)
 		os.Exit(2)
 	}
 	system, ok := systems[*sys]

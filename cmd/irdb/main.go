@@ -31,15 +31,10 @@ func main() {
 		if *app == "crasher" {
 			return core.New(workloads.DefaultCrasher().Build(), d.Options())
 		}
-		spec, ok := workloads.ByName(*app)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "irdb: unknown app %q\n", *app)
+		spec, err := workloads.ByNameStrict(*app)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "irdb: %v (plus: crasher)\n", err)
 			fmt.Fprintln(os.Stderr, "usage: irdb -app <name> [-implant] [-break-at-end]")
-			fmt.Fprintln(os.Stderr, "known apps:")
-			fmt.Fprintln(os.Stderr, "  crasher")
-			for _, name := range workloads.Names() {
-				fmt.Fprintf(os.Stderr, "  %s\n", name)
-			}
 			os.Exit(2)
 		}
 		m, err := spec.Build()

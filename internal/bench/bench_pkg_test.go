@@ -1,7 +1,7 @@
 package bench
 
 import (
-	"fmt"
+	"sort"
 	"strings"
 	"testing"
 
@@ -95,10 +95,13 @@ func TestTable3ShapeOnSample(t *testing.T) {
 	// Shape assertions only: tiny scaled runs on a shared host are noisy, so
 	// the test checks the orderings the paper's conclusions rest on, with
 	// slack, and leaves absolute numbers to cmd/ir-bench + EXPERIMENTS.md.
-	// A single measurement can still be ruined by a scheduling burst
-	// (single-CPU hosts, background compilation), so the orderings get a
-	// few fresh measurements before the test calls them violated.
-	check := func() []string {
+	// Every sample is taken unconditionally and each metric is judged on its
+	// median: one scheduling burst (single-CPU hosts, background
+	// compilation) cannot flip an ordering, and there is no
+	// remeasure-until-it-passes bias.
+	const samples = 3
+	var fl, x [samples]Table3Row
+	for i := 0; i < samples; i++ {
 		rows, err := Table3(smallApps("fluidanimate", "x264"), 3, 0.4)
 		if err != nil {
 			t.Fatal(err)
@@ -107,36 +110,33 @@ func TestTable3ShapeOnSample(t *testing.T) {
 		for _, r := range rows {
 			byName[r.App] = r
 		}
-		fl, x := byName["fluidanimate"], byName["x264"]
-		var problems []string
-		// Sanity: no configuration should be wildly faster than the baseline.
-		for _, r := range rows {
-			if r.IReplayer < 0.5 || r.IRAlloc < 0.3 {
-				problems = append(problems, fmt.Sprintf("%s: implausible ratios %+v", r.App, r))
-			}
-		}
-		// RR (serialization, including the forfeited parallel speedup) must
-		// cost more than iReplayer's recording on parallel applications.
-		if fl.RR < fl.IReplayer {
-			problems = append(problems,
-				fmt.Sprintf("RR (%.3f) should exceed iReplayer (%.3f) on fluidanimate", fl.RR, fl.IReplayer))
-		}
-		// CLAP's path profiling must hurt the branch-density extreme clearly.
-		if x.CLAP < 1.2 {
-			problems = append(problems,
-				fmt.Sprintf("x264 CLAP = %.3f, expected substantial path-profiling cost", x.CLAP))
-		}
-		return problems
+		fl[i], x[i] = byName["fluidanimate"], byName["x264"]
 	}
-	var problems []string
-	for attempt := 0; attempt < 3; attempt++ {
-		if problems = check(); len(problems) == 0 {
-			return
-		}
-		t.Logf("attempt %d: %v", attempt+1, problems)
+	med := func(rs [samples]Table3Row, pick func(Table3Row) float64) float64 {
+		v := []float64{pick(rs[0]), pick(rs[1]), pick(rs[2])}
+		sort.Float64s(v)
+		return v[1]
 	}
-	for _, p := range problems {
-		t.Error(p)
+	// Sanity: no configuration should be wildly faster than the baseline.
+	for app, rs := range map[string][samples]Table3Row{"fluidanimate": fl, "x264": x} {
+		if m := med(rs, func(r Table3Row) float64 { return r.IReplayer }); m < 0.5 {
+			t.Errorf("%s: median iReplayer = %.3f, implausibly below baseline", app, m)
+		}
+		if m := med(rs, func(r Table3Row) float64 { return r.IRAlloc }); m < 0.3 {
+			t.Errorf("%s: median IRAlloc = %.3f, implausibly below baseline", app, m)
+		}
+	}
+	// RR (serialization, including the forfeited parallel speedup) must
+	// cost more than iReplayer's recording on parallel applications; 10%
+	// slack absorbs residual timer noise surviving the medians.
+	flRR := med(fl, func(r Table3Row) float64 { return r.RR })
+	flIR := med(fl, func(r Table3Row) float64 { return r.IReplayer })
+	if flRR < flIR*0.9 {
+		t.Errorf("median RR (%.3f) should exceed median iReplayer (%.3f) on fluidanimate", flRR, flIR)
+	}
+	// CLAP's path profiling must hurt the branch-density extreme clearly.
+	if m := med(x, func(r Table3Row) float64 { return r.CLAP }); m < 1.2 {
+		t.Errorf("x264 median CLAP = %.3f, expected substantial path-profiling cost", m)
 	}
 }
 

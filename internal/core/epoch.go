@@ -382,6 +382,14 @@ func (rt *Runtime) handleEpochEnd() bool {
 		if reason == StopProgramEnd || reason == StopFault {
 			return true
 		}
+		if rt.mainExited() {
+			// Main's own exit event can fill the event list, making the
+			// StopLogFull request win the stop race and drop main's
+			// StopProgramEnd (requestStop accepts one trigger per epoch).
+			// Main's exit is in the epoch just flushed and every thread is
+			// parked — beginning a new epoch would wait forever.
+			return true
+		}
 		if err := rt.beginEpoch(); err != nil {
 			rt.errMu.Lock()
 			if rt.progErr == nil {
@@ -392,6 +400,15 @@ func (rt *Runtime) handleEpochEnd() bool {
 		}
 		return false
 	}
+}
+
+// mainExited reports whether thread 0 has run to completion. Called at an
+// epoch boundary (world quiescent), where main's state is stable.
+func (rt *Runtime) mainExited() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	t := rt.threads[0]
+	return t != nil && t.state.Load() == tsExited
 }
 
 // flushTraceSink hands the closing epoch's finalized log to the configured

@@ -3,6 +3,7 @@ package core
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/tir"
 	"repro/internal/vsys"
@@ -101,5 +102,43 @@ func TestAbortIntrinsic(t *testing.T) {
 	}
 	if reason != StopFault {
 		t.Fatalf("reason = %v, want fault", reason)
+	}
+}
+
+// TestMainExitAtEventCap: when main's own exit event is the append that
+// crosses into the event-list safety margin, the resulting StopLogFull
+// request wins the stop race and exitPath's StopProgramEnd is dropped
+// (requestStop accepts one trigger per epoch). The boundary must still
+// recognize the exited main and terminate — a regression here leaves Run
+// blocked forever with every thread parked. Found by ir-fuzz seed 61.
+func TestMainExitAtEventCap(t *testing.T) {
+	mb := tir.NewModuleBuilder()
+	m := mb.Func("main", 0)
+	r := m.NewReg()
+	for i := 0; i < 3; i++ {
+		m.Syscall(r, vsys.SysRand)
+	}
+	m.Ret(r)
+	m.Seal()
+	mb.SetEntry("main")
+
+	// Cap 12, margin 8: appends 1-3 (syscalls) leave >8 slots free; the
+	// 4th append — the exit event itself — crosses the threshold.
+	rt, err := New(mb.MustBuild(), Options{EventCap: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, runErr := rt.Run()
+		done <- runErr
+	}()
+	select {
+	case runErr := <-done:
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run did not terminate: program end lost to the log-full stop race")
 	}
 }

@@ -1,0 +1,49 @@
+package gen
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/hostrace"
+)
+
+// TestCorpusSpecs replays every checked-in regression spec through the
+// full differential pipeline. Minimized fuzz failures are promoted here
+// (see docs/TESTING.md): once the bug they witnessed is fixed, the spec
+// pins the behavior forever.
+//
+//ir:racy corpus includes racy specs, skipped individually under -race
+func TestCorpusSpecs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full differential pipeline")
+	}
+	specs, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.genspec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) == 0 {
+		t.Fatal("no corpus specs found")
+	}
+	for _, path := range specs {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := Parse(data)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if p.Racy() && hostrace.Enabled {
+				t.Skip("racy spec under host race detector")
+			}
+			var cfg Config
+			if err := cfg.Check(p); err != nil {
+				t.Errorf("%v\nspec:\n%s", err, p)
+			}
+		})
+	}
+}

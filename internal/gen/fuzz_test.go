@@ -1,0 +1,27 @@
+package gen
+
+import "testing"
+
+// FuzzReplayIdentity is the native fuzz entry: each fuzzed seed draws a
+// race-free generation and runs it through the whole differential
+// pipeline. Under plain `go test` only the seed corpus below runs; local
+// deep exploration is
+//
+//	go test -fuzz FuzzReplayIdentity -run xxx ./internal/gen
+//
+// (racy generations are exercised by the deterministic tests instead —
+// they are genuine host-level races, and the fuzzer may run under -race).
+// A reported failing seed reproduces with `ir-fuzz -seed N` and shrinks
+// to a spec for testdata/corpus; see docs/TESTING.md.
+func FuzzReplayIdentity(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(7))
+	f.Add(int64(42))
+	var cfg Config
+	f.Fuzz(func(t *testing.T, seed int64) {
+		p := Generate(seed, ModeRaceFree)
+		if err := cfg.Check(p); err != nil {
+			t.Fatalf("seed %d: %v\nspec:\n%s", seed, err, p.Marshal())
+		}
+	})
+}

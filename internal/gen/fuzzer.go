@@ -1,0 +1,116 @@
+package gen
+
+// Seed-batch driving: the bridge between "check one program" (diff.go)
+// and the three consumers — the native go-test fuzz target, the CI smoke
+// batch, and the ir-fuzz CLI. A seed fully determines the program, so a
+// failure report is just the seed plus the minimized spec; anyone can
+// reproduce it with `ir-fuzz -seed N` or promote the spec into
+// testdata/corpus.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sched"
+)
+
+// Failure describes one failed seed.
+type Failure struct {
+	Seed int64
+	Mode Mode
+	// Err is the first violated equivalence.
+	Err error
+	// Prog is the generation as drawn from the seed.
+	Prog *Prog
+	// Min is the shrunken witness (equal to Prog when no mutation
+	// preserved the failure; nil when shrinking was disabled).
+	Min *Prog
+}
+
+// String renders the failure for humans: seed, cause, and the minimized
+// spec ready for corpus check-in.
+func (f *Failure) String() string {
+	min := f.Min
+	if min == nil {
+		min = f.Prog
+	}
+	return fmt.Sprintf("seed %d (%s): %v\nminimized spec (%d ops):\n%s",
+		f.Seed, modeName(f.Mode), f.Err, min.Ops(), min.Marshal())
+}
+
+func modeName(m Mode) string {
+	if m == ModeRacy {
+		return "racy"
+	}
+	return "race-free"
+}
+
+// CheckSeed generates the seed's program, runs the differential pipeline,
+// and on failure shrinks the witness (unless noShrink). Returns nil when
+// the seed passes.
+func CheckSeed(seed int64, mode Mode, cfg Config, noShrink bool) *Failure {
+	p := Generate(seed, mode)
+	err := cfg.Check(p)
+	if err == nil {
+		return nil
+	}
+	f := &Failure{Seed: seed, Mode: mode, Err: err, Prog: p}
+	if !noShrink {
+		f.Min = Shrink(p, func(q *Prog) bool { return cfg.Check(q) != nil })
+	}
+	return f
+}
+
+// Batch parameterizes a seed sweep.
+type Batch struct {
+	Config
+	// Start is the first seed; Seeds the count.
+	Start int64
+	Seeds int
+	// Workers bounds parallel seeds (<= 0 selects GOMAXPROCS).
+	Workers int
+	// RacyEvery makes every Nth seed (counting from Start) generate in
+	// ModeRacy; 0 keeps the whole batch race-free — the mode CI uses, and
+	// the only host-race-safe one (racy generations are genuine Go-level
+	// races on VM memory; see internal/hostrace).
+	RacyEvery int
+	// NoShrink skips minimization of failures.
+	NoShrink bool
+	// Progress, when set, is called after every seed with the running
+	// totals. Calls are serialized.
+	Progress func(done, failed int)
+}
+
+// Run sweeps the batch and returns every failure, ordered by seed.
+func (b Batch) Run() []Failure {
+	failures := make([]*Failure, b.Seeds)
+	var done, failed atomic.Int64
+	var progressMu sync.Mutex
+	sched.RunPool(b.Seeds, b.Workers, func(i int) {
+		seed := b.Start + int64(i)
+		mode := ModeRaceFree
+		if b.RacyEvery > 0 && i%b.RacyEvery == b.RacyEvery-1 {
+			mode = ModeRacy
+		}
+		f := CheckSeed(seed, mode, b.Config, b.NoShrink)
+		failures[i] = f
+		d := done.Add(1)
+		n := failed.Load()
+		if f != nil {
+			n = failed.Add(1)
+		}
+		if b.Progress != nil {
+			progressMu.Lock()
+			b.Progress(int(d), int(n))
+			progressMu.Unlock()
+		}
+	})
+	var out []Failure
+	for _, f := range failures {
+		if f != nil {
+			out = append(out, *f)
+		}
+	}
+	return out
+}

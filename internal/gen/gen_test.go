@@ -1,0 +1,137 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestGenerateDeterministic: the same seed and mode always yield the same
+// program — the property every "reproduce with ir-fuzz -seed N" workflow
+// rests on.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		for _, mode := range []Mode{ModeRaceFree, ModeRacy} {
+			a, b := Generate(seed, mode), Generate(seed, mode)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("seed %d mode %d: generations differ:\n%s\nvs\n%s", seed, mode, a, b)
+			}
+			if err := a.Validate(); err != nil {
+				t.Fatalf("seed %d mode %d: invalid generation: %v", seed, mode, err)
+			}
+			if (mode == ModeRacy) != a.Racy() {
+				t.Fatalf("seed %d: mode %d produced Racy()=%v", seed, mode, a.Racy())
+			}
+		}
+	}
+}
+
+// TestSpecRoundTrip: Marshal and Parse are inverses over generated
+// programs, so a failure spec checked into the corpus reconstructs the
+// exact program.
+func TestSpecRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		for _, mode := range []Mode{ModeRaceFree, ModeRacy} {
+			p := Generate(seed, mode)
+			q, err := Parse(p.Marshal())
+			if err != nil {
+				t.Fatalf("seed %d: parse back: %v\n%s", seed, err, p)
+			}
+			if !reflect.DeepEqual(p, q) {
+				t.Fatalf("seed %d: round trip changed program:\n%s\nvs\n%s", seed, p, q)
+			}
+		}
+	}
+}
+
+// TestParseRejects: malformed specs fail with a diagnostic instead of
+// producing a silently different program.
+func TestParseRejects(t *testing.T) {
+	bad := map[string]string{
+		"empty":         "",
+		"no magic":      "seed 1\nthreads 1\ncells 1\nrounds 1\nthread 0: inc0\n",
+		"unknown op":    "genspec v1\nthreads 1\ncells 1\nrounds 1\nthread 0: frob\n",
+		"cell range":    "genspec v1\nthreads 1\ncells 1\nrounds 1\nthread 0: inc3\n",
+		"thread order":  "genspec v1\nthreads 2\ncells 1\nrounds 1\nthread 1: inc0\nthread 0: inc0\n",
+		"race arity":    "genspec v1\nthreads 2\ncells 1\nrounds 1\nrace 0\nthread 0: inc0\nthread 1: inc0\n",
+		"race no ops":   "genspec v1\nthreads 2\ncells 1\nrounds 1\nrace 0 1\nthread 0: inc0\nthread 1: inc0\n",
+		"handoff alone": "genspec v1\nthreads 1\ncells 1\nrounds 1\nhandoff\nthread 0: inc0\n",
+	}
+	for name, spec := range bad {
+		if _, err := Parse([]byte(spec)); err == nil {
+			t.Errorf("%s: spec accepted:\n%s", name, spec)
+		}
+	}
+}
+
+// TestGeneratedProgramsRun: race-free generations build and execute to a
+// clean exit under a plain recording runtime.
+func TestGeneratedProgramsRun(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		p := Generate(seed, ModeRaceFree)
+		mod, err := p.Build()
+		if err != nil {
+			t.Fatalf("seed %d: build: %v\n%s", seed, err, p)
+		}
+		rt, err := core.New(mod, core.Options{Seed: seed, EventCap: 24})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.SetupOS(rt.OS())
+		rep, err := rt.Run()
+		if err != nil {
+			t.Fatalf("seed %d: run: %v\n%s", seed, err, p)
+		}
+		if rep.Output == "" {
+			t.Fatalf("seed %d: program produced no output (oracle would be toothless)", seed)
+		}
+	}
+}
+
+// TestShrinkMinimizes: the greedy shrinker reduces a bulky program to the
+// smallest witness of a structural predicate.
+func TestShrinkMinimizes(t *testing.T) {
+	p := Generate(7, ModeRaceFree)
+	p.Body[0] = append(p.Body[0], Op{Kind: OpAlloc, N: 256})
+	hasAlloc := func(q *Prog) bool {
+		for _, body := range q.Body {
+			for _, op := range body {
+				if op.Kind == OpAlloc {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	min := Shrink(p, hasAlloc)
+	if !hasAlloc(min) {
+		t.Fatalf("shrinker lost the failure:\n%s", min)
+	}
+	if err := min.Validate(); err != nil {
+		t.Fatalf("shrinker produced invalid program: %v\n%s", err, min)
+	}
+	if min.Threads != 1 || min.Rounds != 1 || min.Ops() != 1 {
+		t.Errorf("not fully minimized: threads=%d rounds=%d ops=%d\n%s",
+			min.Threads, min.Rounds, min.Ops(), min)
+	}
+	if min.Body[0][0].N != 8 {
+		t.Errorf("alloc size not halved to minimum: %d", min.Body[0][0].N)
+	}
+}
+
+// TestShrinkKeepsRacePair: shrinking a racy program never orphans the
+// planted pair — it either survives intact or is dropped whole.
+func TestShrinkKeepsRacePair(t *testing.T) {
+	p := Generate(3, ModeRacy)
+	min := Shrink(p, func(q *Prog) bool { return q.Racy() })
+	if !min.Racy() {
+		t.Fatalf("predicate requires the race, shrinker dropped it:\n%s", min)
+	}
+	if err := min.Validate(); err != nil {
+		t.Fatalf("invalid: %v\n%s", err, min)
+	}
+	if min.Ops() != 2 {
+		t.Errorf("racy witness not minimal: %d ops\n%s", min.Ops(), min)
+	}
+}

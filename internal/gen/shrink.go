@@ -1,0 +1,193 @@
+package gen
+
+// Greedy program minimization. When a generated program fails the
+// differential harness, the raw generation is rarely the smallest witness:
+// Shrink repeatedly tries structure-removing mutations — drop a thread,
+// delete an op, cut a round, disable the barrier or handoff, merge cells,
+// halve op parameters — keeping each candidate only if the failure
+// predicate still holds, until no mutation helps. The result is what a
+// human debugs and what gets checked into testdata/corpus as a regression
+// spec.
+
+// shrinkBudget bounds predicate evaluations: the predicate typically runs
+// the full differential pipeline, so minimization cost stays visible and
+// finite even on pathological inputs.
+const shrinkBudget = 400
+
+// clone deep-copies a program.
+func (p *Prog) clone() *Prog {
+	q := *p
+	q.Body = make([][]Op, len(p.Body))
+	for i, body := range p.Body {
+		q.Body[i] = append([]Op(nil), body...)
+	}
+	if p.Race != nil {
+		r := *p.Race
+		q.Race = &r
+	}
+	return &q
+}
+
+// Shrink greedily minimizes p under the failure predicate: it returns the
+// smallest variant found for which failing still returns true. The
+// original program is never mutated; if no mutation preserves the failure,
+// the returned program equals p.
+func Shrink(p *Prog, failing func(*Prog) bool) *Prog {
+	cur := p.clone()
+	budget := shrinkBudget
+	try := func(q *Prog) bool {
+		if budget <= 0 || q.Validate() != nil {
+			return false
+		}
+		budget--
+		if failing(q) {
+			cur = q
+			return true
+		}
+		return false
+	}
+	for improved := true; improved; {
+		improved = false
+		for _, mutate := range []func(*Prog) []*Prog{
+			dropThreads, dropRace, dropOps, cutStructure, halveParams,
+		} {
+			for _, q := range mutate(cur) {
+				if try(q) {
+					improved = true
+					break // candidate set is stale; regenerate from the smaller program
+				}
+			}
+		}
+	}
+	return cur
+}
+
+// dropThreads proposes removing each whole thread.
+func dropThreads(p *Prog) []*Prog {
+	if p.Threads <= 1 {
+		return nil
+	}
+	var out []*Prog
+	for t := 0; t < p.Threads; t++ {
+		if p.Race != nil && (t == p.Race.T1 || t == p.Race.T2) {
+			continue // the planted pair only shrinks via dropRace
+		}
+		q := p.clone()
+		q.Body = append(q.Body[:t:t], q.Body[t+1:]...)
+		q.Threads--
+		if q.Race != nil {
+			if q.Race.T1 > t {
+				q.Race.T1--
+			}
+			if q.Race.T2 > t {
+				q.Race.T2--
+			}
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// dropRace proposes removing the planted race entirely (pair declaration
+// plus both OpRace ops): if the failure persists without it, the race was
+// irrelevant to the bug.
+func dropRace(p *Prog) []*Prog {
+	if p.Race == nil {
+		return nil
+	}
+	q := p.clone()
+	q.Race = nil
+	for t, body := range q.Body {
+		kept := body[:0]
+		for _, op := range body {
+			if op.Kind != OpRace {
+				kept = append(kept, op)
+			}
+		}
+		q.Body[t] = kept
+	}
+	return []*Prog{q}
+}
+
+// dropOps proposes deleting each single op (OpRace excluded; see
+// dropRace).
+func dropOps(p *Prog) []*Prog {
+	var out []*Prog
+	for t, body := range p.Body {
+		for i, op := range body {
+			if op.Kind == OpRace {
+				continue
+			}
+			_ = op
+			q := p.clone()
+			q.Body[t] = append(q.Body[t][:i:i], q.Body[t][i+1:]...)
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// cutStructure proposes coarse reductions: fewer rounds, no barrier, no
+// handoff, fewer cells (cell references fold modulo the new count).
+func cutStructure(p *Prog) []*Prog {
+	var out []*Prog
+	if p.Rounds > 1 {
+		q := p.clone()
+		q.Rounds--
+		out = append(out, q)
+	}
+	if p.BarrierEvery > 0 {
+		q := p.clone()
+		q.BarrierEvery = 0
+		out = append(out, q)
+	}
+	if p.Handoff {
+		q := p.clone()
+		q.Handoff = false
+		out = append(out, q)
+	}
+	if p.Cells > 1 {
+		q := p.clone()
+		q.Cells--
+		for t, body := range q.Body {
+			for i := range body {
+				if body[i].Kind == OpInc {
+					body[i].Cell %= q.Cells
+				}
+			}
+			q.Body[t] = body
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// halveParams proposes halving each op's numeric parameter, clamped to
+// the per-kind minimum.
+func halveParams(p *Prog) []*Prog {
+	var out []*Prog
+	for t, body := range p.Body {
+		for i, op := range body {
+			var min int
+			switch op.Kind {
+			case OpWork, OpRead:
+				min = 1
+			case OpAlloc:
+				min = 8
+			default:
+				continue
+			}
+			half := op.N / 2
+			if half < min {
+				half = min
+			}
+			if half == op.N {
+				continue
+			}
+			q := p.clone()
+			q.Body[t][i].N = half
+			out = append(out, q)
+		}
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package gen
+
+// Textual program specs. A minimized failing generation is only useful if
+// it can be checked in and re-run: Marshal prints a Prog as a small
+// line-oriented spec and Parse reads one back, so regression cases live as
+// .genspec files in testdata/corpus and the corpus test replays them
+// through the same differential checks the fuzzer applies (see
+// docs/TESTING.md for the promotion workflow).
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// specMagic heads every spec file; the version gates future format
+// changes.
+const specMagic = "genspec v1"
+
+// Marshal renders p as a parseable spec:
+//
+//	genspec v1
+//	seed 42
+//	threads 2
+//	cells 1
+//	rounds 3
+//	barrier 2
+//	handoff
+//	race 0 1
+//	thread 0: inc0 work25 race
+//	thread 1: alloc48 read32 time yield race
+//
+// barrier, handoff, and race lines are omitted when disabled.
+func (p *Prog) Marshal() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", specMagic)
+	fmt.Fprintf(&b, "seed %d\n", p.Seed)
+	fmt.Fprintf(&b, "threads %d\n", p.Threads)
+	fmt.Fprintf(&b, "cells %d\n", p.Cells)
+	fmt.Fprintf(&b, "rounds %d\n", p.Rounds)
+	if p.BarrierEvery > 0 {
+		fmt.Fprintf(&b, "barrier %d\n", p.BarrierEvery)
+	}
+	if p.Handoff {
+		fmt.Fprintf(&b, "handoff\n")
+	}
+	if p.Race != nil {
+		fmt.Fprintf(&b, "race %d %d\n", p.Race.T1, p.Race.T2)
+	}
+	for t, body := range p.Body {
+		fmt.Fprintf(&b, "thread %d:", t)
+		for _, op := range body {
+			b.WriteByte(' ')
+			b.WriteString(opString(op))
+		}
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// String is the spec text (diagnostics print it on failure).
+func (p *Prog) String() string { return string(p.Marshal()) }
+
+func opString(op Op) string {
+	switch op.Kind {
+	case OpInc:
+		return fmt.Sprintf("inc%d", op.Cell)
+	case OpWork:
+		return fmt.Sprintf("work%d", op.N)
+	case OpAlloc:
+		return fmt.Sprintf("alloc%d", op.N)
+	case OpRead:
+		return fmt.Sprintf("read%d", op.N)
+	case OpTime:
+		return "time"
+	case OpYield:
+		return "yield"
+	case OpRace:
+		return "race"
+	}
+	return fmt.Sprintf("op?%d", op.Kind)
+}
+
+func parseOp(tok string) (Op, error) {
+	num := func(prefix string) (int, error) {
+		n, err := strconv.Atoi(tok[len(prefix):])
+		if err != nil {
+			return 0, fmt.Errorf("gen: bad op %q: %v", tok, err)
+		}
+		return n, nil
+	}
+	switch {
+	case tok == "time":
+		return Op{Kind: OpTime}, nil
+	case tok == "yield":
+		return Op{Kind: OpYield}, nil
+	case tok == "race":
+		return Op{Kind: OpRace}, nil
+	case strings.HasPrefix(tok, "inc"):
+		c, err := num("inc")
+		return Op{Kind: OpInc, Cell: c}, err
+	case strings.HasPrefix(tok, "work"):
+		n, err := num("work")
+		return Op{Kind: OpWork, N: n}, err
+	case strings.HasPrefix(tok, "alloc"):
+		n, err := num("alloc")
+		return Op{Kind: OpAlloc, N: n}, err
+	case strings.HasPrefix(tok, "read"):
+		n, err := num("read")
+		return Op{Kind: OpRead, N: n}, err
+	}
+	return Op{}, fmt.Errorf("gen: unknown op %q", tok)
+}
+
+// Parse reads a spec produced by Marshal (comments with # and blank lines
+// allowed) and validates the result.
+func Parse(data []byte) (*Prog, error) {
+	lines := strings.Split(string(data), "\n")
+	p := &Prog{}
+	intField := func(rest string, name string) (int, error) {
+		v, err := strconv.Atoi(strings.TrimSpace(rest))
+		if err != nil {
+			return 0, fmt.Errorf("gen: bad %s line: %v", name, err)
+		}
+		return v, nil
+	}
+	sawMagic := false
+	for ln, raw := range lines {
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		if !sawMagic {
+			if line != specMagic {
+				return nil, fmt.Errorf("gen: line %d: expected %q header, got %q", ln+1, specMagic, line)
+			}
+			sawMagic = true
+			continue
+		}
+		key, rest, _ := strings.Cut(line, " ")
+		var err error
+		switch key {
+		case "seed":
+			var s int64
+			s, err = strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+			p.Seed = s
+		case "threads":
+			p.Threads, err = intField(rest, key)
+		case "cells":
+			p.Cells, err = intField(rest, key)
+		case "rounds":
+			p.Rounds, err = intField(rest, key)
+		case "barrier":
+			p.BarrierEvery, err = intField(rest, key)
+		case "handoff":
+			p.Handoff = true
+		case "race":
+			f := strings.Fields(rest)
+			if len(f) != 2 {
+				return nil, fmt.Errorf("gen: line %d: race wants two thread indices", ln+1)
+			}
+			var t1, t2 int
+			if t1, err = strconv.Atoi(f[0]); err == nil {
+				t2, err = strconv.Atoi(f[1])
+			}
+			p.Race = &RacePair{T1: t1, T2: t2}
+		case "thread":
+			idxStr, ops, ok := strings.Cut(rest, ":")
+			if !ok {
+				return nil, fmt.Errorf("gen: line %d: thread line missing ':'", ln+1)
+			}
+			var idx int
+			if idx, err = strconv.Atoi(strings.TrimSpace(idxStr)); err != nil {
+				break
+			}
+			if idx != len(p.Body) {
+				return nil, fmt.Errorf("gen: line %d: thread %d out of order (want %d)", ln+1, idx, len(p.Body))
+			}
+			var body []Op
+			for _, tok := range strings.Fields(ops) {
+				op, perr := parseOp(tok)
+				if perr != nil {
+					return nil, fmt.Errorf("gen: line %d: %v", ln+1, perr)
+				}
+				body = append(body, op)
+			}
+			p.Body = append(p.Body, body)
+		default:
+			return nil, fmt.Errorf("gen: line %d: unknown directive %q", ln+1, key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("gen: line %d: %v", ln+1, err)
+		}
+	}
+	if !sawMagic {
+		return nil, fmt.Errorf("gen: empty spec")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -174,3 +174,78 @@ func TestFlattenEpochsRebasesPositions(t *testing.T) {
 		t.Fatal("non-dense thread IDs accepted")
 	}
 }
+
+func TestFlattenEpochsAtSparseTIDs(t *testing.T) {
+	// Degenerate inputs a segment replay can legitimately produce.
+	if threads, vars, err := FlattenEpochsAt(nil); err != nil || len(threads) != 0 || len(vars) != 0 {
+		t.Fatalf("empty input: threads=%v vars=%v err=%v", threads, vars, err)
+	}
+	empty := &EpochLog{Epoch: 4}
+	if threads, _, err := FlattenEpochsAt([]*EpochLog{empty}); err != nil || len(threads) != 0 {
+		t.Fatalf("threadless epoch: threads=%v err=%v", threads, err)
+	}
+
+	// Mid-trace segment: TIDs 3 and 7 survive from before the range
+	// (threads 0-2 and 4-6 were reclaimed and leave permanent gaps), and 7
+	// dies after the first epoch — its placeholder simply stops appearing.
+	ep5 := &EpochLog{
+		Epoch: 5,
+		Threads: []ThreadLog{
+			{TID: 3, EntryFn: 1, Events: []Event{{Kind: KMutexLock, Var: 0x20, Pos: 0}}},
+			{TID: 7, EntryFn: 2, Events: []Event{
+				{Kind: KMutexLock, Var: 0x20, Pos: 1},
+				{Kind: KExit, Pos: -1},
+			}},
+		},
+		Vars: []VarLog{{Addr: 0x20, Order: []int32{3, 7}}},
+	}
+	ep6 := &EpochLog{
+		Epoch: 6,
+		Threads: []ThreadLog{
+			{TID: 3, EntryFn: 1, Events: []Event{{Kind: KMutexLock, Var: 0x20, Pos: 0}}},
+		},
+		Vars: []VarLog{{Addr: 0x20, Order: []int32{3}}},
+	}
+	threads, vars, err := FlattenEpochsAt([]*EpochLog{ep5, ep6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(threads) != 2 || threads[0].TID != 3 || threads[1].TID != 7 {
+		t.Fatalf("threads = %+v, want sparse TIDs 3 and 7", threads)
+	}
+	// FlattenEpochs must reject the same input: slot 0 holds TID 3.
+	if _, _, err := FlattenEpochs([]*EpochLog{ep5, ep6}); err == nil {
+		t.Fatal("FlattenEpochs accepted sparse thread IDs")
+	}
+	// Thread 3's epoch-6 lock rebases past epoch 5's two acquisitions.
+	if got := threads[0].Events[1]; got.Pos != 2 {
+		t.Fatalf("rebased pos = %d, want 2 (%+v)", got.Pos, got)
+	}
+	// The dead thread keeps only its epoch-5 events.
+	if len(threads[1].Events) != 2 {
+		t.Fatalf("dead thread events = %+v", threads[1].Events)
+	}
+	if !reflect.DeepEqual(vars[0].Order, []int32{3, 7, 3}) {
+		t.Fatalf("var order = %v", vars[0].Order)
+	}
+
+	// A single-thread segment needs no ordering at all.
+	solo := &EpochLog{Epoch: 9, Threads: []ThreadLog{
+		{TID: 5, EntryFn: 3, Events: []Event{{Kind: KExit, Pos: -1}}},
+	}}
+	threads, _, err = FlattenEpochsAt([]*EpochLog{solo})
+	if err != nil || len(threads) != 1 || threads[0].TID != 5 {
+		t.Fatalf("single thread: threads=%+v err=%v", threads, err)
+	}
+
+	// Corruption is still rejected: descending TIDs within an epoch, and a
+	// thread whose entry function changes across epochs.
+	unordered := &EpochLog{Epoch: 1, Threads: []ThreadLog{{TID: 7}, {TID: 3}}}
+	if _, _, err := FlattenEpochsAt([]*EpochLog{unordered}); err == nil {
+		t.Fatal("unordered thread IDs accepted")
+	}
+	turncoat := &EpochLog{Epoch: 6, Threads: []ThreadLog{{TID: 3, EntryFn: 9}}}
+	if _, _, err := FlattenEpochsAt([]*EpochLog{ep5, turncoat}); err == nil {
+		t.Fatal("entry-function change accepted")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -216,7 +217,9 @@ func RecordTraceSpan(st *trace.Store, req RecordRequest, interrupt func() error,
 		// Ground-truth corpus programs take no OS setup and no scaling.
 		mod = c.Build()
 	} else {
-		return nil, fmt.Errorf("record: unknown app %q", req.App)
+		_, err := workloads.ByNameStrict(req.App)
+		return nil, fmt.Errorf("record: %w (analysis corpus: %s)",
+			err, strings.Join(workloads.AnalysisNames(), ", "))
 	}
 	name := req.Name
 	if name == "" {

@@ -41,6 +41,7 @@ import (
 	"io/fs"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -519,7 +520,9 @@ func (s *Server) buildJob(req *JobRequest) (*sched.Job, *jobTel, error) {
 			return nil, nil, errors.New("record job: record.app is required")
 		}
 		if !workloads.Known(rr.App) {
-			return nil, nil, fmt.Errorf("record job: unknown app %q", rr.App)
+			return nil, nil, fmt.Errorf("record job: unknown app %q (known: %s; analysis corpus: %s)",
+				rr.App, strings.Join(workloads.Names(), ", "),
+				strings.Join(workloads.AnalysisNames(), ", "))
 		}
 		name := rr.Name
 		if name == "" {

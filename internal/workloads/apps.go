@@ -1,5 +1,10 @@
 package workloads
 
+import (
+	"fmt"
+	"strings"
+)
+
 // The fifteen evaluated applications of §5.1 (PARSEC 2.1 with native-input
 // character, plus the six real applications), scaled to laptop-size runs.
 // Comments note the behavioural signature each models and the evaluation
@@ -151,6 +156,17 @@ func Known(name string) bool {
 	}
 	_, ok := AnalysisByName(name)
 	return ok
+}
+
+// ByNameStrict resolves name like ByName but a miss returns a usage-style
+// error listing every known spec name — the same hint irdb prints on its
+// exit-2 path — so every front end surfaces the same actionable diagnostic.
+func ByNameStrict(name string) (Spec, error) {
+	if s, ok := ByName(name); ok {
+		return s, nil
+	}
+	return Spec{}, fmt.Errorf("unknown app %q; known apps: %s",
+		name, strings.Join(Names(), ", "))
 }
 
 // ByName returns the named application spec.

@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -24,6 +25,26 @@ func TestAllAppsBuildAndValidate(t *testing.T) {
 	}
 	if len(Apps()) != 15 {
 		t.Fatalf("apps = %d, want the paper's 15", len(Apps()))
+	}
+}
+
+func TestByNameStrict(t *testing.T) {
+	// Every listed name — ablation variants included — must resolve.
+	for _, name := range Names() {
+		if _, err := ByNameStrict(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	// A miss lists every known name, so front ends all print the same
+	// actionable hint (irdb's exit-2 convention).
+	_, err := ByNameStrict("nosuchapp")
+	if err == nil {
+		t.Fatal("expected error for unknown app")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error omits known app %s: %v", name, err)
+		}
 	}
 }
 
