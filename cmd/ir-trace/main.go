@@ -96,7 +96,7 @@ func usage() {
   replay   -name N [-dir D] [-n COPIES] [-workers W] [-max-replays N] [-delay] [-segments]
   ls       [-dir D] [-json]
   verify   -name N [-dir D]
-  analyze  -name N | -all [-dir D] [-analyzers race,leak] [-workers W] [-json]
+  analyze  -name N | -all [-dir D] [-analyzers race,leak] [-segments] [-workers W] [-json]
   compact  -name N [-dir D] [-keyframe-every K]   rewrite compressed + re-keyframed, in place
   rm       -name N [-dir D]                       delete a stored trace (and its pin)
   gc       [-dir D] [-max-mb N] [-max-age DUR]    enforce a retention policy (pins exempt)
@@ -270,6 +270,8 @@ func cmdAnalyze(args []string) error {
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	maxReplays := fs.Int("max-replays", 0, "divergence search bound (0 = default)")
 	delay := fs.Bool("delay", true, "randomized delays on divergence retries")
+	segmented := fs.Bool("segments", false,
+		"segment-parallel analysis: split each trace at its checkpoint frames (-workers sizes the segment pool)")
 	asJSON := fs.Bool("json", false, "emit machine-readable findings on stdout")
 	fs.Parse(args)
 	if *name == "" && !*all {
@@ -317,18 +319,45 @@ func cmdAnalyze(args []string) error {
 			},
 		})
 	}
-	results, stats := trace.AnalyzeBatch(jobs, *workers)
+	var results []trace.AnalyzeResult
+	var stats trace.BatchStats
+	if *segmented {
+		// Segment parallelism lives inside each trace, so traces run in
+		// sequence and -workers sizes the per-trace segment pool.
+		start := time.Now()
+		for i := range jobs {
+			res, sstats, err := trace.AnalyzeSegments(jobs[i], *workers)
+			if err != nil {
+				return fmt.Errorf("analyze %s: %w", jobs[i].Name, err)
+			}
+			results = append(results, res)
+			stats.Jobs++
+			stats.Work += sstats.Work
+			stats.Events += sstats.Events
+			stats.Attempts += sstats.Attempts
+			if res.Matched {
+				stats.Matched++
+			} else {
+				stats.Failed++
+			}
+		}
+		stats.Elapsed = time.Since(start)
+	} else {
+		results, stats = trace.AnalyzeBatch(jobs, *workers)
+	}
 
 	if *asJSON {
 		type jsonResult struct {
-			Name     string             `json:"name"`
-			Matched  bool               `json:"matched"`
-			Error    string             `json:"error,omitempty"`
-			Findings []analysis.Finding `json:"findings"`
+			Name     string                     `json:"name"`
+			Matched  bool                       `json:"matched"`
+			Error    string                     `json:"error,omitempty"`
+			Findings []analysis.Finding         `json:"findings"`
+			Segments []trace.SegmentAttribution `json:"segments,omitempty"`
 		}
 		out := make([]jsonResult, len(results))
 		for i, r := range results {
-			out[i] = jsonResult{Name: r.Name, Matched: r.Matched, Findings: r.Findings}
+			out[i] = jsonResult{Name: r.Name, Matched: r.Matched,
+				Findings: r.Findings, Segments: r.Segments}
 			if r.Err != nil {
 				out[i].Error = r.Err.Error()
 			}
@@ -356,6 +385,13 @@ func cmdAnalyze(args []string) error {
 			}
 			for _, f := range r.Findings {
 				fmt.Print(f)
+			}
+			for _, at := range r.Segments {
+				fmt.Printf("  seg %-3d epochs %4d-%-4d %7d events  wall=%-8v fold=%v decode=%v exec=%v merge=%v\n",
+					at.Seg, at.FirstEpoch, at.LastEpoch, at.Events,
+					at.Wall.Round(time.Microsecond), at.Fold.Round(time.Microsecond),
+					at.Decode.Round(time.Microsecond), at.Exec.Round(time.Microsecond),
+					at.Merge.Round(time.Microsecond))
 			}
 		}
 		fmt.Printf("batch: %d/%d analyzed, %d events re-executed, work=%v elapsed=%v (x%.1f)\n",

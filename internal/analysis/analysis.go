@@ -127,6 +127,26 @@ func Run(mod *tir.Module, epochs []*record.EpochLog, opts core.Options,
 	if err != nil {
 		return nil, nil, err
 	}
+	return runPrepared(rt, setup, analyzers)
+}
+
+// RunFlat is Run over a pre-flattened epoch range (record.Flattener): the
+// streaming entry point for analyze workers that decode epochs in bounded
+// windows instead of pinning the whole trace's frames at once.
+func RunFlat(mod *tir.Module, fl *record.Flat, opts core.Options,
+	setup func(*core.Runtime) error, analyzers ...Analyzer) (*core.Report, []Finding, error) {
+	for _, a := range analyzers {
+		opts.Observers = append(opts.Observers, a)
+	}
+	rt, err := core.PrepareReplayFlat(mod, fl, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return runPrepared(rt, setup, analyzers)
+}
+
+func runPrepared(rt *core.Runtime, setup func(*core.Runtime) error,
+	analyzers []Analyzer) (*core.Report, []Finding, error) {
 	if setup != nil {
 		if err := setup(rt); err != nil {
 			rt.Shutdown()
@@ -138,9 +158,16 @@ func Run(mod *tir.Module, epochs []*record.EpochLog, opts core.Options,
 		// The replay never matched; there is no execution to report on.
 		return nil, nil, runErr
 	}
-	// Finish every analyzer even when one fails, and never let a finish
-	// error displace runErr: a reproduced fault is the prime use case, not
-	// something to lose behind a broken analyzer.
+	findings, err := Collect(rt, analyzers, runErr)
+	return rep, findings, err
+}
+
+// Collect runs every analyzer's Finish pass against the completed replay's
+// final state and gathers findings in analyzer order. Finish every analyzer
+// even when one fails, and never let a finish error displace runErr: a
+// reproduced fault is the prime use case, not something to lose behind a
+// broken analyzer.
+func Collect(rt *core.Runtime, analyzers []Analyzer, runErr error) ([]Finding, error) {
 	var findings []Finding
 	var errs []error
 	for _, a := range analyzers {
@@ -151,9 +178,9 @@ func Run(mod *tir.Module, epochs []*record.EpochLog, opts core.Options,
 		findings = append(findings, a.Findings()...)
 	}
 	if len(errs) > 0 {
-		return rep, findings, errors.Join(append(errs, runErr)...)
+		return findings, errors.Join(append(errs, runErr)...)
 	}
-	return rep, findings, runErr
+	return findings, runErr
 }
 
 // FromSpec builds analyzers from a comma-separated list of names — the

@@ -411,28 +411,38 @@ func (d *RaceDetector) Races() []Race {
 	return append([]Race(nil), d.st.races...)
 }
 
-// Findings implements Analyzer.
+// canonKey orders the two sides of a race independently of which was
+// observed first during replay.
+func canonKey(a access) string {
+	return fmt.Sprintf("%s+%d/%v/%d", a.site().Func(), topPC(a.site()), a.write, a.tid)
+}
+
+// Findings implements Analyzer. The report is canonical: the two sides of
+// each race are ordered by site key rather than observation order, and the
+// kind is symmetric ("write/write" or "read/write"), so the same racing
+// pair yields byte-identical findings no matter which access a particular
+// replay — whole-trace or segment-folded — happened to deliver first.
 func (d *RaceDetector) Findings() []Finding {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	out := make([]Finding, 0, len(d.st.races))
 	for _, r := range d.st.races {
-		kind := "read"
-		if r.Prev.write && r.Cur.write {
+		a, b := r.Prev, r.Cur
+		if canonKey(b) < canonKey(a) {
+			a, b = b, a
+		}
+		kind := "read/write"
+		if a.write && b.write {
 			kind = "write/write"
-		} else if r.Cur.write {
-			kind = "read/write"
-		} else {
-			kind = "write/read"
 		}
 		out = append(out, Finding{
 			Analyzer: "race",
 			Kind:     "data-race",
-			Addr:     r.Prev.addr,
-			Size:     int64(r.Prev.size),
-			Sites:    []Site{r.PrevSite, r.CurSite},
+			Addr:     a.addr,
+			Size:     int64(a.size),
+			Sites:    []Site{a.site(), b.site()},
 			Detail: fmt.Sprintf("%s race on %#x between %s (thread %d) and %s (thread %d)",
-				kind, r.Prev.addr, r.PrevSite.Func(), r.Prev.tid, r.CurSite.Func(), r.Cur.tid),
+				kind, a.addr, a.site().Func(), a.tid, b.site().Func(), b.tid),
 		})
 	}
 	sortFindings(out)

@@ -1,0 +1,218 @@
+package analysis
+
+// Tape: a segment's recorded observation stream.
+//
+// Segment-parallel analysis (trace.AnalyzeSegments) cannot attach the real
+// analyzers to each segment replay: a race detector's vector clocks or a
+// leak detector's site table are prefix state — they only mean anything if
+// everything since program start has already been folded in, which would
+// serialize the segments. The tape decouples the two halves: each segment
+// replay runs fully parallel with only a Tape attached (cheap appends, no
+// analyzer math), and a sequential fold then re-delivers the tapes in
+// segment order into one analyzer chain. Because every segment boundary is
+// an epoch boundary — a globally quiescent point of the recorded execution —
+// the concatenation of per-segment arrival orders is a legal observation
+// order of the whole execution, so the fold reproduces exactly what the
+// analyzers would have seen attached to a whole-trace replay delivering
+// events in that order.
+//
+// Stacks are the one eager decision: OnAccess receives a lazy symbolizer
+// that is only valid during the callback, so the tape materializes the
+// stack up front for exactly the accesses a detector would retain one for
+// (plain accesses outside the thread-stack segment; see
+// RaceDetector.OnAccess). Alloc/free stacks arrive already materialized.
+//
+// A divergence retry inside a segment rolls the replay back to the segment
+// start and re-executes; OnReset truncates the tape so only the matched
+// attempt's stream survives.
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/mem"
+)
+
+// tapeKind enumerates the recorded callback kinds.
+type tapeKind uint8
+
+const (
+	tapeSync tapeKind = iota
+	tapeCreate
+	tapeExit
+	tapeJoin
+	tapeAlloc
+	tapeFree
+	tapeSyscall
+	tapeAccess
+)
+
+// tapeEvent is one recorded observer callback.
+type tapeEvent struct {
+	kind   tapeKind
+	tid    int32
+	tid2   int32 // create: child; join: joinee
+	op     core.SyncOp
+	write  bool
+	atomic bool
+	addr   uint64
+	size   int64  // alloc/access size, syscall number
+	ret    uint64 // syscall result
+	stack  []interp.StackEntry
+}
+
+// Tape records one segment replay's observer callback stream in arrival
+// order for later re-delivery. It implements every data-carrying observer
+// interface; epoch observers never fire offline, so it has none.
+type Tape struct {
+	mu     sync.Mutex
+	events []tapeEvent
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Len returns the number of recorded events.
+func (t *Tape) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+func (t *Tape) append(ev tapeEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// OnReset implements core.ResetObserver: a divergence retry rolls the
+// segment back to its start, so the abandoned attempt's stream is dropped.
+func (t *Tape) OnReset() {
+	t.mu.Lock()
+	t.events = t.events[:0]
+	t.mu.Unlock()
+}
+
+// OnSync implements core.SyncObserver.
+func (t *Tape) OnSync(tid int32, op core.SyncOp, addr uint64) {
+	t.append(tapeEvent{kind: tapeSync, tid: tid, op: op, addr: addr})
+}
+
+// OnThreadCreate implements core.ThreadObserver.
+func (t *Tape) OnThreadCreate(parent, child int32) {
+	t.append(tapeEvent{kind: tapeCreate, tid: parent, tid2: child})
+}
+
+// OnThreadExit implements core.ThreadObserver.
+func (t *Tape) OnThreadExit(tid int32) {
+	t.append(tapeEvent{kind: tapeExit, tid: tid})
+}
+
+// OnThreadJoin implements core.ThreadObserver.
+func (t *Tape) OnThreadJoin(joiner, joinee int32) {
+	t.append(tapeEvent{kind: tapeJoin, tid: joiner, tid2: joinee})
+}
+
+// OnAlloc implements core.AllocObserver.
+func (t *Tape) OnAlloc(tid int32, addr uint64, size int64, stack []interp.StackEntry) {
+	t.append(tapeEvent{kind: tapeAlloc, tid: tid, addr: addr, size: size, stack: stack})
+}
+
+// OnFree implements core.AllocObserver.
+func (t *Tape) OnFree(tid int32, addr uint64, stack []interp.StackEntry) {
+	t.append(tapeEvent{kind: tapeFree, tid: tid, addr: addr, stack: stack})
+}
+
+// OnSyscall implements core.SyscallObserver.
+func (t *Tape) OnSyscall(tid int32, num int64, ret uint64) {
+	t.append(tapeEvent{kind: tapeSyscall, tid: tid, size: num, ret: ret})
+}
+
+// OnAccess implements core.AccessObserver. The stack is materialized now —
+// lazily symbolized stacks are only valid during the callback — but only
+// for the accesses a detector retains one for: plain (non-atomic) accesses
+// outside the thread-stack segment. Atomic and stack-slot accesses are
+// recorded stackless; the consumers that see them (the profile counter, the
+// race detector's atomic acquire/release path) never symbolize.
+func (t *Tape) OnAccess(tid int32, addr uint64, size int, write, atomic bool,
+	stack func() []interp.StackEntry) {
+	ev := tapeEvent{kind: tapeAccess, tid: tid, addr: addr, size: int64(size),
+		write: write, atomic: atomic}
+	if !atomic && addr < mem.StackBase {
+		ev.stack = stack()
+	}
+	t.append(ev)
+}
+
+// tapeSinks caches one analyzer's observer capabilities so Replay pays the
+// interface assertions once, not per event.
+type tapeSinks struct {
+	sync    core.SyncObserver
+	thread  core.ThreadObserver
+	alloc   core.AllocObserver
+	access  core.AccessObserver
+	syscall core.SyscallObserver
+}
+
+// Replay re-delivers the recorded stream, in arrival order, to every
+// analyzer that implements the corresponding observer interface — the
+// sequential fold half of segment-parallel analysis.
+func (t *Tape) Replay(analyzers []Analyzer) {
+	t.mu.Lock()
+	events := t.events
+	t.mu.Unlock()
+	sinks := make([]tapeSinks, len(analyzers))
+	for i, a := range analyzers {
+		sinks[i].sync, _ = a.(core.SyncObserver)
+		sinks[i].thread, _ = a.(core.ThreadObserver)
+		sinks[i].alloc, _ = a.(core.AllocObserver)
+		sinks[i].access, _ = a.(core.AccessObserver)
+		sinks[i].syscall, _ = a.(core.SyscallObserver)
+	}
+	for i := range events {
+		ev := &events[i]
+		var stackFn func() []interp.StackEntry
+		if ev.kind == tapeAccess {
+			stack := ev.stack
+			stackFn = func() []interp.StackEntry { return stack }
+		}
+		for j := range sinks {
+			s := &sinks[j]
+			switch ev.kind {
+			case tapeSync:
+				if s.sync != nil {
+					s.sync.OnSync(ev.tid, ev.op, ev.addr)
+				}
+			case tapeCreate:
+				if s.thread != nil {
+					s.thread.OnThreadCreate(ev.tid, ev.tid2)
+				}
+			case tapeExit:
+				if s.thread != nil {
+					s.thread.OnThreadExit(ev.tid)
+				}
+			case tapeJoin:
+				if s.thread != nil {
+					s.thread.OnThreadJoin(ev.tid, ev.tid2)
+				}
+			case tapeAlloc:
+				if s.alloc != nil {
+					s.alloc.OnAlloc(ev.tid, ev.addr, ev.size, ev.stack)
+				}
+			case tapeFree:
+				if s.alloc != nil {
+					s.alloc.OnFree(ev.tid, ev.addr, ev.stack)
+				}
+			case tapeSyscall:
+				if s.syscall != nil {
+					s.syscall.OnSyscall(ev.tid, ev.size, ev.ret)
+				}
+			case tapeAccess:
+				if s.access != nil {
+					s.access.OnAccess(ev.tid, ev.addr, int(ev.size), ev.write, ev.atomic, stackFn)
+				}
+			}
+		}
+	}
+}

@@ -286,6 +286,93 @@ func perfSegments(rep *PerfReport, scale float64, workerSweep []int) error {
 		})
 	}
 
+	// Replay-time analysis, whole-trace vs segment-parallel: the
+	// analyze-segment rows pay per-segment tape capture plus the sequential
+	// state fold, so their gain over the analyze-whole baseline is the
+	// headline number for checkpointed analyzer state (acceptance: >= 2x
+	// events/sec at 4 workers). The analysis recording deepens the service
+	// loop's think time — the long-mostly-idle-trace shape segment-parallel
+	// analysis exists for — so each segment's recorded waits dominate its
+	// fixed fold/runtime-construction cost even on a single-core host.
+	slowSpec := spec
+	slowSpec.ThinkTime *= 4
+	slowMod, err := slowSpec.Build()
+	if err != nil {
+		return err
+	}
+	slowOpts := core.Options{Seed: 7, EventCap: 64, Mem: memCfg, CheckpointEvery: 1}
+	var slowBuf bytes.Buffer
+	sw, err := trace.NewWriter(&slowBuf, trace.Header{
+		App: slowSpec.Name, ModuleHash: tir.Fingerprint(slowMod), Seed: 7,
+		AppIters: slowSpec.Iters, EventCap: 64,
+	})
+	if err != nil {
+		return err
+	}
+	// Dense keyframes keep each segment's checkpoint fold O(1) instead of
+	// replaying a delta chain back to the last keyframe.
+	sw.SetKeyframeEvery(2)
+	slowOpts.TraceSink = sw.Sink()
+	slowOpts.CheckpointSink = sw.CheckpointSink()
+	srt, err := core.New(slowMod, slowOpts)
+	if err != nil {
+		return err
+	}
+	slowSpec.SetupOS(srt.OS())
+	slowRep, err := srt.Run()
+	if err != nil {
+		return fmt.Errorf("bench: slow recording %s: %w", slowSpec.Name, err)
+	}
+	if err := sw.Finish(&trace.Summary{Exit: slowRep.Exit, Output: slowRep.Output}); err != nil {
+		return err
+	}
+	slowName := slowSpec.Name + "-slow"
+	if err := os.WriteFile(filepath.Join(dir, slowName+trace.Ext), slowBuf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	sh, err := st.Open(slowName)
+	if err != nil {
+		return err
+	}
+	defer sh.Close()
+	factory := func() []analysis.Analyzer {
+		return []analysis.Analyzer{analysis.NewRaceDetector(), analysis.NewLeakDetector()}
+	}
+	ajob := trace.AnalyzeJob{
+		Job: trace.Job{
+			Name: slowName, Module: slowMod, Handle: sh,
+			Opts:  core.Options{Seed: 7, EventCap: 64, Mem: memCfg, DelayOnDivergence: true},
+			Setup: func(rt *core.Runtime) error { slowSpec.SetupOS(rt.OS()); return nil },
+		},
+		NewAnalyzers: factory,
+	}
+	ares, astats := trace.AnalyzeBatch([]trace.AnalyzeJob{ajob}, 1)
+	if astats.Failed > 0 {
+		return fmt.Errorf("bench: whole-trace analysis of %s: %v", spec.Name, firstAErr(ares))
+	}
+	rep.Results = append(rep.Results, PerfResult{
+		Name:         "analyze-whole/" + spec.Name,
+		Ops:          1,
+		NsPerOp:      astats.Elapsed.Nanoseconds(),
+		EventsPerSec: perSec(astats.Events, astats.Elapsed),
+	})
+	for _, w := range workerSweep {
+		seg, sstats, err := trace.AnalyzeSegments(ajob, w)
+		if err != nil {
+			return fmt.Errorf("bench: segment analysis of %s w=%d: %w", spec.Name, w, err)
+		}
+		if !seg.Matched {
+			return fmt.Errorf("bench: segment analysis of %s w=%d did not match: %v", spec.Name, w, seg.Err)
+		}
+		rep.Results = append(rep.Results, PerfResult{
+			Name:         "analyze-segment/" + spec.Name,
+			Workers:      w,
+			Ops:          sstats.Jobs,
+			NsPerOp:      sstats.Elapsed.Nanoseconds(),
+			EventsPerSec: perSec(sstats.Events, sstats.Elapsed),
+		})
+	}
+
 	// Telemetry tax: the same whole-trace and segment replays re-run with
 	// collection explicitly on (histograms observed, a live span recorder
 	// attached, as under the daemon) vs off. The acceptance budget is the

@@ -52,6 +52,15 @@ func PrepareReplay(mod *tir.Module, epochs []*record.EpochLog, opts Options) (*R
 	return prepareReplay(mod, epochs, opts, nil)
 }
 
+// PrepareReplayFlat is PrepareReplay for an already flattened trace: callers
+// that stream epoch frames through bounded windows (record.Flattener) hand
+// over the flattened per-thread/per-variable lists instead of pinning every
+// decoded epoch for the runtime's construction. Semantics are identical to
+// PrepareReplay over the same epoch range.
+func PrepareReplayFlat(mod *tir.Module, fl *record.Flat, opts Options) (*Runtime, error) {
+	return prepareReplayFlat(mod, fl, opts, nil)
+}
+
 // prepareReplay is PrepareReplay with an optional shadow-table seed: preVars,
 // when non-nil, is a checkpoint's creation-ordered shadow table, pre-created
 // so the replay assigns exactly the recording's shadow IDs. The IDs matter
@@ -65,6 +74,40 @@ func prepareReplay(mod *tir.Module, epochs []*record.EpochLog, opts Options, pre
 	if len(epochs) == 0 {
 		return nil, errors.New("core: replay of an empty trace")
 	}
+	threads, vars, err := record.FlattenEpochs(epochs)
+	if err != nil {
+		return nil, err
+	}
+	fl := &record.Flat{
+		Threads: threads,
+		Vars:    vars,
+		Epochs:  int64(len(epochs)),
+		Reason:  epochs[len(epochs)-1].Reason,
+	}
+	return prepareReplayFlat(mod, fl, opts, preVars)
+}
+
+func prepareReplayFlat(mod *tir.Module, fl *record.Flat, opts Options, preVars []VarState) (*Runtime, error) {
+	if fl == nil || fl.Epochs == 0 {
+		return nil, errors.New("core: replay of an empty trace")
+	}
+	threads, vars := fl.Threads, fl.Vars
+	if len(threads) == 0 || len(threads[0].Events) == 0 {
+		return nil, errors.New("core: trace has no main-thread events")
+	}
+	for i, tl := range threads {
+		// Whole-trace replay needs dense TIDs (the per-thread list load below
+		// indexes the runtime's thread table by slot). FlattenEpochs enforces
+		// this on the epoch-slice path; the streamed path is checked here.
+		if tl.TID != int32(i) {
+			return nil, fmt.Errorf("core: non-dense thread IDs in flattened trace (slot %d holds tid %d)",
+				i, tl.TID)
+		}
+		if tl.TID != 0 && (tl.EntryFn < 0 || int(tl.EntryFn) >= len(mod.Funcs)) {
+			return nil, fmt.Errorf("core: trace thread %d has invalid entry function %d",
+				tl.TID, tl.EntryFn)
+		}
+	}
 	opts.TraceSink = nil
 	opts.OnEpochEnd = nil
 	opts.OnReplayMatched = nil
@@ -77,24 +120,10 @@ func prepareReplay(mod *tir.Module, epochs []*record.EpochLog, opts Options, pre
 	}
 	rt.offline = true
 
-	threads, vars, err := record.FlattenEpochs(epochs)
-	if err != nil {
-		return nil, err
-	}
-	if len(threads) == 0 || len(threads[0].Events) == 0 {
-		return nil, errors.New("core: trace has no main-thread events")
-	}
-	for _, tl := range threads {
-		if tl.TID != 0 && (tl.EntryFn < 0 || int(tl.EntryFn) >= len(mod.Funcs)) {
-			return nil, fmt.Errorf("core: trace thread %d has invalid entry function %d",
-				tl.TID, tl.EntryFn)
-		}
-	}
-
 	// The final epoch's stop reason matters for one check: a trace that ended
 	// in a fault must see the same fault again — onTrap treats a trap after a
 	// fully consumed list as the matching outcome only under StopFault.
-	rt.stopReason = StopReason(epochs[len(epochs)-1].Reason)
+	rt.stopReason = StopReason(fl.Reason)
 
 	// Main thread and the program-start checkpoint, exactly as Run does. Its
 	// trampoline starts parked on the start channel; RunReplay releases it.
@@ -104,7 +133,7 @@ func prepareReplay(mod *tir.Module, epochs []*record.EpochLog, opts Options, pre
 	}
 	main.cpu.Start(rt.mod.Entry, nil)
 	rt.epochSeq = 1
-	rt.stats.Epochs = int64(len(epochs))
+	rt.stats.Epochs = fl.Epochs
 	rt.epochStart = time.Now() //ir:wallclock epoch timeline telemetry
 	rt.takeCheckpoint()
 	go main.trampoline()

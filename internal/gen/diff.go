@@ -13,7 +13,9 @@ package gen
 //	(c) analyzer ground truth — race-free generations produce zero
 //	    findings; racy generations produce data-race findings naming
 //	    exactly the planted pair, and the findings are identical across
-//	    repeated analysis runs,
+//	    repeated analysis runs and across the segment-parallel analysis
+//	    path (per-segment tapes folded through checkpointed analyzer
+//	    state),
 //	(d) representation identity — the same equivalences hold after
 //	    per-frame compression, after Store.Compact re-encoding, and for
 //	    the flight-ring spill of the very same run.
@@ -216,6 +218,30 @@ func (cfg Config) Check(p *Prog) error {
 	}
 	if err := p.checkFindings(again); err != nil {
 		return fmt.Errorf("rerun: %w", err)
+	}
+	// The same recording analyzed segment-parallel — per-segment tapes
+	// folded through checkpointed analyzer state — must agree with the
+	// whole-trace analysis: bitwise for race-free programs, by semantic
+	// verdict for racy ones (whose observation order varies per replay on
+	// both paths).
+	segRes, _, err := trace.AnalyzeSegments(trace.AnalyzeJob{
+		Job: trace.Job{Name: "gen", Module: mod, Handle: h, Opts: ropts, Setup: setup},
+		NewAnalyzers: func() []analysis.Analyzer {
+			return []analysis.Analyzer{analysis.NewRaceDetector(), analysis.NewLeakDetector()}
+		},
+	}, cfg.Workers)
+	if err != nil {
+		return fmt.Errorf("segment-analyze: %w", err)
+	}
+	if !segRes.Matched {
+		return fmt.Errorf("segment-analyze: %w", segRes.Err)
+	}
+	if !p.Racy() && !reflect.DeepEqual(findings, segRes.Findings) {
+		return fmt.Errorf("segment-analyze: findings differ from whole-trace: %v vs %v",
+			findings, segRes.Findings)
+	}
+	if err := p.checkFindings(segRes.Findings); err != nil {
+		return fmt.Errorf("segment-analyze: %w", err)
 	}
 
 	// --- (d) identity across compression, compaction, and flight spill ---

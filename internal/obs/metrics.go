@@ -31,6 +31,10 @@ const (
 	MCoreEpoch      = "ir_core_epoch_seconds"
 	MCoreQuiescence = "ir_core_quiescence_wait_seconds"
 	MCoreRollbacks  = "ir_core_rollbacks_total"
+
+	MAnalysisSegment   = "ir_analysis_segment_seconds"
+	MAnalysisStateFold = "ir_analysis_state_fold_seconds"
+	MAnalysisMerge     = "ir_analysis_merge_seconds"
 )
 
 // Daemon (ir-served) instrument names, registered by internal/server.
@@ -98,4 +102,12 @@ var (
 		"Time the coordinator waits for application threads to quiesce at an epoch boundary.", nil)
 	CoreRollbacks = Default().NewCounter(MCoreRollbacks,
 		"In-situ replay rollbacks (re-executions after a divergent replay attempt).")
+
+	// Segment-parallel analysis (trace.AnalyzeSegments).
+	AnalysisSegment = Default().NewHistogram(MAnalysisSegment,
+		"Wall time of one analysis segment: checkpoint restore, replay, and tape capture.", nil)
+	AnalysisStateFold = Default().NewHistogram(MAnalysisStateFold,
+		"Time to round-trip the analyzer state chain (encode + decode) at a segment boundary.", nil)
+	AnalysisMerge = Default().NewHistogram(MAnalysisMerge,
+		"Time to fold one segment's observation tape into the analyzer chain.", nil)
 )

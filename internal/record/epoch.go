@@ -82,51 +82,113 @@ func FlattenEpochs(epochs []*EpochLog) (threads []ThreadLog, vars []VarLog, err 
 // because threads reclaimed before the range leave permanent gaps. Threads
 // are returned in ascending TID order.
 func FlattenEpochsAt(epochs []*EpochLog) (threads []ThreadLog, vars []VarLog, err error) {
-	threadIdx := map[int32]int{}
-	varIdx := map[uint64]int{}
+	f := NewFlattener()
 	for _, ep := range epochs {
-		// Per-epoch rebase offsets: the accumulated order length of each
-		// variable before this epoch's events.
-		offsets := map[uint64]int32{}
-		for _, vl := range ep.Vars {
-			i, ok := varIdx[vl.Addr]
-			if !ok {
-				i = len(vars)
-				varIdx[vl.Addr] = i
-				vars = append(vars, VarLog{Addr: vl.Addr})
-			}
-			offsets[vl.Addr] = int32(len(vars[i].Order))
-			vars[i].Order = append(vars[i].Order, vl.Order...)
+		f.Add(ep)
+	}
+	fl, err := f.Flat()
+	if err != nil {
+		return nil, nil, err
+	}
+	return fl.Threads, fl.Vars, nil
+}
+
+// Flat is a flattened epoch range: the concatenated per-thread and
+// per-variable lists plus the range's epoch count and final stop reason —
+// everything a whole-range replay derives from an epoch slice. Consumers
+// that stream epochs in bounded windows (trace analysis workers) build one
+// incrementally through Flattener instead of pinning every decoded epoch
+// frame at once.
+type Flat struct {
+	// Threads holds the concatenated per-thread lists, ascending TID.
+	Threads []ThreadLog
+	// Vars holds the rebased per-variable order lists, first-use order.
+	Vars []VarLog
+	// Epochs counts the epochs folded in.
+	Epochs int64
+	// Reason is the last folded epoch's StopReason integer.
+	Reason int32
+}
+
+// Flattener incrementally builds a Flat from an epoch stream. It carries
+// the per-variable rebase offsets across Add calls, so a caller can decode
+// a window of epoch frames, fold it, and release it before fetching the
+// next — decoded-frame lifetime becomes the window's, not the trace's.
+// Errors are sticky and surface from Flat.
+type Flattener struct {
+	flat      Flat
+	threadIdx map[int32]int
+	varIdx    map[uint64]int
+	err       error
+}
+
+// NewFlattener returns an empty Flattener.
+func NewFlattener() *Flattener {
+	return &Flattener{threadIdx: map[int32]int{}, varIdx: map[uint64]int{}}
+}
+
+// Add folds one more epoch into the flattened lists. Epochs must be added
+// in trace order; the input is not mutated (epoch logs may be cached by a
+// trace store) and its events are copied.
+func (f *Flattener) Add(ep *EpochLog) {
+	if f.err != nil {
+		return
+	}
+	threads, vars := f.flat.Threads, f.flat.Vars
+	// Per-epoch rebase offsets: the accumulated order length of each
+	// variable before this epoch's events.
+	offsets := map[uint64]int32{}
+	for _, vl := range ep.Vars {
+		i, ok := f.varIdx[vl.Addr]
+		if !ok {
+			i = len(vars)
+			f.varIdx[vl.Addr] = i
+			vars = append(vars, VarLog{Addr: vl.Addr})
 		}
-		for _, tl := range ep.Threads {
-			i, ok := threadIdx[tl.TID]
-			if !ok {
-				i = len(threads)
-				threadIdx[tl.TID] = i
-				threads = append(threads, ThreadLog{TID: tl.TID, EntryFn: tl.EntryFn})
-			} else if threads[i].EntryFn != tl.EntryFn {
-				return nil, nil, fmt.Errorf(
-					"record: thread %d changes entry function (%d vs %d) across epochs",
-					tl.TID, threads[i].EntryFn, tl.EntryFn)
+		offsets[vl.Addr] = int32(len(vars[i].Order))
+		vars[i].Order = append(vars[i].Order, vl.Order...)
+	}
+	for _, tl := range ep.Threads {
+		i, ok := f.threadIdx[tl.TID]
+		if !ok {
+			i = len(threads)
+			f.threadIdx[tl.TID] = i
+			threads = append(threads, ThreadLog{TID: tl.TID, EntryFn: tl.EntryFn})
+		} else if threads[i].EntryFn != tl.EntryFn {
+			f.err = fmt.Errorf(
+				"record: thread %d changes entry function (%d vs %d) across epochs",
+				tl.TID, threads[i].EntryFn, tl.EntryFn)
+			return
+		}
+		for _, ev := range tl.Events {
+			if ev.Pos >= 0 {
+				ev.Pos += offsets[ev.Var]
 			}
-			for _, ev := range tl.Events {
-				if ev.Pos >= 0 {
-					ev.Pos += offsets[ev.Var]
-				}
-				threads[i].Events = append(threads[i].Events, ev)
-			}
+			threads[i].Events = append(threads[i].Events, ev)
 		}
 	}
+	f.flat.Threads, f.flat.Vars = threads, vars
+	f.flat.Epochs++
+	f.flat.Reason = ep.Reason
+}
+
+// Flat validates thread ordering and returns the flattened range. The
+// Flattener must not be reused afterwards.
+func (f *Flattener) Flat() (*Flat, error) {
+	if f.err != nil {
+		return nil, f.err
+	}
+	threads := f.flat.Threads
 	for i := 1; i < len(threads); i++ {
 		if threads[i].TID <= threads[i-1].TID {
 			// TIDs are allocated monotonically and epochs list threads in
 			// ascending order, so first appearances are already sorted; a
 			// violation means a corrupted log.
-			return nil, nil, fmt.Errorf("record: unordered thread IDs in epoch logs (%d after %d)",
+			return nil, fmt.Errorf("record: unordered thread IDs in epoch logs (%d after %d)",
 				threads[i].TID, threads[i-1].TID)
 		}
 	}
-	return threads, vars, nil
+	return &f.flat, nil
 }
 
 // LoadThreadList builds a ThreadList whose recorded contents are events and

@@ -398,9 +398,16 @@ type JobRequest struct {
 	MaxReplays int `json:"max_replays,omitempty"`
 	// NoDelay disables randomized delays on divergence retries.
 	NoDelay bool `json:"no_delay,omitempty"`
-	// Workers bounds a segment-replay job's internal fan-out (0 =
-	// GOMAXPROCS). Other kinds occupy exactly one scheduler slot.
+	// Workers bounds a segment-replay or segmented-analyze job's internal
+	// fan-out (0 = GOMAXPROCS). Other kinds occupy exactly one scheduler
+	// slot.
 	Workers int `json:"workers,omitempty"`
+	// Segments runs an analyze job segment-parallel: the trace splits at its
+	// checkpoint frames, segments replay concurrently with observation tapes
+	// attached, and a sequential fold reproduces the whole-trace findings
+	// (trace.AnalyzeSegments). Per-segment stage rows land in the result's
+	// timing breakdown. Ignored for other kinds.
+	Segments bool `json:"segments,omitempty"`
 
 	// KeyframeEvery sets a compact job's rewritten keyframe interval
 	// (<= 0: the writer default).
@@ -580,6 +587,8 @@ func (s *Server) buildJob(req *JobRequest) (*sched.Job, *jobTel, error) {
 		name := req.Kind + "/" + req.Trace
 		opts := core.Options{MaxReplays: req.MaxReplays, DelayOnDivergence: !req.NoDelay}
 		tname := req.Trace
+		segmented := req.Kind == "analyze" && req.Segments
+		workers := req.Workers
 		tel := newJobTel(name)
 		return &sched.Job{
 			Name: name,
@@ -609,6 +618,27 @@ func (s *Server) buildJob(req *JobRequest) (*sched.Job, *jobTel, error) {
 						return nil, err
 					}
 					res.Timing = tel.timing(start, resolve)
+					return res, nil
+				}
+				if segmented {
+					res, attrib, err := s.runAnalyzeSegments(&job, factory, workers)
+					if err != nil {
+						return nil, err
+					}
+					timing := tel.timing(start, resolve)
+					for _, at := range attrib {
+						timing.Segments = append(timing.Segments, SegmentTiming{
+							Seg:        at.Seg,
+							FirstEpoch: at.FirstEpoch,
+							LastEpoch:  at.LastEpoch,
+							DecodeMS:   durMS(at.Decode),
+							FoldMS:     durMS(at.Fold),
+							ExecuteMS:  durMS(at.Exec),
+							MergeMS:    durMS(at.Merge),
+							Matched:    true,
+						})
+					}
+					res.Timing = timing
 					return res, nil
 				}
 				res, err := s.runAnalyze(&job, factory)
@@ -784,16 +814,39 @@ func (s *Server) runAnalyze(job *trace.Job, factory func() []analysis.Analyzer) 
 		Job:          *job,
 		NewAnalyzers: factory,
 	}}, 1)
-	r := results[0]
+	return s.analyzeResult(job, &results[0], stats.Events)
+}
+
+// runAnalyzeSegments executes one analyze job segment-parallel, returning
+// the per-segment attribution rows alongside for the timing breakdown.
+func (s *Server) runAnalyzeSegments(job *trace.Job, factory func() []analysis.Analyzer,
+	workers int) (*AnalyzeJobResult, []trace.SegmentAttribution, error) {
+	r, stats, err := trace.AnalyzeSegments(trace.AnalyzeJob{
+		Job:          *job,
+		NewAnalyzers: factory,
+	}, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := s.analyzeResult(job, &r, stats.Events)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, r.Segments, nil
+}
+
+// analyzeResult builds the job result payload from an analysis outcome,
+// pinning traces whose findings make them evidence.
+func (s *Server) analyzeResult(job *trace.Job, r *trace.AnalyzeResult, events int64) (*AnalyzeJobResult, error) {
 	if !r.Matched {
 		return nil, r.Err
 	}
-	s.eventsReplayed.Add(stats.Events)
+	s.eventsReplayed.Add(events)
 	res := &AnalyzeJobResult{
 		ReplayResult: ReplayResult{
 			Trace:   job.Name,
 			Matched: true,
-			Events:  stats.Events,
+			Events:  events,
 			WallNS:  r.Wall.Nanoseconds(),
 		},
 		Findings: r.Findings,

@@ -244,7 +244,11 @@ type SegmentTiming struct {
 	DecodeMS  float64 `json:"decode_ms"`
 	ExecuteMS float64 `json:"execute_ms"`
 	StitchMS  float64 `json:"stitch_ms"`
-	Matched   bool    `json:"matched"`
+	// MergeMS is a segmented-analyze segment's share of the sequential
+	// analyzer fold (tape re-delivery plus boundary state round-trip);
+	// zero for segment-replay jobs.
+	MergeMS float64 `json:"merge_ms,omitempty"`
+	Matched bool    `json:"matched"`
 }
 
 // putTimeline retains a finished submission's span recorder under its job

@@ -226,3 +226,96 @@ func TestServerTelemetry(t *testing.T) {
 		}
 	})
 }
+
+// TestServerSegmentedAnalyze drives the segment-parallel analyze path through
+// the HTTP API: a checkpointed recording analyzed with "segments":true must
+// report the same findings byte for byte as the whole-trace analyze job, and
+// its timing breakdown must carry one row per analysis segment covering the
+// epoch range contiguously (leak-dropped is host-race-safe, so this file
+// stays -race clean).
+func TestServerSegmentedAnalyze(t *testing.T) {
+	st, err := trace.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An aggressively small epoch cap plus a checkpoint at every boundary
+	// splits even this short corpus program into several segments.
+	if _, err := server.RecordTrace(st, server.RecordRequest{
+		App: "leak-dropped", Name: "ck", Seed: 9, EventCap: 4, CheckpointEvery: 1,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	entry, err := st.Entry("ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Checkpoints < 1 {
+		t.Fatalf("recording carries no checkpoints (%d epochs)", entry.Epochs)
+	}
+	wantSegs := entry.Checkpoints + 1
+
+	srv, err := server.New(server.Config{Store: st, Workers: 2, QueueDepth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Scheduler().Shutdown()
+	c := &client{base: ts.URL, http: ts.Client()}
+
+	whole := c.wait(t, c.submit(t, `{"kind":"analyze","trace":"ck"}`).ID)
+	if whole.State != sched.Done {
+		t.Fatalf("whole-trace analyze: %v (%s)", whole.State, whole.Err)
+	}
+	seg := c.wait(t, c.submit(t, `{"kind":"analyze","trace":"ck","segments":true,"workers":4}`).ID)
+	if seg.State != sched.Done {
+		t.Fatalf("segmented analyze: %v (%s)", seg.State, seg.Err)
+	}
+
+	if w, s := resultFindings(t, whole), resultFindings(t, seg); !strings.Contains(string(w), "memory-leak") {
+		t.Fatalf("whole-trace findings lack the known leak: %s", w)
+	} else if string(w) != string(s) {
+		t.Fatalf("findings differ between paths:\nwhole:   %s\nsegment: %s", w, s)
+	}
+
+	raw, err := json.Marshal(seg.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Timing *struct {
+			ExecuteMS float64 `json:"execute_ms"`
+			Segments  []struct {
+				Seg        int     `json:"seg"`
+				FirstEpoch int64   `json:"first_epoch"`
+				LastEpoch  int64   `json:"last_epoch"`
+				ExecuteMS  float64 `json:"execute_ms"`
+				MergeMS    float64 `json:"merge_ms"`
+				Matched    bool    `json:"matched"`
+			} `json:"segments"`
+		} `json:"timing"`
+	}
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Timing == nil {
+		t.Fatal("segmented analyze result carries no timing breakdown")
+	}
+	if len(res.Timing.Segments) != wantSegs {
+		t.Fatalf("timing has %d segment rows, recording has %d checkpoints",
+			len(res.Timing.Segments), entry.Checkpoints)
+	}
+	next := int64(1)
+	for _, row := range res.Timing.Segments {
+		if !row.Matched {
+			t.Fatalf("segment %d reported unmatched: %+v", row.Seg, row)
+		}
+		if row.FirstEpoch != next {
+			t.Fatalf("segment %d begins at epoch %d, want %d", row.Seg, row.FirstEpoch, next)
+		}
+		next = row.LastEpoch + 1
+	}
+	if nonSeg := c.wait(t, c.submit(t, `{"kind":"analyze","trace":"ck","segments":true}`).ID); nonSeg.State != sched.Done {
+		t.Fatalf("segmented analyze with default workers: %v (%s)", nonSeg.State, nonSeg.Err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/record"
 )
 
 // AnalyzeJob is one replay-with-analysis: a replay job plus an analyzer
@@ -40,6 +41,9 @@ type AnalyzeResult struct {
 	// fault-terminated trace, the reproduced fault.
 	Err  error
 	Wall time.Duration
+	// Segments carries per-segment attribution when the result came from
+	// AnalyzeSegments; nil for whole-trace jobs.
+	Segments []SegmentAttribution
 }
 
 // AnalyzeBatch fans analysis jobs across the shared worker pool and blocks
@@ -81,12 +85,33 @@ func runAnalyzeJob(j *AnalyzeJob) (res AnalyzeResult) {
 		res.Err = fmt.Errorf("trace: analyze job %q has no analyzer factory", j.Name)
 		return res
 	}
-	epochs, err := j.Handle.AllEpochs()
+	// Stream the trace through bounded epoch windows instead of pinning
+	// every decoded frame for the run's whole duration: the flattener folds
+	// each window into the replay-ready lists and releases it, so a v3
+	// handle's frame cache — not this worker — decides what stays resident.
+	f := record.NewFlattener()
+	first, last := j.Handle.EpochRange()
+	const window = 16
+	for lo := first; lo <= last && lo > 0; lo += window {
+		hi := lo + window - 1
+		if hi > last {
+			hi = last
+		}
+		epochs, err := j.Handle.Epochs(lo, hi)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		for _, ep := range epochs {
+			f.Add(ep)
+		}
+	}
+	fl, err := f.Flat()
 	if err != nil {
 		res.Err = err
 		return res
 	}
-	rep, findings, err := analysis.Run(j.Module, epochs, j.Opts, j.Setup, j.NewAnalyzers()...)
+	rep, findings, err := analysis.RunFlat(j.Module, fl, j.Opts, j.Setup, j.NewAnalyzers()...)
 	res.Report = rep
 	res.Findings = findings
 	if rep == nil {

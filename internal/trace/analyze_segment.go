@@ -1,0 +1,333 @@
+package trace
+
+// Segment-parallel analysis of one checkpointed trace: the ReplaySegments
+// fan-out applied to the daemon's dominant job type. Replay execution is
+// embarrassingly parallel — each segment resumes from its start checkpoint
+// exactly as in ReplaySegments — but analyzer state is prefix state: a race
+// detector's vector clocks or a leak detector's site table only mean
+// anything with everything since program start already folded in. The split
+// that keeps both properties:
+//
+//   - Each segment replays concurrently with only an analysis.Tape attached
+//     (cheap event capture, no analyzer math), paying the O(segment)
+//     checkpoint-restore + decode + execute cost that made replay fan-out
+//     worthwhile. Stacks are symbolized here, in parallel.
+//   - A sequential fold consumes the tapes in segment order, re-delivering
+//     each into one analyzer chain. The fold is pipelined against the
+//     replays: segment i's tape folds as soon as segments 0..i have
+//     finished, while later segments are still executing.
+//
+// At every interior boundary the fold round-trips the chain through the
+// StateCheckpointer codecs — encode the accumulated state, decode it into a
+// fresh factory-built set — which is the propagated state chain of the
+// multi-node design exercised in-process, so the codecs are proven on every
+// segmented analyze rather than rotting until a fleet exists.
+//
+// Findings come out equal to the whole-trace path because every segment
+// boundary is an epoch boundary — a globally quiescent point — so the
+// concatenated tapes form a legal observation order of the whole execution
+// (see the analysis.Tape doc comment), and the race report is canonicalized
+// so observation order inside a racing pair does not show through. The
+// leak detector's program-end scan runs against the final segment's
+// completed runtime, whose memory image the stitching checks have already
+// tied to the recording.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// SegmentAttribution is one segment's share of a segmented analyze: where
+// the wall time went, visible in AnalyzeResult and mirrored into the job
+// timing breakdown so slow-segment skew shows up without a timeline
+// download.
+type SegmentAttribution struct {
+	// Seg is the segment index (0 = from program start).
+	Seg int `json:"seg"`
+	// FirstEpoch/LastEpoch bound the segment's epoch range, inclusive.
+	FirstEpoch int64 `json:"first_epoch"`
+	LastEpoch  int64 `json:"last_epoch"`
+	// Events counts the recorded events the segment re-executed.
+	Events int64 `json:"events"`
+	// Wall is the segment replay's wall time; Fold, Decode, and Exec are its
+	// stages (checkpoint folds, epoch-slice fetch, execution + tape capture).
+	Wall   time.Duration `json:"wall"`
+	Fold   time.Duration `json:"fold"`
+	Decode time.Duration `json:"decode"`
+	Exec   time.Duration `json:"exec"`
+	// Merge is the sequential fold's share: tape re-delivery into the
+	// analyzer chain plus, on interior boundaries, the analyzer state
+	// round-trip.
+	Merge time.Duration `json:"merge"`
+}
+
+// AnalyzeSegments analyzes one checkpointed trace segment-parallel and
+// returns a whole-trace result: findings equal to AnalyzeBatch's (the race
+// report is canonical, so equality is byte-level after the detector's own
+// deterministic sort), with per-segment attribution rows alongside. The
+// trace is split at its checkpoint frames exactly like ReplaySegments;
+// workers <= 0 selects GOMAXPROCS. A trace without checkpoints degenerates
+// to a single segment — one whole-trace replay plus one tape fold.
+func AnalyzeSegments(j AnalyzeJob, workers int) (res AnalyzeResult, stats BatchStats, retErr error) {
+	start := time.Now()
+	res = AnalyzeResult{Name: j.Name}
+	defer func() { res.Wall = time.Since(start) }()
+	fail := func(err error) (AnalyzeResult, BatchStats, error) {
+		res.Err = err
+		return res, stats, err
+	}
+	if err := j.validate(); err != nil {
+		return fail(err)
+	}
+	if j.NewAnalyzers == nil {
+		return fail(fmt.Errorf("trace: analyze job %q has no analyzer factory", j.Name))
+	}
+	plans, err := planSegments(j.Handle.idx)
+	if err != nil {
+		return fail(err)
+	}
+
+	segs := make([]SegmentResult, len(plans))
+	tapes := make([]*analysis.Tape, len(plans))
+	rts := make([]*core.Runtime, len(plans))
+	done := make([]chan struct{}, len(plans))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+
+	// Replay fan-out on the shared pool; the fold below consumes segments in
+	// order as they complete, so analyzer math for segment i overlaps the
+	// execution of segments i+1..m.
+	var elapsed time.Duration
+	poolDone := make(chan struct{})
+	go func() {
+		defer close(poolDone)
+		elapsed = runPool(len(plans), workers, func(i int) {
+			defer close(done[i])
+			segs[i], tapes[i], rts[i] = runAnalyzeSegment(&j, i, &plans[i])
+		})
+	}()
+
+	chain := j.NewAnalyzers()
+	foldSp := j.Span.Child("analyzer fold")
+	foldSp.SetTID(len(plans) + 1)
+	var firstErr error
+	res.Segments = make([]SegmentAttribution, 0, len(plans))
+	for i := range plans {
+		<-done[i]
+		s := &segs[i]
+		at := SegmentAttribution{
+			Seg: i, FirstEpoch: s.FirstEpoch, LastEpoch: s.LastEpoch,
+			Events: plans[i].events,
+			Wall:   s.Wall, Fold: s.Fold, Decode: s.Decode, Exec: s.Exec,
+		}
+		if !s.Matched {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("segment %s: %w", s.Name, s.Err)
+			}
+		} else if firstErr == nil {
+			mergeStart := time.Now()
+			tapes[i].Replay(chain)
+			if i < len(plans)-1 {
+				foldStart := time.Now()
+				if chain, err = foldAnalyzerState(chain, j.NewAnalyzers); err != nil {
+					firstErr = fmt.Errorf("segment %s: %w", s.Name, err)
+				}
+				obs.AnalysisStateFold.Observe(time.Since(foldStart).Seconds())
+			}
+			at.Merge = time.Since(mergeStart)
+			obs.AnalysisMerge.Observe(at.Merge.Seconds())
+			foldSp.Record(fmt.Sprintf("merge %d", i), mergeStart, mergeStart.Add(at.Merge))
+		}
+		tapes[i] = nil // folded (or abandoned); release the event buffer
+		res.Segments = append(res.Segments, at)
+	}
+	foldSp.End()
+	<-poolDone
+
+	stats = BatchStats{Jobs: len(plans), Elapsed: elapsed}
+	outputs := make([]string, len(plans))
+	for i := range segs {
+		s := &segs[i]
+		stats.Work += s.Wall
+		if !s.Matched {
+			stats.Failed++
+			continue
+		}
+		stats.Matched++
+		stats.Events += plans[i].events
+		if s.Report != nil {
+			stats.Attempts += int64(s.Report.Stats.LastReplayAttempts)
+			outputs[i] = s.Report.Output
+		}
+	}
+	// Whole-run output stitch, as in ReplaySegments: per-segment volumes were
+	// checked against checkpoint attribution inside the replays; this catches
+	// content-level mismatches across the run.
+	if firstErr == nil && j.Handle.Summary() != nil && !j.Handle.Summary().Partial {
+		if got := strings.Join(outputs, ""); got != j.Handle.Summary().Output {
+			firstErr = fmt.Errorf("trace: stitched output (%d bytes) differs from recording (%d bytes)",
+				len(got), len(j.Handle.Summary().Output))
+			stats.Failed++
+		}
+	}
+	if firstErr != nil {
+		// Findings derived from a divergent or unstitchable fan-out are not
+		// evidence about the recorded run.
+		res.Err = firstErr
+		return res, stats, firstErr
+	}
+
+	final := &segs[len(segs)-1]
+	res.Report = final.Report
+	res.Matched = true
+	// Finish passes (the leak detector's program-end scan) run against the
+	// final segment's completed runtime; a reproduced fault from the final
+	// segment rides along exactly as in the whole-trace path.
+	res.Findings, res.Err = analysis.Collect(rts[len(rts)-1], chain, final.Err)
+	return res, stats, nil
+}
+
+// runAnalyzeSegment replays one segment with a fresh tape attached and
+// returns the tape for the sequential fold; the final segment's runtime is
+// kept for the analyzers' Finish passes. Stage accounting and stitching
+// match runSegment.
+func runAnalyzeSegment(j *AnalyzeJob, i int, plan *segPlan) (res SegmentResult, tape *analysis.Tape, rt *core.Runtime) {
+	res = SegmentResult{
+		Name:       fmt.Sprintf("%s@%d-%d", j.Name, plan.first, plan.last),
+		Seg:        i,
+		FirstEpoch: plan.first,
+		LastEpoch:  plan.last,
+	}
+	tape = analysis.NewTape()
+	start := time.Now()
+	sp := j.Span.ChildAt(fmt.Sprintf("segment %d", i), start)
+	sp.SetTID(i + 1)
+	sp.SetAttr("epochs", fmt.Sprintf("%d-%d", plan.first, plan.last))
+	defer func() {
+		res.Wall = time.Since(start)
+		obs.AnalysisSegment.Observe(res.Wall.Seconds())
+		sp.SetAttr("matched", fmt.Sprintf("%t", res.Matched))
+		sp.End()
+	}()
+	stage := func(name string, from time.Time, d *time.Duration) {
+		*d = time.Since(from)
+		sp.Record(name, from, from.Add(*d))
+	}
+
+	var startCk, endCk *core.Checkpoint
+	var err error
+	foldStart := time.Now()
+	if plan.startCk >= 0 {
+		if startCk, err = j.Handle.CheckpointAt(plan.startCk); err != nil {
+			res.Err = err
+			return res, tape, nil
+		}
+	}
+	if plan.endCk >= 0 {
+		if endCk, err = j.Handle.CheckpointAt(plan.endCk); err != nil {
+			res.Err = err
+			return res, tape, nil
+		}
+	}
+	stage("fold", foldStart, &res.Fold)
+	decodeStart := time.Now()
+	epochs, err := j.Handle.Epochs(plan.first, plan.last)
+	if err != nil {
+		res.Err = err
+		return res, tape, nil
+	}
+	stage("decode", decodeStart, &res.Decode)
+
+	execStart := time.Now()
+	opts := j.Opts
+	opts.Observers = append(append([]core.Observer(nil), j.Opts.Observers...), tape)
+	rt, err = core.PrepareReplayAt(j.Module, startCk, epochs, endCk, opts)
+	if err != nil {
+		res.Err = err
+		return res, tape, nil
+	}
+	if startCk == nil && j.Setup != nil {
+		// Only the first segment recreates recording-time OS state; later
+		// segments restore it from their checkpoint.
+		if err := j.Setup(rt); err != nil {
+			rt.Shutdown()
+			res.Err = err
+			return res, tape, nil
+		}
+	}
+	rep, err := rt.RunReplay()
+	stage("execute", execStart, &res.Exec)
+	res.Report = rep
+	if rep == nil {
+		res.Err = err
+		return res, tape, nil
+	}
+	res.Matched = true
+	res.Err = err // a reproduced fault arrives here, alongside the report
+	stitchStart := time.Now()
+	if endCk == nil {
+		// Final segment: the recorded exit value is the oracle (output is
+		// stitched across all segments by the caller). A partial summary —
+		// the recording stopped before program end — carries no oracle.
+		if sum := j.Handle.Summary(); sum != nil && !sum.Partial && rep.Exit != sum.Exit {
+			res.Matched = false
+			res.Err = fmt.Errorf("trace: final segment replayed exit %d, recorded %d", rep.Exit, sum.Exit)
+		}
+	} else {
+		// Interior segment: the fold never needs this runtime (Finish passes
+		// run on the final segment's), so drop the reference now.
+		rt = nil
+	}
+	stage("stitch", stitchStart, &res.Stitch)
+	return res, tape, rt
+}
+
+// foldAnalyzerState round-trips the analyzer chain's accumulated state
+// through the StateCheckpointer codecs into a fresh factory-built set — the
+// interior-boundary handoff of a propagated state chain. A chain with any
+// analyzer lacking the interface is carried across by instance instead
+// (composable fallback; the fold is sequential either way).
+func foldAnalyzerState(chain []analysis.Analyzer, factory func() []analysis.Analyzer) ([]analysis.Analyzer, error) {
+	ckpts := make([]analysis.StateCheckpointer, len(chain))
+	for i, a := range chain {
+		c, ok := a.(analysis.StateCheckpointer)
+		if !ok {
+			return chain, nil
+		}
+		ckpts[i] = c
+	}
+	var buf []byte
+	for _, c := range ckpts {
+		buf = c.AppendState(buf)
+	}
+	fresh := factory()
+	if len(fresh) != len(chain) {
+		return nil, fmt.Errorf("trace: analyzer factory returned %d analyzers, state chain carries %d",
+			len(fresh), len(chain))
+	}
+	rest := buf
+	for i, a := range fresh {
+		if a.Name() != chain[i].Name() {
+			return nil, fmt.Errorf("trace: analyzer factory order changed (%q where state chain has %q)",
+				a.Name(), chain[i].Name())
+		}
+		c, ok := a.(analysis.StateCheckpointer)
+		if !ok {
+			return nil, fmt.Errorf("trace: fresh %q analyzer lost its state codec", a.Name())
+		}
+		var err error
+		if rest, err = c.DecodeState(rest); err != nil {
+			return nil, fmt.Errorf("trace: analyzer state chain: %w", err)
+		}
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("trace: %d trailing bytes in analyzer state chain", len(rest))
+	}
+	return fresh, nil
+}
